@@ -1,0 +1,323 @@
+//! Reconstruction-based baselines: TopoMAD [21] and StepGAN [22].
+//!
+//! Both are *fault-detection* methods: they reconstruct the system state
+//! and use the reconstruction error as an anomaly signal. As §V notes,
+//! "TopoMAD and StepGAN are only fault-detection methods, we supplement
+//! them with the priority based load-balancing policy from the next best
+//! baseline, i.e., FRAS" — so both delegate topology repair to a FRAS-like
+//! least-predicted-QoS candidate choice and spend their own budget on
+//! reconstruction training.
+
+use crate::surrogate::Fras;
+use carol::policy::{ObserveOutcome, ResiliencePolicy};
+use edgesim::state::{SystemState, METRIC_DIM};
+use edgesim::{IntervalReport, Simulator, Topology};
+use gon::surrogates::GanSurrogate;
+use nn::init::Initializer;
+use nn::layer::{Activation, Dense, Layer, Sequential};
+use nn::{Adam, Matrix};
+
+/// Per-host metric window flattened for the reconstruction models.
+fn metric_row(state: &SystemState) -> Matrix {
+    let n = state.n_hosts().max(1) as f64;
+    let mut pooled = vec![0.0; METRIC_DIM];
+    for h in 0..state.n_hosts() {
+        for (i, v) in state.metrics[h].iter().enumerate() {
+            pooled[i] += v / n;
+        }
+    }
+    Matrix::row_vector(&pooled)
+}
+
+/// TopoMAD [21]: topology-aware anomaly detection with an LSTM + VAE.
+///
+/// The reproduction models the reconstruction pathway with a recurrent
+/// encoder feeding a bottlenecked autoencoder: reconstruction error over
+/// the pooled metric vector is the anomaly score. Only the *latest* state
+/// is reconstructible, which restricts TopoMAD to reactive recovery — the
+/// limitation §II calls out.
+pub struct TopoMad {
+    encoder: Sequential,
+    decoder: Sequential,
+    /// Recurrent context (the "LSTM" state at the granularity this
+    /// comparison needs: one hidden vector advanced per interval).
+    context: Matrix,
+    ctx_map: Dense,
+    adam: Adam,
+    repair_policy: Fras,
+    /// Reconstruction-error history (anomaly scores).
+    pub errors: Vec<f64>,
+    fine_tunes: usize,
+    modeled_decision_s: f64,
+    modeled_overhead_s: f64,
+}
+
+impl std::fmt::Debug for TopoMad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TopoMad(errors={})", self.errors.len())
+    }
+}
+
+impl TopoMad {
+    /// Builds the detector + FRAS repair policy.
+    pub fn new(seed: u64) -> Self {
+        let hidden = 32;
+        let latent = 8;
+        let mut init = Initializer::new(seed);
+        let mut encoder = Sequential::new();
+        encoder.push(Dense::new(METRIC_DIM + hidden, hidden, &mut init));
+        encoder.push(Activation::tanh());
+        encoder.push(Dense::new(hidden, latent, &mut init));
+        let mut decoder = Sequential::new();
+        decoder.push(Dense::new(latent, hidden, &mut init));
+        decoder.push(Activation::tanh());
+        decoder.push(Dense::new(hidden, METRIC_DIM, &mut init));
+        decoder.push(Activation::sigmoid());
+        Self {
+            encoder,
+            decoder,
+            context: Matrix::zeros(1, hidden),
+            ctx_map: Dense::new(hidden, hidden, &mut init),
+            adam: Adam::new(1e-3, 1e-5),
+            repair_policy: Fras::new(seed ^ 0x544D),
+            errors: Vec::new(),
+            fine_tunes: 0,
+            modeled_decision_s: 0.0,
+            modeled_overhead_s: 0.0,
+        }
+    }
+
+    /// Reconstruction error of the current state (the anomaly score).
+    pub fn reconstruction_error(&mut self, state: &SystemState) -> f64 {
+        let x = metric_row(state);
+        let ctx = self.ctx_map.forward(&self.context.clone()).map(f64::tanh);
+        let z = self.encoder.forward(&x.hcat(&ctx));
+        let xhat = self.decoder.forward(&z);
+        nn::loss::mse(&xhat, &x)
+    }
+}
+
+impl ResiliencePolicy for TopoMad {
+    fn name(&self) -> &str {
+        "TopoMAD"
+    }
+
+    fn repair(&mut self, sim: &Simulator, snapshot: &SystemState) -> Option<Topology> {
+        let before = self.repair_policy.modeled_decision_s();
+        let repaired = self.repair_policy.repair(sim, snapshot);
+        // Detector inference (LSTM+VAE window scoring) + FRAS's policy.
+        let delegated = self.repair_policy.modeled_decision_s() - before;
+        if !sim.failed_brokers().is_empty() {
+            self.modeled_decision_s += delegated + 0.3;
+        }
+        repaired
+    }
+
+    fn observe(
+        &mut self,
+        _sim: &Simulator,
+        snapshot: &SystemState,
+        _report: &IntervalReport,
+    ) -> ObserveOutcome {
+        self.modeled_overhead_s += 1.6;
+        let x = metric_row(snapshot);
+        let ctx = self.ctx_map.forward(&self.context.clone()).map(f64::tanh);
+        let z = self.encoder.forward(&x.hcat(&ctx));
+        let xhat = self.decoder.forward(&z);
+        let err = nn::loss::mse(&xhat, &x);
+        self.errors.push(err);
+
+        // One reconstruction-training step per interval (reactive models
+        // retrain continuously; §II).
+        let grad = nn::loss::mse_grad(&xhat, &x);
+        self.encoder.zero_grad();
+        self.decoder.zero_grad();
+        let g_latent = self.decoder.backward(&grad);
+        self.encoder.backward(&g_latent);
+        let mut params = self.encoder.params_mut();
+        params.extend(self.decoder.params_mut());
+        self.adam.step(params);
+
+        // Advance the recurrent context with the fresh observation.
+        self.context = ctx;
+        self.fine_tunes += 1;
+        ObserveOutcome { fine_tuned: true }
+    }
+
+    fn modeled_decision_s(&self) -> f64 {
+        self.modeled_decision_s
+    }
+
+    fn modeled_overhead_s(&self) -> f64 {
+        self.modeled_overhead_s
+    }
+
+    fn memory_gb(&self) -> f64 {
+        2.0 // LSTM + VAE stack
+    }
+}
+
+/// StepGAN [22]: stepwise-GAN anomaly detection over metric matrices.
+///
+/// The reproduction reuses the GAN substrate: the discriminator score over
+/// the current state is the (inverse) anomaly signal, and the stepwise
+/// training process advances one adversarial round per interval. Repair is
+/// delegated to the FRAS policy per §V.
+pub struct StepGan {
+    gan: GanSurrogate,
+    repair_policy: Fras,
+    step: u64,
+    /// Discriminator scores per interval (higher = more normal).
+    pub scores: Vec<f64>,
+    fine_tunes: usize,
+    modeled_decision_s: f64,
+    modeled_overhead_s: f64,
+}
+
+impl std::fmt::Debug for StepGan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StepGan(steps={})", self.step)
+    }
+}
+
+impl StepGan {
+    /// Builds the detector + FRAS repair policy.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            gan: GanSurrogate::new(48, 16, seed ^ 0x5347),
+            repair_policy: Fras::new(seed ^ 0x5347_02),
+            step: 0,
+            scores: Vec::new(),
+            fine_tunes: 0,
+            modeled_decision_s: 0.0,
+            modeled_overhead_s: 0.0,
+        }
+    }
+
+    /// Normality score of a state (discriminator output).
+    pub fn score(&mut self, state: &SystemState) -> f64 {
+        self.gan.score(state)
+    }
+}
+
+impl ResiliencePolicy for StepGan {
+    fn name(&self) -> &str {
+        "StepGAN"
+    }
+
+    fn repair(&mut self, sim: &Simulator, snapshot: &SystemState) -> Option<Topology> {
+        let before = self.repair_policy.modeled_decision_s();
+        let repaired = self.repair_policy.repair(sim, snapshot);
+        let delegated = self.repair_policy.modeled_decision_s() - before;
+        if !sim.failed_brokers().is_empty() {
+            // Matrix conversion + convolutional discriminator pass.
+            self.modeled_decision_s += delegated + 0.4;
+        }
+        repaired
+    }
+
+    fn observe(
+        &mut self,
+        _sim: &Simulator,
+        snapshot: &SystemState,
+        _report: &IntervalReport,
+    ) -> ObserveOutcome {
+        self.modeled_overhead_s += 1.8;
+        self.scores.push(self.gan.score(snapshot));
+        // Stepwise training: one adversarial round per interval.
+        self.gan.train_step(snapshot, self.step);
+        self.step += 1;
+        self.fine_tunes += 1;
+        ObserveOutcome { fine_tuned: true }
+    }
+
+    fn modeled_decision_s(&self) -> f64 {
+        self.modeled_decision_s
+    }
+
+    fn modeled_overhead_s(&self) -> f64 {
+        self.modeled_overhead_s
+    }
+
+    fn memory_gb(&self) -> f64 {
+        2.5 // generator + discriminator + conv-style buffers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgesim::scheduler::LeastLoadScheduler;
+    use edgesim::state::Normalizer;
+    use edgesim::{FaultLoad, SimConfig};
+
+    fn capture(sim: &Simulator) -> SystemState {
+        SystemState::capture(
+            sim.topology(),
+            sim.specs(),
+            sim.host_states(),
+            sim.tasks(),
+            &edgesim::SchedulingDecision::new(),
+            &Normalizer::default(),
+        )
+    }
+
+    #[test]
+    fn topomad_reconstruction_error_falls_with_training() {
+        let mut sim = Simulator::new(SimConfig::small(6, 2, 1));
+        let mut sched = LeastLoadScheduler::new();
+        let mut policy = TopoMad::new(1);
+        for _ in 0..60 {
+            let report = sim.step(Vec::new(), &mut sched);
+            let snapshot = capture(&sim);
+            policy.observe(&sim, &snapshot, &report);
+        }
+        let early: f64 = policy.errors[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = policy.errors[policy.errors.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(
+            late < early,
+            "reconstruction should improve: {early} → {late}"
+        );
+    }
+
+    #[test]
+    fn both_repair_through_the_fras_policy() {
+        let mut sim = Simulator::new(SimConfig::small(8, 2, 2));
+        let mut sched = LeastLoadScheduler::new();
+        sim.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        sim.step(Vec::new(), &mut sched);
+        let snapshot = capture(&sim);
+
+        let mut tm = TopoMad::new(2);
+        let t = tm.repair(&sim, &snapshot).expect("TopoMAD repairs");
+        t.validate().unwrap();
+
+        let mut sg = StepGan::new(2);
+        let t = sg.repair(&sim, &snapshot).expect("StepGAN repairs");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn stepgan_scores_accumulate_per_interval() {
+        let mut sim = Simulator::new(SimConfig::small(6, 2, 3));
+        let mut sched = LeastLoadScheduler::new();
+        let mut policy = StepGan::new(3);
+        for _ in 0..5 {
+            let report = sim.step(Vec::new(), &mut sched);
+            let snapshot = capture(&sim);
+            policy.observe(&sim, &snapshot, &report);
+        }
+        assert_eq!(policy.scores.len(), 5);
+        assert!(policy.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn memory_ordering_matches_figure_5e() {
+        // TopoMAD and StepGAN sit between FRAS and ELBS.
+        let fras = crate::surrogate::Fras::new(0).memory_gb();
+        let tm = TopoMad::new(0).memory_gb();
+        let sg = StepGan::new(0).memory_gb();
+        let elbs = crate::surrogate::Elbs::new(0).memory_gb();
+        assert!(fras < tm && tm < sg && sg < elbs);
+    }
+}

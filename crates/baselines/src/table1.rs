@@ -1,0 +1,268 @@
+//! Table I of the paper: the related-work feature matrix.
+//!
+//! Each row records which properties a method has (✓ in the paper). The
+//! `table1` experiment binary prints this matrix; the data also serves as
+//! machine-checkable documentation of what each implementation is supposed
+//! to cover.
+
+use serde::{Deserialize, Serialize};
+
+/// Approach class, as named in the paper's "Approach" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Approach {
+    /// Rule-based heuristics.
+    Heuristic,
+    /// Search/meta-heuristic methods.
+    MetaHeuristic,
+    /// Reinforcement learning.
+    ReinforcementLearning,
+    /// Neural surrogate models.
+    SurrogateModel,
+    /// Reconstruction-based anomaly detection.
+    Reconstruction,
+}
+
+impl Approach {
+    /// The label used in the printed table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::Heuristic => "Heuristic",
+            Approach::MetaHeuristic => "Meta-Heuristic",
+            Approach::ReinforcementLearning => "RL",
+            Approach::SurrogateModel => "Surrogate Model",
+            Approach::Reconstruction => "Reconstruction",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Capability {
+    /// Method name.
+    pub name: &'static str,
+    /// Considers IoT workloads.
+    pub iot: bool,
+    /// Approach class.
+    pub approach: Approach,
+    /// Considers broker resilience.
+    pub broker_resilience: bool,
+    /// Predicts QoS.
+    pub qos_prediction: bool,
+    /// Reports energy.
+    pub energy: bool,
+    /// Reports response time.
+    pub response_time: bool,
+    /// Reports SLO violations.
+    pub slo_violations: bool,
+    /// Reports overheads.
+    pub overheads: bool,
+    /// Reports memory consumption.
+    pub memory: bool,
+}
+
+/// The full Table I, in the paper's row order.
+pub fn table() -> Vec<Capability> {
+    vec![
+        Capability {
+            name: "DYVERSE",
+            iot: true,
+            approach: Approach::Heuristic,
+            broker_resilience: true,
+            qos_prediction: false,
+            energy: false,
+            response_time: true,
+            slo_violations: true,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "DISP",
+            iot: false,
+            approach: Approach::Heuristic,
+            broker_resilience: false,
+            qos_prediction: false,
+            energy: false,
+            response_time: true,
+            slo_violations: false,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "LBM",
+            iot: true,
+            approach: Approach::Heuristic,
+            broker_resilience: true,
+            qos_prediction: false,
+            energy: true,
+            response_time: true,
+            slo_violations: false,
+            overheads: false,
+            memory: false,
+        },
+        Capability {
+            name: "FDMR",
+            iot: false,
+            approach: Approach::MetaHeuristic,
+            broker_resilience: false,
+            qos_prediction: false,
+            energy: false,
+            response_time: true,
+            slo_violations: true,
+            overheads: false,
+            memory: false,
+        },
+        Capability {
+            name: "ECLB",
+            iot: true,
+            approach: Approach::MetaHeuristic,
+            broker_resilience: true,
+            qos_prediction: false,
+            energy: true,
+            response_time: true,
+            slo_violations: false,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "LBOS",
+            iot: true,
+            approach: Approach::ReinforcementLearning,
+            broker_resilience: true,
+            qos_prediction: true,
+            energy: false,
+            response_time: true,
+            slo_violations: true,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "ELBS",
+            iot: true,
+            approach: Approach::SurrogateModel,
+            broker_resilience: true,
+            qos_prediction: true,
+            energy: true,
+            response_time: true,
+            slo_violations: false,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "FRAS",
+            iot: false,
+            approach: Approach::SurrogateModel,
+            broker_resilience: true,
+            qos_prediction: true,
+            energy: false,
+            response_time: true,
+            slo_violations: true,
+            overheads: false,
+            memory: false,
+        },
+        Capability {
+            name: "TopoMAD",
+            iot: false,
+            approach: Approach::Reconstruction,
+            broker_resilience: false,
+            qos_prediction: true,
+            energy: false,
+            response_time: true,
+            slo_violations: true,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "StepGAN",
+            iot: true,
+            approach: Approach::Reconstruction,
+            broker_resilience: false,
+            qos_prediction: true,
+            energy: false,
+            response_time: true,
+            slo_violations: true,
+            overheads: true,
+            memory: false,
+        },
+        Capability {
+            name: "CAROL",
+            iot: true,
+            approach: Approach::SurrogateModel,
+            broker_resilience: true,
+            qos_prediction: true,
+            energy: true,
+            response_time: true,
+            slo_violations: true,
+            overheads: true,
+            memory: true,
+        },
+    ]
+}
+
+/// Renders the matrix as the markdown table the `table1` binary prints.
+pub fn render() -> String {
+    let rows = table();
+    let mut out = String::new();
+    out.push_str(
+        "| Work | IoT | Approach | Broker Resilience | QoS Prediction | Energy | Response Time | SLO Violations | Overheads | Memory |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    let tick = |b: bool| if b { "✓" } else { " " };
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.name,
+            tick(r.iot),
+            r.approach.label(),
+            tick(r.broker_resilience),
+            tick(r.qos_prediction),
+            tick(r.energy),
+            tick(r.response_time),
+            tick(r.slo_violations),
+            tick(r.overheads),
+            tick(r.memory),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_rows_ending_with_carol() {
+        let t = table();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.last().unwrap().name, "CAROL");
+    }
+
+    #[test]
+    fn carol_is_the_only_full_row() {
+        for r in table() {
+            let full = r.iot
+                && r.broker_resilience
+                && r.qos_prediction
+                && r.energy
+                && r.response_time
+                && r.slo_violations
+                && r.overheads
+                && r.memory;
+            assert_eq!(full, r.name == "CAROL", "row {}", r.name);
+        }
+    }
+
+    #[test]
+    fn render_produces_markdown() {
+        let s = render();
+        assert!(s.contains("| CAROL |"));
+        assert!(s.lines().count() == 13); // header + separator + 11 rows
+    }
+
+    #[test]
+    fn implemented_baselines_all_appear() {
+        let names: Vec<&str> = table().iter().map(|r| r.name).collect();
+        for b in ["DYVERSE", "ECLB", "LBOS", "ELBS", "FRAS", "TopoMAD", "StepGAN"] {
+            assert!(names.contains(&b), "{b} missing from Table I");
+        }
+    }
+}

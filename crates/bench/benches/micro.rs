@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the performance-critical primitives:
+//! GON scoring/generation (the inner loop of every tabu evaluation),
+//! node-shift neighbourhood enumeration, tabu search, POT updates and one
+//! full simulator interval. These quantify the decision-time budget behind
+//! Fig. 5(d).
+
+use carol::nodeshift::{mutations, neighborhood};
+use carol::pot::PotDetector;
+use carol::tabu::{self, TabuConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::state::{Normalizer, SystemState};
+use edgesim::{SchedulingDecision, SimConfig, Simulator, Topology};
+use gon::{GonConfig, GonModel};
+
+fn testbed_state() -> SystemState {
+    let mut sim = Simulator::new(SimConfig::testbed(7));
+    let mut sched = LeastLoadScheduler::new();
+    let mut workload =
+        workloads::BagOfTasks::new(workloads::BenchmarkSuite::AIoTBench, 2.0, 7);
+    let mut last = SchedulingDecision::new();
+    for t in 0..5 {
+        let r = sim.step(workload.sample_interval(t), &mut sched);
+        last = r.decision;
+    }
+    SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &last,
+        &Normalizer::default(),
+    )
+}
+
+fn bench_gon(c: &mut Criterion) {
+    let state = testbed_state();
+    let mut model = GonModel::new(GonConfig::default());
+    c.bench_function("gon_score_16_hosts", |b| {
+        b.iter(|| black_box(model.score(black_box(&state))))
+    });
+    let mut model2 = GonModel::new(GonConfig {
+        gen_steps: 10,
+        ..Default::default()
+    });
+    c.bench_function("gon_generate_10_steps", |b| {
+        b.iter(|| black_box(model2.generate(black_box(&state))))
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let topo = Topology::balanced(16, 4).unwrap();
+    c.bench_function("neighborhood_16_hosts", |b| {
+        b.iter(|| black_box(neighborhood(black_box(&topo), 0, &[])))
+    });
+    c.bench_function("mutations_16_hosts", |b| {
+        b.iter(|| black_box(mutations(black_box(&topo), &[])))
+    });
+    c.bench_function("tabu_search_cheap_objective", |b| {
+        b.iter(|| {
+            let r = tabu::search(
+                topo.clone(),
+                &[],
+                &TabuConfig {
+                    list_size: 100,
+                    max_iters: 4,
+                },
+                |t| t.brokers().len() as f64,
+            );
+            black_box(r.best_score)
+        })
+    });
+}
+
+fn bench_pot(c: &mut Criterion) {
+    c.bench_function("pot_observe", |b| {
+        let mut pot = PotDetector::carol_defaults();
+        for i in 0..64 {
+            pot.observe(0.8 + 0.001 * (i % 10) as f64);
+        }
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = 0.8 + 0.05 * ((x >> 33) as f64 / u32::MAX as f64);
+            black_box(pot.observe(v))
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator_interval_16_hosts", |b| {
+        let mut sim = Simulator::new(SimConfig::testbed(3));
+        let mut sched = LeastLoadScheduler::new();
+        let mut workload =
+            workloads::BagOfTasks::new(workloads::BenchmarkSuite::AIoTBench, 1.2, 3);
+        let mut t = 0;
+        b.iter(|| {
+            let arrivals = workload.sample_interval(t);
+            t += 1;
+            black_box(sim.step(arrivals, &mut sched).energy_wh)
+        })
+    });
+}
+
+criterion_group!(benches, bench_gon, bench_topology, bench_pot, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Developer diagnostic: trace broker counts and QoS per interval for
+//! CAROL vs FRAS under identical fault sequences. Not part of the paper's
+//! artefacts; useful when tuning the surrogate objective.
+
+use carol::carol::{Carol, CarolConfig};
+use carol::policy::ResiliencePolicy;
+use carol::runner::ExperimentConfig;
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::state::{Normalizer, SystemState};
+use edgesim::{SimConfig, Simulator};
+use faults::FaultInjector;
+use workloads::BagOfTasks;
+
+fn run_one(policy: &mut dyn ResiliencePolicy, label: &str) {
+    let seed = 1;
+    let exp = ExperimentConfig {
+        intervals: 60,
+        ..ExperimentConfig::paper(seed)
+    };
+    let mut sim = Simulator::new(SimConfig { seed, ..exp.sim });
+    let mut workload = BagOfTasks::new(exp.suite, exp.arrival_rate, seed ^ 0x5754);
+    let mut injector = FaultInjector::new(exp.fault_rate, exp.fault_target, seed ^ 0x4654);
+    let mut sched = LeastLoadScheduler::new();
+    let norm = Normalizer::default();
+    let mut snapshot = SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &edgesim::SchedulingDecision::new(),
+        &norm,
+    );
+    println!("--- {label} ---");
+    for t in 0..exp.intervals {
+        let failed = sim.failed_brokers().to_vec();
+        if let Some(topo) = policy.repair(&sim, &snapshot) {
+            sim.set_topology(topo);
+        }
+        injector.inject(t, &mut sim);
+        let arrivals = workload.sample_interval(t);
+        let report = sim.step(arrivals, &mut sched);
+        snapshot = SystemState::capture(
+            sim.topology(),
+            sim.specs(),
+            sim.host_states(),
+            sim.tasks(),
+            &report.decision,
+            &norm,
+        );
+        policy.observe(&sim, &snapshot, &report);
+        if std::env::args().any(|a| a == "--verbose") { println!(
+            "t={t:3} brokers={:2} failed_prev={:?} failed_now={:?} done={:3} viol={:3} stall={:5.0} pending={}",
+            sim.topology().brokers().len(),
+            failed,
+            report.failed_brokers,
+            sim.completed_count(),
+            sim.violation_count(),
+            report.broker_stall_s,
+            sim.tasks().iter().filter(|x| x.status == edgesim::TaskStatus::Pending).count(),
+        ); }
+    }
+    println!(
+        "{label}: energy={:.1}Wh resp={:.1}s slo={:.3} restarts={}\n",
+        sim.total_energy_wh(),
+        sim.mean_response_time(),
+        sim.violation_rate(),
+        sim.total_restarts()
+    );
+}
+
+fn main() {
+    let cfg = CarolConfig {
+        pretrain_intervals: 40,
+        offline: gon::TrainConfig {
+            epochs: 4,
+            minibatch: 16,
+            patience: 4,
+            lr: 1e-3,
+            ..Default::default()
+        },
+        ..bench::fig5::fig5_carol_config()
+    };
+    let mut carol = Carol::pretrained(cfg, 1);
+    run_one(&mut carol, "CAROL");
+    let mut fras = baselines::Fras::new(1);
+    run_one(&mut fras, "FRAS");
+    let mut dyv = baselines::Dyverse::new();
+    run_one(&mut dyv, "DYVERSE");
+    let mut lbos = baselines::Lbos::new(1);
+    run_one(&mut lbos, "LBOS");
+    let mut eclb = baselines::Eclb::new();
+    run_one(&mut eclb, "ECLB");
+}

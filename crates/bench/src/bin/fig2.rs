@@ -1,0 +1,88 @@
+//! Regenerates Fig. 2: confidence scores and POT threshold values over
+//! 1000 scheduling intervals, with the intervals where the model was
+//! fine-tuned (the paper's blue bands).
+//!
+//! ```text
+//! cargo run -p bench --bin fig2 --release            # 1000 intervals
+//! cargo run -p bench --bin fig2 --release -- --fast  # 200 intervals
+//! ```
+
+use bench::fig5::fig5_carol_config;
+use carol::carol::Carol;
+use carol::runner::ExperimentConfig;
+use carol::ResiliencePolicy;
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::state::{Normalizer, SystemState};
+use edgesim::{SimConfig, Simulator};
+use faults::FaultInjector;
+use workloads::BagOfTasks;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let intervals = if fast { 200 } else { 1000 };
+    let seed = 42;
+
+    eprintln!("[fig2] pretraining CAROL on a DeFog trace…");
+    let mut policy = Carol::pretrained(fig5_carol_config(), seed);
+
+    eprintln!("[fig2] running {intervals} AIoTBench intervals with fault injection…");
+    let exp = ExperimentConfig::paper(seed);
+    let mut sim = Simulator::new(SimConfig { seed, ..exp.sim });
+    let mut workload = BagOfTasks::new(exp.suite, exp.arrival_rate, seed ^ 0x5754);
+    let mut injector = FaultInjector::paper_defaults(seed ^ 0x4654);
+    let mut scheduler = LeastLoadScheduler::new();
+    let norm = Normalizer::default();
+
+    let mut snapshot = SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &edgesim::SchedulingDecision::new(),
+        &norm,
+    );
+    for t in 0..intervals {
+        if let Some(topo) = policy.repair(&sim, &snapshot) {
+            sim.set_topology(topo);
+        }
+        injector.inject(t, &mut sim);
+        let arrivals = workload.sample_interval(t);
+        let report = sim.step(arrivals, &mut scheduler);
+        snapshot = SystemState::capture(
+            sim.topology(),
+            sim.specs(),
+            sim.host_states(),
+            sim.tasks(),
+            &report.decision,
+            &norm,
+        );
+        policy.observe(&sim, &snapshot, &report);
+        if (t + 1) % 100 == 0 {
+            eprintln!("[fig2]   {} / {intervals} intervals", t + 1);
+        }
+    }
+
+    println!("# Fig. 2 — confidence scores and POT threshold, {intervals} intervals");
+    println!("# fine-tune events (blue bands in the paper): {:?}", policy.fine_tune_intervals);
+    println!("interval\tconfidence\tpot_threshold\tfine_tuned");
+    for (t, (c, z)) in policy
+        .confidence_history
+        .iter()
+        .zip(&policy.threshold_history)
+        .enumerate()
+    {
+        let tuned = policy.fine_tune_intervals.contains(&t) as u8;
+        match z {
+            Some(z) => println!("{t}\t{c:.4}\t{z:.4}\t{tuned}"),
+            None => println!("{t}\t{c:.4}\tNA\t{tuned}"),
+        }
+    }
+
+    let tunes = policy.fine_tune_intervals.len();
+    println!("\n# summary: {tunes} fine-tune events over {intervals} intervals");
+    println!(
+        "# ({} of intervals — the parsimonious trigger of §III-B; an\n\
+         # always-fine-tune policy would have tuned {intervals} times)",
+        format_args!("{:.1}%", 100.0 * tunes as f64 / intervals as f64)
+    );
+}

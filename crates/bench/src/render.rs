@@ -1,0 +1,124 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use metrics::Summary;
+
+/// One policy's row in a comparison table: a name plus one [`Summary`]
+/// per metric column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Policy name (e.g. `"CAROL"`, `"FRAS"`).
+    pub name: String,
+    /// Per-metric summaries, aligned with the header supplied to
+    /// [`render_comparison`].
+    pub metrics: Vec<Summary>,
+}
+
+/// Renders rows as an aligned text table. `headers` must match each row's
+/// metric count. When `relative_to` names a row, a second line per metric
+/// shows the value relative to that row (the "relative performance" axis
+/// of Fig. 5).
+///
+/// # Panics
+///
+/// Panics if a row's metric count differs from the header count.
+pub fn render_comparison(headers: &[&str], rows: &[Row], relative_to: Option<&str>) -> String {
+    let reference: Option<Vec<f64>> = relative_to.and_then(|name| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.metrics.iter().map(|m| m.mean()).collect())
+    });
+
+    let name_width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("Policy".len()))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let col_width = 22usize;
+
+    let mut out = String::new();
+    out.push_str(&format!("{:<name_width$}", "Policy"));
+    for h in headers {
+        out.push_str(&format!("{h:>col_width$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(name_width + col_width * headers.len()));
+    out.push('\n');
+
+    for row in rows {
+        assert_eq!(
+            row.metrics.len(),
+            headers.len(),
+            "row {} has {} metrics for {} headers",
+            row.name,
+            row.metrics.len(),
+            headers.len()
+        );
+        out.push_str(&format!("{:<name_width$}", row.name));
+        for (i, m) in row.metrics.iter().enumerate() {
+            let cell = match &reference {
+                Some(r) if r[i].abs() > 1e-12 => {
+                    format!("{} ({:+.0}%)", m.display(3), 100.0 * (m.mean() - r[i]) / r[i])
+                }
+                _ => m.display(3),
+            };
+            out.push_str(&format!("{cell:>col_width$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(name: &str, vals: &[f64]) -> Summary {
+        let mut s = Summary::new(name);
+        for &v in vals {
+            s.add_run(v);
+        }
+        s
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row {
+                name: "CAROL".into(),
+                metrics: vec![summary("e", &[10.0, 12.0]), summary("s", &[0.05])],
+            },
+            Row {
+                name: "FRAS".into(),
+                metrics: vec![summary("e", &[14.0, 14.0]), summary("s", &[0.07])],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_headers_and_rows() {
+        let s = render_comparison(&["Energy", "SLO"], &rows(), None);
+        assert!(s.contains("CAROL"));
+        assert!(s.contains("FRAS"));
+        assert!(s.contains("Energy"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn relative_column_computes_percentages() {
+        let s = render_comparison(&["Energy", "SLO"], &rows(), Some("CAROL"));
+        // FRAS energy = 14 vs CAROL 11 → +27%.
+        assert!(s.contains("(+27%)"), "table was:\n{s}");
+        assert!(s.contains("(+0%)"), "reference row shows zero delta:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics for")]
+    fn mismatched_columns_panic() {
+        let bad = vec![Row {
+            name: "X".into(),
+            metrics: vec![summary("e", &[1.0])],
+        }];
+        render_comparison(&["A", "B"], &bad, None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Convenience constructors for the §V-D ablation study.
+//!
+//! The paper removes one major component at a time (hatched bars in
+//! Fig. 5): the confidence-aware trigger (Always/Never fine-tune), and the
+//! GON itself (replaced by a GAN or a traditional feed-forward surrogate).
+
+use crate::carol::{Carol, CarolConfig, CarolVariant, FineTuneMode};
+
+/// "Always Fine-Tune": the GON is fine-tuned at *every* interval,
+/// demonstrating the overhead the confidence gate avoids.
+pub fn always_fine_tune(base: CarolConfig, seed: u64) -> Carol {
+    Carol::pretrained(
+        CarolConfig {
+            fine_tune: FineTuneMode::Always,
+            variant: CarolVariant::Gon,
+            ..base
+        },
+        seed,
+    )
+}
+
+/// "Never Fine-Tune": the GON is frozen after offline training and cannot
+/// adapt to the non-stationary workload.
+pub fn never_fine_tune(base: CarolConfig, seed: u64) -> Carol {
+    Carol::pretrained(
+        CarolConfig {
+            fine_tune: FineTuneMode::Never,
+            variant: CarolVariant::Gon,
+            ..base
+        },
+        seed,
+    )
+}
+
+/// "With GAN": a traditional generator+discriminator pair replaces the
+/// GON (faster decisions, ~6× memory).
+pub fn with_gan(base: CarolConfig, seed: u64) -> Carol {
+    Carol::pretrained(
+        CarolConfig {
+            variant: CarolVariant::Gan,
+            ..base
+        },
+        seed,
+    )
+}
+
+/// "With Traditional Surrogate": a plain feed-forward QoS regressor
+/// replaces the GON (no confidence ⇒ tunes every interval).
+pub fn with_traditional_surrogate(base: CarolConfig, seed: u64) -> Carol {
+    Carol::pretrained(
+        CarolConfig {
+            variant: CarolVariant::TraditionalSurrogate,
+            ..base
+        },
+        seed,
+    )
+}
+
+/// All four ablated models in the order the paper lists them.
+pub fn all(base: &CarolConfig, seed: u64) -> Vec<Carol> {
+    vec![
+        always_fine_tune(base.clone(), seed),
+        never_fine_tune(base.clone(), seed),
+        with_gan(base.clone(), seed),
+        with_traditional_surrogate(base.clone(), seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ResiliencePolicy;
+
+    #[test]
+    fn all_returns_four_distinct_ablations() {
+        let models = all(&CarolConfig::fast_test(), 7);
+        assert_eq!(models.len(), 4);
+        let names: std::collections::BTreeSet<String> =
+            models.iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(!names.contains("CAROL"), "ablations must differ from CAROL");
+    }
+}

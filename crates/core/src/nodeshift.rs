@@ -1,0 +1,341 @@
+//! Node-shift operations (§III-B, Fig. 1).
+//!
+//! When a broker fails its workers are *orphaned*. Three worker→broker
+//! shift types resolve the failure:
+//!
+//! * **Type 1** — promote *two* orphans to the broker layer and split the
+//!   remaining orphans evenly between them (broker count **+1**);
+//! * **Type 2** — hand all orphans to an existing broker (broker count
+//!   **−1**);
+//! * **Type 3** — promote *one* orphan to manage the others (broker count
+//!   unchanged).
+//!
+//! The failed broker itself is demoted to a worker in every candidate (it
+//! is rebooting and rejoins as a worker, §IV-I). [`neighborhood`]
+//! enumerates all candidates `N(G, b)`; [`mutations`] yields the generic
+//! single-step moves tabu search uses beyond the first repair.
+
+use edgesim::{HostId, NodeRole, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Structural bounds on the broker layer: a federation keeps at least two
+/// interconnected brokers (one per LEI; a single broker makes every broker
+/// failure a total outage) and at most half the hosts (more brokers than
+/// workers starves the worker layer). Degenerate inputs (fewer than four
+/// hosts, or already outside the band) fall back to permissive bounds so
+/// repairs always remain possible.
+pub fn broker_bounds(topo: &Topology) -> (usize, usize) {
+    let n = topo.len();
+    let current = topo.brokers().len();
+    if n < 4 {
+        return (1, n.max(1));
+    }
+    let lo = 2.min(current.max(1));
+    let hi = (n / 2).max(current.min(n));
+    (lo, hi)
+}
+
+/// Enumerates the repair neighbourhood `N(G, b)` of a failed broker `b`
+/// (Algorithm 2 line 7). Hosts in `banned` (e.g. simultaneously failed
+/// nodes) are never promoted and never receive orphans as brokers.
+///
+/// Every returned topology is valid and demotes `b` to a worker. Returns
+/// an empty vector only if the failure cannot be repaired (no live hosts).
+pub fn neighborhood(topo: &Topology, b: HostId, banned: &[HostId]) -> Vec<Topology> {
+    let mut out = Vec::new();
+    if !matches!(topo.role(b), NodeRole::Broker) {
+        return out;
+    }
+    let is_banned = |h: HostId| h == b || banned.contains(&h);
+    let orphans: Vec<HostId> = topo
+        .workers_of(b)
+        .into_iter()
+        .filter(|&w| !is_banned(w))
+        .collect();
+    let other_brokers: Vec<HostId> = topo
+        .brokers()
+        .into_iter()
+        .filter(|&x| !is_banned(x))
+        .collect();
+
+    // --- Type 2: merge the LEI into each surviving broker.
+    for &target in &other_brokers {
+        let mut t = topo.clone();
+        for &w in &orphans {
+            t.reassign(w, target).expect("orphan reassignment is valid");
+        }
+        // Any workers of b that were banned still need a broker.
+        for w in t.workers_of(b) {
+            t.reassign(w, target).expect("banned-worker reassignment");
+        }
+        if t.demote(b, target).is_ok() {
+            out.push(t);
+        }
+    }
+
+    // --- Type 3: promote one orphan to replace b.
+    for &leader in &orphans {
+        let mut t = topo.clone();
+        t.promote(leader).expect("orphan promotion is valid");
+        for &w in &orphans {
+            if w != leader {
+                t.reassign(w, leader).expect("sibling reassignment");
+            }
+        }
+        for w in t.workers_of(b) {
+            t.reassign(w, leader).expect("leftover reassignment");
+        }
+        if t.demote(b, leader).is_ok() {
+            out.push(t);
+        }
+    }
+
+    // --- Type 1: promote a pair of orphans and split the rest evenly.
+    for i in 0..orphans.len() {
+        for j in (i + 1)..orphans.len() {
+            let (a, c) = (orphans[i], orphans[j]);
+            let mut t = topo.clone();
+            t.promote(a).expect("pair promotion a");
+            t.promote(c).expect("pair promotion c");
+            let rest: Vec<HostId> = orphans
+                .iter()
+                .copied()
+                .filter(|&w| w != a && w != c)
+                .collect();
+            for (k, &w) in rest.iter().enumerate() {
+                let target = if k % 2 == 0 { a } else { c };
+                t.reassign(w, target).expect("even split reassignment");
+            }
+            for w in t.workers_of(b) {
+                t.reassign(w, a).expect("leftover to first new broker");
+            }
+            if t.demote(b, a).is_ok() {
+                out.push(t);
+            }
+        }
+    }
+
+    // Keep the broker layer inside the structural band when possible;
+    // fall back to the unfiltered set so a failure is always repairable.
+    let (lo, hi) = broker_bounds(topo);
+    let bounded: Vec<Topology> = out
+        .iter()
+        .filter(|t| (lo..=hi).contains(&t.brokers().len()))
+        .cloned()
+        .collect();
+    if bounded.is_empty() {
+        out
+    } else {
+        bounded
+    }
+}
+
+/// Picks one random node-shift from the repair neighbourhood (Algorithm 2
+/// line 7's "random node-shift" before tabu search). Falls back to the
+/// input topology if no repair exists.
+pub fn random_shift(topo: &Topology, b: HostId, banned: &[HostId], rng: &mut StdRng) -> Topology {
+    let nbrs = neighborhood(topo, b, banned);
+    if nbrs.is_empty() {
+        topo.clone()
+    } else {
+        nbrs[rng.gen_range(0..nbrs.len())].clone()
+    }
+}
+
+/// Generic single node-shift moves from `topo` for tabu exploration:
+/// promote any non-banned worker, demote any broker (its workers migrate
+/// to the busiest-mesh peer choice is delegated — each peer generates one
+/// candidate), and reassign any worker across LEIs. The initial broker
+/// repair guarantees `banned` hosts are workers; these moves keep them so.
+pub fn mutations(topo: &Topology, banned: &[HostId]) -> Vec<Topology> {
+    let mut out = Vec::new();
+    let is_banned = |h: HostId| banned.contains(&h);
+    let brokers = topo.brokers();
+    let workers = topo.workers();
+    let (lo, hi) = broker_bounds(topo);
+
+    // Promotions (bounded above: don't starve the worker layer).
+    if brokers.len() < hi {
+        for &w in &workers {
+            if is_banned(w) {
+                continue;
+            }
+            let mut t = topo.clone();
+            if t.promote(w).is_ok() {
+                out.push(t);
+            }
+        }
+    }
+
+    // Demotions (each surviving peer as the receiving broker; bounded
+    // below: never collapse the federation to a single point of failure).
+    if brokers.len() > lo {
+        for &bkr in &brokers {
+            for &target in &brokers {
+                if bkr == target || is_banned(target) {
+                    continue;
+                }
+                let mut t = topo.clone();
+                for w in t.workers_of(bkr) {
+                    if t.reassign(w, target).is_err() {
+                        continue;
+                    }
+                }
+                if t.demote(bkr, target).is_ok() {
+                    out.push(t);
+                }
+            }
+        }
+    }
+
+    // Cross-LEI reassignments.
+    for &w in &workers {
+        for &bkr in &brokers {
+            if topo.broker_of(w) == bkr || is_banned(bkr) {
+                continue;
+            }
+            let mut t = topo.clone();
+            if t.reassign(w, bkr).is_ok() {
+                out.push(t);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn neighborhood_covers_all_three_types() {
+        // 12 hosts, 3 brokers; broker 0 has workers {3, 6, 9}.
+        let topo = Topology::balanced(12, 3).unwrap();
+        let nbrs = neighborhood(&topo, 0, &[]);
+        assert!(!nbrs.is_empty());
+        let counts: Vec<usize> = nbrs.iter().map(|t| t.brokers().len()).collect();
+        // Type 2 lowers the count to 2, type 3 keeps 3, type 1 raises to 4.
+        assert!(counts.contains(&2), "type 2 missing: {counts:?}");
+        assert!(counts.contains(&3), "type 3 missing: {counts:?}");
+        assert!(counts.contains(&4), "type 1 missing: {counts:?}");
+    }
+
+    #[test]
+    fn neighborhood_respects_broker_floor() {
+        // 8 hosts, 2 brokers: merging to a single broker would make every
+        // failure a total outage, so type 2 must be filtered out while
+        // types 1/3 exist.
+        let topo = Topology::balanced(8, 2).unwrap();
+        let nbrs = neighborhood(&topo, 0, &[]);
+        assert!(!nbrs.is_empty());
+        assert!(
+            nbrs.iter().all(|t| t.brokers().len() >= 2),
+            "single-broker candidates must be filtered"
+        );
+    }
+
+    #[test]
+    fn broker_bounds_band() {
+        let t = Topology::balanced(16, 4).unwrap();
+        assert_eq!(broker_bounds(&t), (2, 8));
+        let small = Topology::balanced(2, 1).unwrap();
+        assert_eq!(broker_bounds(&small), (1, 2));
+    }
+
+    #[test]
+    fn all_neighbors_are_valid_and_demote_the_failed_broker() {
+        let topo = Topology::balanced(16, 4).unwrap();
+        for t in neighborhood(&topo, 2, &[]) {
+            t.validate().unwrap();
+            assert!(
+                matches!(t.role(2), NodeRole::Worker { .. }),
+                "failed broker must become a worker"
+            );
+        }
+    }
+
+    #[test]
+    fn banned_hosts_are_never_promoted() {
+        let topo = Topology::balanced(8, 2).unwrap();
+        let banned = [2usize, 4];
+        for t in neighborhood(&topo, 0, &banned) {
+            for &h in &banned {
+                assert!(
+                    matches!(t.role(h), NodeRole::Worker { .. }),
+                    "banned host {h} became a broker"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_of_worker_is_empty() {
+        let topo = Topology::balanced(8, 2).unwrap();
+        let w = topo.workers()[0];
+        assert!(neighborhood(&topo, w, &[]).is_empty());
+    }
+
+    #[test]
+    fn lone_broker_failure_promotes_an_orphan() {
+        let topo = Topology::balanced(4, 1).unwrap();
+        let nbrs = neighborhood(&topo, 0, &[]);
+        assert!(!nbrs.is_empty(), "type 3/1 must still repair a lone broker");
+        for t in &nbrs {
+            t.validate().unwrap();
+            assert!(matches!(t.role(0), NodeRole::Worker { .. }));
+        }
+    }
+
+    #[test]
+    fn random_shift_returns_valid_topology() {
+        let topo = Topology::balanced(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let t = random_shift(&topo, 0, &[], &mut rng);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_shift_falls_back_when_unrepairable() {
+        // Two hosts, one broker with one worker, and the worker is banned:
+        // type 3/1 impossible, type 2 impossible (no other broker).
+        let topo = Topology::balanced(2, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = random_shift(&topo, 0, &[1], &mut rng);
+        assert_eq!(t, topo);
+    }
+
+    #[test]
+    fn mutations_are_valid_and_plentiful() {
+        let topo = Topology::balanced(16, 4).unwrap();
+        let muts = mutations(&topo, &[]);
+        assert!(muts.len() > 16, "expected a rich move set, got {}", muts.len());
+        for t in &muts {
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mutations_respect_bans() {
+        let topo = Topology::balanced(8, 2).unwrap();
+        let banned = [3usize];
+        for t in mutations(&topo, &banned) {
+            assert!(
+                matches!(t.role(3), NodeRole::Worker { .. }),
+                "banned host promoted by a mutation"
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_change_the_signature() {
+        let topo = Topology::balanced(8, 2).unwrap();
+        for t in mutations(&topo, &[]) {
+            assert_ne!(t.signature(), topo.signature());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The experimental loop of §V: drives any [`ResiliencePolicy`] over the
+//! simulated testbed with AIoTBench workloads and broker fault injection,
+//! measuring exactly the six quantities of Fig. 5 — energy, response time,
+//! SLO violation rate, decision time, memory consumption and fine-tuning
+//! overhead.
+
+use crate::policy::ResiliencePolicy;
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::state::{Normalizer, SystemState};
+use edgesim::{SimConfig, Simulator};
+use faults::{FaultInjector, TargetPolicy};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use workloads::{BagOfTasks, BenchmarkSuite};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Simulator / testbed description.
+    pub sim: SimConfig,
+    /// Number of scheduling intervals (paper: 100 at test time).
+    pub intervals: usize,
+    /// Workload suite (paper: AIoTBench at test time).
+    pub suite: BenchmarkSuite,
+    /// Poisson arrival rate per interval (paper: 1.2).
+    pub arrival_rate: f64,
+    /// Poisson fault rate per interval (paper: 0.5).
+    pub fault_rate: f64,
+    /// Who gets attacked.
+    pub fault_target: TargetPolicy,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The §V configuration: 16-node testbed, 100 intervals, AIoTBench at
+    /// λ scaled to 1.8 per LEI (7.2 federation-wide; the paper's testbed
+    /// keeps its containers continuously busy — see DESIGN.md's workload
+    /// calibration note), broker faults at λ_f = 0.5.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            sim: SimConfig::testbed(seed),
+            intervals: 100,
+            suite: BenchmarkSuite::AIoTBench,
+            arrival_rate: 7.2,
+            fault_rate: 0.5,
+            fault_target: TargetPolicy::BrokersOnly,
+            seed,
+        }
+    }
+
+    /// A miniature configuration for fast tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            sim: SimConfig::small(8, 2, seed),
+            intervals: 20,
+            suite: BenchmarkSuite::AIoTBench,
+            arrival_rate: 2.4,
+            fault_rate: 0.5,
+            fault_target: TargetPolicy::BrokersOnly,
+            seed,
+        }
+    }
+}
+
+/// Testbed-equivalent seconds of failure-handling infrastructure charged
+/// per repair event regardless of policy: unresponsiveness confirmation
+/// across the broker mesh, the shared PostgreSQL failure record, VRRP
+/// virtual-IP reassignment and topology sync (§IV-G/H/I). Identical for
+/// every method, so it shifts but never reorders Fig. 5(d).
+pub const INFRA_REPAIR_S: f64 = 1.9;
+
+/// Everything one experiment run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Policy name.
+    pub name: String,
+    /// Total federation energy over the run, watt-hours.
+    pub total_energy_wh: f64,
+    /// Mean response time of completed tasks, seconds.
+    pub mean_response_s: f64,
+    /// Fraction of completed tasks that missed their deadline.
+    pub slo_violation_rate: f64,
+    /// Completed-task count.
+    pub completed: usize,
+    /// Mean testbed-equivalent seconds per *repair decision* (failure
+    /// intervals only) — Fig. 5(d)'s decision time. Includes the shared
+    /// [`INFRA_REPAIR_S`] constant plus the policy's modeled algorithm
+    /// cost (see `ResiliencePolicy::modeled_decision_s`).
+    pub mean_decision_time_s: f64,
+    /// Repair decisions taken.
+    pub decision_events: usize,
+    /// Total testbed-equivalent seconds spent fine-tuning — Fig. 5(f)'s
+    /// overhead.
+    pub fine_tune_overhead_s: f64,
+    /// Fine-tune events.
+    pub fine_tune_events: usize,
+    /// Raw measured wall-clock of all repair calls on this machine, s.
+    pub measured_decision_wall_s: f64,
+    /// Raw measured wall-clock of all fine-tune observations, s.
+    pub measured_overhead_wall_s: f64,
+    /// Policy model memory as % of federation RAM — Fig. 5(e).
+    pub memory_pct: f64,
+    /// Broker failures observed over the run.
+    pub broker_failures: usize,
+    /// Forced task restarts.
+    pub restarts: usize,
+    /// Response times of every completed task (for percentile analysis).
+    pub response_times_s: Vec<f64>,
+}
+
+/// Runs `policy` under `config` and collects the §V metrics.
+pub fn run_experiment(
+    policy: &mut dyn ResiliencePolicy,
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    let mut sim = Simulator::new(config.sim.clone());
+    let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, config.seed ^ 0x5754);
+    let mut injector = FaultInjector::new(
+        config.fault_rate,
+        config.fault_target,
+        config.seed ^ 0x4654,
+    );
+    let mut scheduler = LeastLoadScheduler::new();
+    let norm = Normalizer::default();
+
+    // Initial snapshot before anything runs.
+    let mut snapshot = SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &edgesim::SchedulingDecision::new(),
+        &norm,
+    );
+
+    let mut decision_time_s = 0.0;
+    let mut decision_events = 0usize;
+    let mut fine_tune_overhead_s = 0.0;
+    let mut fine_tune_events = 0usize;
+    let mut broker_failures = 0usize;
+    let mut measured_decision_wall_s = 0.0;
+    let mut measured_overhead_wall_s = 0.0;
+
+    for t in 0..config.intervals {
+        // --- Repair phase (Algorithm 2 lines 4–8).
+        let had_failure = !sim.failed_brokers().is_empty();
+        let modeled_before = policy.modeled_decision_s();
+        let start = Instant::now();
+        let repaired = policy.repair(&sim, &snapshot);
+        measured_decision_wall_s += start.elapsed().as_secs_f64();
+        if had_failure {
+            decision_time_s += INFRA_REPAIR_S + policy.modeled_decision_s() - modeled_before;
+            decision_events += 1;
+        }
+        if let Some(topo) = repaired {
+            sim.set_topology(topo);
+        }
+
+        // --- Fault injection + the interval itself.
+        injector.inject(t, &mut sim);
+        let arrivals = workload.sample_interval(t);
+        let report = sim.step(arrivals, &mut scheduler);
+        broker_failures += report.failed_brokers.len();
+
+        snapshot = SystemState::capture(
+            sim.topology(),
+            sim.specs(),
+            sim.host_states(),
+            sim.tasks(),
+            &report.decision,
+            &norm,
+        );
+
+        // --- Observation phase (lines 10–16).
+        let modeled_before = policy.modeled_overhead_s();
+        let start = Instant::now();
+        let outcome = policy.observe(&sim, &snapshot, &report);
+        if outcome.fine_tuned {
+            measured_overhead_wall_s += start.elapsed().as_secs_f64();
+            fine_tune_overhead_s += policy.modeled_overhead_s() - modeled_before;
+            fine_tune_events += 1;
+        }
+    }
+
+    let total_ram_gb: f64 = sim.specs().iter().map(|s| s.ram_mb / 1024.0).sum();
+    let memory_pct =
+        100.0 * policy.memory_gb() * config.sim.n_brokers as f64 / total_ram_gb.max(1e-9);
+
+    ExperimentResult {
+        name: policy.name().to_string(),
+        total_energy_wh: sim.total_energy_wh(),
+        mean_response_s: sim.mean_response_time(),
+        slo_violation_rate: sim.violation_rate(),
+        completed: sim.completed_count(),
+        mean_decision_time_s: if decision_events > 0 {
+            decision_time_s / decision_events as f64
+        } else {
+            0.0
+        },
+        decision_events,
+        fine_tune_overhead_s,
+        fine_tune_events,
+        memory_pct,
+        broker_failures,
+        restarts: sim.total_restarts(),
+        response_times_s: sim.response_times().to_vec(),
+        measured_decision_wall_s,
+        measured_overhead_wall_s,
+    }
+}
+
+/// Runs `make_policy(seed)` across `seeds` and returns all results — the
+/// paper averages each metric over five seeded runs.
+pub fn run_seeds<P: ResiliencePolicy>(
+    mut make_policy: impl FnMut(u64) -> P,
+    base: &ExperimentConfig,
+    seeds: &[u64],
+) -> Vec<ExperimentResult> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut policy = make_policy(seed);
+            let config = ExperimentConfig {
+                sim: SimConfig {
+                    seed,
+                    ..base.sim.clone()
+                },
+                seed,
+                ..base.clone()
+            };
+            run_experiment(&mut policy, &config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carol::{Carol, CarolConfig};
+
+    #[test]
+    fn experiment_produces_complete_metrics() {
+        let mut policy = Carol::pretrained(CarolConfig::fast_test(), 1);
+        let config = ExperimentConfig::small(1);
+        let r = run_experiment(&mut policy, &config);
+        assert_eq!(r.name, "CAROL");
+        assert!(r.total_energy_wh > 0.0, "energy must accumulate");
+        assert!(r.completed > 0, "some AIoT tasks must complete");
+        assert!(r.mean_response_s > 0.0);
+        assert!((0.0..=1.0).contains(&r.slo_violation_rate));
+        assert!(r.memory_pct > 0.0);
+        assert_eq!(r.response_times_s.len(), r.completed);
+    }
+
+    #[test]
+    fn failures_trigger_decisions() {
+        let mut policy = Carol::pretrained(CarolConfig::fast_test(), 2);
+        let config = ExperimentConfig {
+            fault_rate: 2.0, // hammer the brokers
+            intervals: 15,
+            ..ExperimentConfig::small(2)
+        };
+        let r = run_experiment(&mut policy, &config);
+        assert!(r.broker_failures > 0, "fault storm must fell brokers");
+        assert!(r.decision_events > 0, "failures must trigger repairs");
+        assert!(r.mean_decision_time_s > 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible_in_qos() {
+        let config = ExperimentConfig::small(5);
+        let run = || {
+            let mut policy = Carol::pretrained(CarolConfig::fast_test(), 5);
+            run_experiment(&mut policy, &config)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_energy_wh, b.total_energy_wh);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.slo_violation_rate, b.slo_violation_rate);
+    }
+
+    #[test]
+    fn run_seeds_covers_all_seeds() {
+        let config = ExperimentConfig {
+            intervals: 6,
+            ..ExperimentConfig::small(0)
+        };
+        let results = run_seeds(
+            |seed| Carol::pretrained(CarolConfig::fast_test(), seed),
+            &config,
+            &[1, 2, 3],
+        );
+        assert_eq!(results.len(), 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic tabu search over the topology space (§III-B).
+//!
+//! The paper selects tabu search "due to its deterministic nature and
+//! empirically faster convergence" [49]. The search walks the generic
+//! node-shift move set ([`crate::nodeshift::mutations`]), always moving to
+//! the best non-tabu neighbour, while a FIFO tabu list of topology
+//! signatures (size `L = 100` in the paper, Fig. 6c) prevents cycling.
+
+use crate::nodeshift::mutations;
+use edgesim::{HostId, Topology};
+use std::collections::VecDeque;
+
+/// Tabu-search configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabuConfig {
+    /// FIFO tabu-list capacity (paper default: 100).
+    pub list_size: usize,
+    /// Maximum search iterations (each evaluates a full neighbourhood).
+    pub max_iters: usize,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        Self {
+            list_size: 100,
+            max_iters: 8,
+        }
+    }
+}
+
+/// Outcome of a tabu search.
+#[derive(Debug, Clone)]
+pub struct TabuResult {
+    /// Best topology found.
+    pub best: Topology,
+    /// Objective value of `best` (lower is better).
+    pub best_score: f64,
+    /// Candidate topologies evaluated (surrogate queries issued).
+    pub evaluations: usize,
+}
+
+/// Minimises `objective` over topologies reachable from `start` by
+/// node-shift moves, never promoting hosts in `banned`.
+///
+/// `objective` is `Ω(G; D, S, O)` in the paper: the surrogate-predicted
+/// QoS of candidate `G`. The search is deterministic: ties break toward
+/// the earlier-enumerated neighbour.
+pub fn search(
+    start: Topology,
+    banned: &[HostId],
+    config: &TabuConfig,
+    mut objective: impl FnMut(&Topology) -> f64,
+) -> TabuResult {
+    let mut evaluations = 0usize;
+    let mut score = |t: &Topology, n: &mut usize| {
+        *n += 1;
+        objective(t)
+    };
+
+    let mut best = start.clone();
+    let mut best_score = score(&best, &mut evaluations);
+    let mut current = start;
+    #[allow(unused_assignments)]
+    let mut current_score = best_score;
+
+    let mut tabu: VecDeque<Vec<usize>> = VecDeque::with_capacity(config.list_size + 1);
+    tabu.push_back(current.signature());
+
+    for _ in 0..config.max_iters {
+        let neighbors = mutations(&current, banned);
+        let mut chosen: Option<(Topology, f64)> = None;
+        for cand in neighbors {
+            let sig = cand.signature();
+            let is_tabu = tabu.contains(&sig);
+            let s = score(&cand, &mut evaluations);
+            // Aspiration criterion: a tabu move is allowed if it beats the
+            // global best.
+            if is_tabu && s >= best_score {
+                continue;
+            }
+            match &chosen {
+                Some((_, cs)) if s >= *cs => {}
+                _ => chosen = Some((cand, s)),
+            }
+        }
+        let Some((next, next_score)) = chosen else {
+            break; // whole neighbourhood tabu and non-aspiring
+        };
+        current = next;
+        current_score = next_score;
+        if tabu.len() >= config.list_size {
+            tabu.pop_front();
+        }
+        tabu.push_back(current.signature());
+        if current_score < best_score {
+            best = current.clone();
+            best_score = current_score;
+        }
+    }
+
+    TabuResult {
+        best,
+        best_score,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy objective: prefer exactly `target` brokers, tie-break on worker
+    /// balance across LEIs.
+    fn broker_count_objective(target: usize) -> impl FnMut(&Topology) -> f64 {
+        move |t: &Topology| {
+            let brokers = t.brokers();
+            let count_term = (brokers.len() as f64 - target as f64).abs();
+            let sizes: Vec<f64> = brokers
+                .iter()
+                .map(|&b| t.workers_of(b).len() as f64)
+                .collect();
+            let mean = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
+            let imbalance: f64 = sizes.iter().map(|s| (s - mean).abs()).sum();
+            count_term * 10.0 + imbalance
+        }
+    }
+
+    #[test]
+    fn finds_the_target_broker_count() {
+        let start = Topology::balanced(12, 1).unwrap();
+        let result = search(
+            start,
+            &[],
+            &TabuConfig {
+                list_size: 50,
+                max_iters: 10,
+            },
+            broker_count_objective(3),
+        );
+        assert_eq!(result.best.brokers().len(), 3, "best={:?}", result.best);
+        result.best.validate().unwrap();
+        assert!(result.evaluations > 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let start = Topology::balanced(10, 2).unwrap();
+        let run = || {
+            search(
+                start.clone(),
+                &[],
+                &TabuConfig::default(),
+                broker_count_objective(4),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn never_promotes_banned_hosts() {
+        let start = Topology::balanced(10, 2).unwrap();
+        let banned = [4usize, 6];
+        let result = search(
+            start,
+            &banned,
+            &TabuConfig::default(),
+            broker_count_objective(5),
+        );
+        for &h in &banned {
+            assert!(
+                matches!(result.best.role(h), edgesim::NodeRole::Worker { .. }),
+                "banned host {h} ended up a broker"
+            );
+        }
+    }
+
+    #[test]
+    fn best_is_no_worse_than_start() {
+        let start = Topology::balanced(9, 3).unwrap();
+        let mut obj = broker_count_objective(2);
+        let start_score = obj(&start);
+        let result = search(start, &[], &TabuConfig::default(), obj);
+        assert!(result.best_score <= start_score);
+    }
+
+    #[test]
+    fn tiny_tabu_list_still_terminates() {
+        let start = Topology::balanced(8, 2).unwrap();
+        let result = search(
+            start,
+            &[],
+            &TabuConfig {
+                list_size: 1,
+                max_iters: 20,
+            },
+            broker_count_objective(3),
+        );
+        result.best.validate().unwrap();
+    }
+
+    #[test]
+    fn larger_lists_explore_at_least_as_well() {
+        // Fig. 6(c): bigger tabu lists trade scheduling time for QoS.
+        let start = Topology::balanced(12, 2).unwrap();
+        let small = search(
+            start.clone(),
+            &[],
+            &TabuConfig {
+                list_size: 2,
+                max_iters: 12,
+            },
+            broker_count_objective(5),
+        );
+        let large = search(
+            start,
+            &[],
+            &TabuConfig {
+                list_size: 200,
+                max_iters: 12,
+            },
+            broker_count_objective(5),
+        );
+        assert!(large.best_score <= small.best_score + 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! WAN/LAN latency and gateway-mobility model.
+//!
+//! The testbed emulates geographically distant LEIs with NetLimiter-shaped
+//! inter-broker latencies (§IV-C, [51]) and a gateway mobility model [52]
+//! that shifts where user tasks enter the federation over time. The
+//! mobility drift is what makes the workload distribution non-stationary —
+//! exactly the condition CAROL's confidence score is designed to detect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Latency and load-placement model of the federation's network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Number of LEIs (equal to the starting broker count).
+    n_leis: usize,
+    /// Symmetric inter-LEI WAN latencies in seconds.
+    wan_latency_s: Vec<Vec<f64>>,
+    /// Intra-LEI LAN latency in seconds.
+    lan_latency_s: f64,
+    /// Per-LEI gateway load weights; sum to 1. Drift over intervals.
+    gateway_weights: Vec<f64>,
+    /// Mobility drift magnitude per interval.
+    drift: f64,
+    seed: u64,
+}
+
+impl NetworkModel {
+    /// Urban-edge defaults: 1–8 ms LAN, 20–80 ms WAN pairs (model of [51]),
+    /// uniform initial gateway weights, mobility drift `0.05`/interval.
+    pub fn new(n_leis: usize, seed: u64) -> Self {
+        assert!(n_leis > 0, "need at least one LEI");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wan = vec![vec![0.0; n_leis]; n_leis];
+        for i in 0..n_leis {
+            for j in (i + 1)..n_leis {
+                let l = rng.gen_range(0.020..0.080);
+                wan[i][j] = l;
+                wan[j][i] = l;
+            }
+        }
+        Self {
+            n_leis,
+            wan_latency_s: wan,
+            lan_latency_s: 0.004,
+            gateway_weights: vec![1.0 / n_leis as f64; n_leis],
+            drift: 0.09,
+            seed,
+        }
+    }
+
+    /// Number of LEIs modelled.
+    pub fn n_leis(&self) -> usize {
+        self.n_leis
+    }
+
+    /// One-way latency between two LEIs (LAN latency when equal).
+    pub fn latency_s(&self, lei_a: usize, lei_b: usize) -> f64 {
+        assert!(lei_a < self.n_leis && lei_b < self.n_leis, "LEI out of range");
+        if lei_a == lei_b {
+            self.lan_latency_s
+        } else {
+            self.wan_latency_s[lei_a][lei_b]
+        }
+    }
+
+    /// Transfer time in seconds for `mb` megabytes at `bw_mbps` MB/s plus
+    /// propagation latency.
+    pub fn transfer_s(&self, lei_a: usize, lei_b: usize, mb: f64, bw_mbps: f64) -> f64 {
+        assert!(bw_mbps > 0.0, "bandwidth must be positive");
+        self.latency_s(lei_a, lei_b) + mb / bw_mbps
+    }
+
+    /// Current gateway load weights over LEIs (sums to 1).
+    pub fn gateway_weights(&self) -> &[f64] {
+        &self.gateway_weights
+    }
+
+    /// Advances the gateway mobility model by one interval: weights take a
+    /// bounded random walk and renormalise, following the massive-scale
+    /// emulation model of [52]. `interval` seeds the step so replays are
+    /// deterministic.
+    pub fn step_mobility(&mut self, interval: usize) {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (interval as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        for w in &mut self.gateway_weights {
+            let delta = rng.gen_range(-self.drift..self.drift);
+            *w = (*w + delta).max(0.02);
+        }
+        let total: f64 = self.gateway_weights.iter().sum();
+        for w in &mut self.gateway_weights {
+            *w /= total;
+        }
+    }
+
+    /// Samples the LEI a new task enters through, proportionally to the
+    /// current gateway weights ("gateway devices send tasks to the closest
+    /// broker", with closeness evolving under mobility).
+    pub fn sample_entry_lei(&self, rng: &mut StdRng) -> usize {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, w) in self.gateway_weights.iter().enumerate() {
+            acc += w;
+            if x < acc {
+                return i;
+            }
+        }
+        self.n_leis - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_symmetric_and_banded() {
+        let net = NetworkModel::new(4, 42);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(net.latency_s(i, j), net.latency_s(j, i));
+                if i != j {
+                    let l = net.latency_s(i, j);
+                    assert!((0.020..0.080).contains(&l));
+                }
+            }
+        }
+        assert_eq!(net.latency_s(1, 1), 0.004);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let net = NetworkModel::new(2, 0);
+        let t = net.transfer_s(0, 0, 125.0, 125.0);
+        assert!((t - (0.004 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mobility_keeps_weights_a_distribution() {
+        let mut net = NetworkModel::new(4, 7);
+        for interval in 0..200 {
+            net.step_mobility(interval);
+            let sum: f64 = net.gateway_weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(net.gateway_weights().iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn mobility_actually_drifts() {
+        let mut net = NetworkModel::new(4, 9);
+        let before = net.gateway_weights().to_vec();
+        for interval in 0..50 {
+            net.step_mobility(interval);
+        }
+        let after = net.gateway_weights();
+        let moved: f64 = before
+            .iter()
+            .zip(after)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(moved > 0.05, "weights barely moved: {moved}");
+    }
+
+    #[test]
+    fn mobility_is_deterministic() {
+        let mut a = NetworkModel::new(3, 5);
+        let mut b = NetworkModel::new(3, 5);
+        for i in 0..20 {
+            a.step_mobility(i);
+            b.step_mobility(i);
+        }
+        assert_eq!(a.gateway_weights(), b.gateway_weights());
+    }
+
+    #[test]
+    fn entry_sampling_follows_weights() {
+        let mut net = NetworkModel::new(2, 1);
+        net.gateway_weights = vec![0.9, 0.1];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 2];
+        for _ in 0..5000 {
+            counts[net.sample_entry_lei(&mut rng)] += 1;
+        }
+        assert!(counts[0] > 4200 && counts[0] < 4800, "counts={counts:?}");
+    }
+}

@@ -1,0 +1,966 @@
+//! Interval-driven simulation engine.
+//!
+//! One [`Simulator::step`] models one five-minute scheduling interval
+//! (§III-A): task arrival via the gateway model, placement by the
+//! underlying scheduler, processor-shared execution with contention,
+//! failure effects, and energy/QoS accounting. Resilience policies interact
+//! with the engine exactly where Algorithm 2 does: they read
+//! [`Simulator::failed_brokers`] after a step and install a repaired
+//! topology with [`Simulator::set_topology`] before the next one.
+
+use crate::host::{HostId, HostSpec, HostState};
+use crate::network::NetworkModel;
+use crate::scheduler::{Scheduler, SchedulingDecision};
+use crate::task::{Task, TaskId, TaskSpec, TaskStatus};
+use crate::topology::{NodeRole, Topology};
+use crate::INTERVAL_SECONDS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of idle power drawn by a task-less worker in standby mode.
+pub const STANDBY_POWER_FRACTION: f64 = 0.45;
+
+/// Extra resource pressure applied to one host for one interval by the
+/// fault-injection module (CPU hog, memory thrasher, IOZone, DDoS — §IV-F).
+/// Values are utilisation fractions added on top of organic load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultLoad {
+    /// Added CPU utilisation.
+    pub cpu: f64,
+    /// Added RAM utilisation.
+    pub ram: f64,
+    /// Added disk-bandwidth utilisation.
+    pub disk: f64,
+    /// Added network-bandwidth utilisation.
+    pub net: f64,
+}
+
+impl FaultLoad {
+    /// Componentwise sum.
+    pub fn merge(&mut self, other: FaultLoad) {
+        self.cpu += other.cpu;
+        self.ram += other.ram;
+        self.disk += other.disk;
+        self.net += other.net;
+    }
+}
+
+/// Static configuration of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Host inventory.
+    pub specs: Vec<HostSpec>,
+    /// Initial broker count (= number of LEIs).
+    pub n_brokers: usize,
+    /// RNG seed for everything inside the engine.
+    pub seed: u64,
+    /// Fraction of a broker's CPU consumed by the management stack itself.
+    pub broker_base_overhead: f64,
+    /// Additional broker CPU per managed worker (synchronisation, audits).
+    pub broker_per_worker_overhead: f64,
+    /// Seconds of unavailability charged to a node whose role changed
+    /// (management-container start-up + state sync, §IV-H).
+    pub node_shift_cost_s: f64,
+    /// RAM (MB) consumed by the broker management software.
+    pub broker_mgmt_ram_mb: f64,
+    /// Workers one broker can manage at full efficiency. Beyond this span
+    /// the LEI's workers run degraded — the "low broker count can cause
+    /// bottlenecks and contentions" effect of §I.
+    pub broker_span: usize,
+}
+
+impl SimConfig {
+    /// The §IV-C testbed: 16 Pi boards, 4 LEIs.
+    pub fn testbed(seed: u64) -> Self {
+        Self {
+            specs: HostSpec::testbed16(),
+            n_brokers: 4,
+            seed,
+            broker_base_overhead: 0.08,
+            broker_per_worker_overhead: 0.015,
+            node_shift_cost_s: 20.0,
+            broker_mgmt_ram_mb: 512.0,
+            broker_span: 5,
+        }
+    }
+
+    /// A smaller federation, handy for fast tests.
+    pub fn small(n_hosts: usize, n_brokers: usize, seed: u64) -> Self {
+        let specs = (0..n_hosts)
+            .map(|i| {
+                if i % 2 == 0 {
+                    HostSpec::rpi8gb(i)
+                } else {
+                    HostSpec::rpi4gb(i)
+                }
+            })
+            .collect();
+        Self {
+            specs,
+            n_brokers,
+            seed,
+            broker_base_overhead: 0.08,
+            broker_per_worker_overhead: 0.015,
+            node_shift_cost_s: 20.0,
+            broker_mgmt_ram_mb: 512.0,
+            broker_span: 5,
+        }
+    }
+}
+
+/// Everything that happened in one interval, for policies and harnesses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalReport {
+    /// Interval index (0-based).
+    pub interval: usize,
+    /// Energy consumed across the federation this interval, watt-hours.
+    pub energy_wh: f64,
+    /// Tasks that completed this interval: `(id, response_s, violated)`.
+    pub completed: Vec<(TaskId, f64, bool)>,
+    /// Number of tasks that arrived this interval.
+    pub arrivals: usize,
+    /// Hosts that were failed (unresponsive) during this interval.
+    pub failed_hosts: Vec<HostId>,
+    /// Brokers among the failed hosts.
+    pub failed_brokers: Vec<HostId>,
+    /// Tasks forcibly restarted because their host failed.
+    pub restarted_tasks: usize,
+    /// Seconds of stall inflicted on LEI members by broker failures.
+    pub broker_stall_s: f64,
+    /// The scheduling decision taken this interval.
+    pub decision: SchedulingDecision,
+}
+
+/// The simulation engine. See the crate docs for the driver-loop shape.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    topology: Topology,
+    states: Vec<HostState>,
+    tasks: Vec<Task>,
+    network: NetworkModel,
+    rng: StdRng,
+    interval: usize,
+    next_task_id: TaskId,
+    pending_faults: Vec<FaultLoad>,
+    /// Hosts down for the current interval (failure latched last interval).
+    recovering: Vec<usize>,
+    /// Per-host seconds of unavailability carried into the next interval
+    /// from node-shift role changes.
+    shift_penalty_s: Vec<f64>,
+    /// Last interval's failed brokers (what the resilience policy reacts to).
+    last_failed_brokers: Vec<HostId>,
+    // Cumulative accounting.
+    total_energy_wh: f64,
+    completed_count: usize,
+    violation_count: usize,
+    response_times: Vec<f64>,
+    total_restarts: usize,
+}
+
+impl Simulator {
+    /// Builds a simulator with a balanced initial topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot produce a valid topology.
+    pub fn new(config: SimConfig) -> Self {
+        let n = config.specs.len();
+        let topology = Topology::balanced(n, config.n_brokers)
+            .expect("SimConfig must describe a valid federation");
+        let network = NetworkModel::new(config.n_brokers, config.seed ^ 0x4E45_54);
+        Self::with_topology(config, topology, network)
+    }
+
+    /// Builds a simulator with an explicit starting topology.
+    pub fn with_topology(config: SimConfig, topology: Topology, network: NetworkModel) -> Self {
+        let n = config.specs.len();
+        assert_eq!(topology.len(), n, "topology size must match host count");
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            topology,
+            states: vec![HostState::default(); n],
+            tasks: Vec::new(),
+            network,
+            rng,
+            interval: 0,
+            next_task_id: 0,
+            pending_faults: vec![FaultLoad::default(); n],
+            recovering: vec![0; n],
+            shift_penalty_s: vec![0.0; n],
+            last_failed_brokers: Vec::new(),
+            total_energy_wh: 0.0,
+            completed_count: 0,
+            violation_count: 0,
+            response_times: Vec::new(),
+            total_restarts: 0,
+        }
+    }
+
+    /// Current interval index (number of completed steps).
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Host inventory.
+    pub fn specs(&self) -> &[HostSpec] {
+        &self.config.specs
+    }
+
+    /// Latest per-host states (from the last completed interval).
+    pub fn host_states(&self) -> &[HostState] {
+        &self.states
+    }
+
+    /// Current topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Network / gateway model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// All tasks ever admitted (completed ones keep their final state).
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Brokers that failed during the last completed interval — the input
+    /// to the resilience policy's repair step.
+    pub fn failed_brokers(&self) -> &[HostId] {
+        &self.last_failed_brokers
+    }
+
+    /// Cumulative energy, watt-hours.
+    pub fn total_energy_wh(&self) -> f64 {
+        self.total_energy_wh
+    }
+
+    /// Cumulative completed-task count.
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Cumulative SLO violations among completed tasks.
+    pub fn violation_count(&self) -> usize {
+        self.violation_count
+    }
+
+    /// SLO violation rate over completed tasks (0 when none completed).
+    pub fn violation_rate(&self) -> f64 {
+        if self.completed_count == 0 {
+            0.0
+        } else {
+            self.violation_count as f64 / self.completed_count as f64
+        }
+    }
+
+    /// Response times of all completed tasks, seconds.
+    pub fn response_times(&self) -> &[f64] {
+        &self.response_times
+    }
+
+    /// Mean response time, seconds (0 when nothing completed).
+    pub fn mean_response_time(&self) -> f64 {
+        metrics::mean(&self.response_times).unwrap_or(0.0)
+    }
+
+    /// Total forced task restarts caused by host failures.
+    pub fn total_restarts(&self) -> usize {
+        self.total_restarts
+    }
+
+    /// Queues fault pressure against `host` for the *next* step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn inject_fault(&mut self, host: HostId, load: FaultLoad) {
+        self.pending_faults[host].merge(load);
+    }
+
+    /// Installs a repaired topology (Algorithm 2 line 17). Role changes are
+    /// charged the node-shift cost of §IV-H: every host whose role changed
+    /// is unavailable for `node_shift_cost_s` at the start of the next
+    /// interval, and orphan reassignment costs a smaller sync penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new topology has a different host count or is invalid.
+    pub fn set_topology(&mut self, new: Topology) {
+        assert_eq!(new.len(), self.topology.len(), "host count must not change");
+        new.validate().expect("refusing to install an invalid topology");
+        for h in 0..new.len() {
+            let old_role = self.topology.role(h);
+            let new_role = new.role(h);
+            match (old_role, new_role) {
+                (NodeRole::Broker, NodeRole::Worker { .. })
+                | (NodeRole::Worker { .. }, NodeRole::Broker) => {
+                    self.shift_penalty_s[h] += self.config.node_shift_cost_s;
+                }
+                (NodeRole::Worker { broker: a }, NodeRole::Worker { broker: b }) if a != b => {
+                    // Refreshing the broker IP is cheap (§IV-H).
+                    self.shift_penalty_s[h] += 2.0;
+                }
+                _ => {}
+            }
+        }
+        self.topology = new;
+    }
+
+    /// Maps a gateway entry LEI index to the broker currently serving it.
+    fn entry_broker(&self, lei: usize) -> Option<HostId> {
+        let brokers = self.topology.brokers();
+        let live: Vec<HostId> = brokers
+            .iter()
+            .copied()
+            .filter(|&b| self.recovering[b] == 0)
+            .collect();
+        if live.is_empty() {
+            brokers.first().copied()
+        } else {
+            Some(live[lei % live.len()])
+        }
+    }
+
+    /// Runs one scheduling interval: admits `arrivals`, places pending
+    /// tasks with `scheduler`, simulates execution, applies queued fault
+    /// loads, detects failures, and returns the interval's report.
+    pub fn step(&mut self, arrivals: Vec<TaskSpec>, scheduler: &mut dyn Scheduler) -> IntervalReport {
+        let t = self.interval;
+        let n = self.config.specs.len();
+
+        // --- 0. Hosts recovering from last interval's failure come back.
+        for h in 0..n {
+            if self.recovering[h] > 0 {
+                self.recovering[h] -= 1;
+            }
+        }
+
+        // --- 1. Gateway mobility + task admission.
+        self.network.step_mobility(t);
+        let n_arrivals = arrivals.len();
+        for spec in arrivals {
+            let lei = self.network.sample_entry_lei(&mut self.rng);
+            let Some(broker) = self.entry_broker(lei) else {
+                continue;
+            };
+            let id = self.next_task_id;
+            self.next_task_id += 1;
+            let mut task = Task::new(id, spec, t, broker);
+            // Gateway→broker hop latency charged immediately.
+            task.elapsed_s += self.network.latency_s(lei, lei) + 0.010;
+            self.tasks.push(task);
+        }
+
+        // --- 2. Failure determination for THIS interval.
+        // Compute provisional utilisation from current placement + queued
+        // fault loads; saturated hosts are unresponsive this interval.
+        let fault_loads = std::mem::replace(&mut self.pending_faults, vec![FaultLoad::default(); n]);
+        let mut failed_now = vec![false; n];
+        for h in 0..n {
+            if self.recovering[h] > 0 {
+                failed_now[h] = true;
+                continue;
+            }
+            let organic = self.organic_utilisation(h);
+            let fl = &fault_loads[h];
+            if organic.0 + fl.cpu >= 0.999
+                || organic.1 + fl.ram >= 0.999
+                || organic.2 + fl.disk >= 0.999
+                || organic.3 + fl.net >= 0.999
+            {
+                failed_now[h] = true;
+                // Recovery takes 1–5 minutes (§IV-I): down for the rest of
+                // this interval; live again next interval.
+                self.recovering[h] = 1;
+            }
+        }
+
+        // --- 3. Restart tasks stranded on failed workers (the paper's
+        // worker-failure rule: rerun in the LEI; placement happens via the
+        // scheduler below).
+        let mut restarted = 0usize;
+        for task in &mut self.tasks {
+            if task.status == TaskStatus::Running {
+                if let Some(h) = task.host {
+                    if failed_now[h] {
+                        task.remaining_work = task.spec.cpu_work;
+                        task.host = None;
+                        task.status = TaskStatus::Pending;
+                        task.restarts += 1;
+                        restarted += 1;
+                    }
+                }
+            }
+        }
+        self.total_restarts += restarted;
+
+        // --- 4. Scheduling of pending tasks.
+        let mut fail_view = self.states.clone();
+        for h in 0..n {
+            fail_view[h].failed = failed_now[h];
+        }
+        let decision = scheduler.schedule(&self.tasks, &self.topology, &self.config.specs, &fail_view);
+        for (task_id, host) in decision.iter() {
+            if failed_now[host] {
+                continue; // stale decision against a dying host: skip
+            }
+            let Some(idx) = self.tasks.iter().position(|t| t.id == task_id) else {
+                continue;
+            };
+            if self.tasks[idx].status != TaskStatus::Pending {
+                continue;
+            }
+            // Broker→worker dispatch transfer.
+            let from = self.topology.broker_of(self.tasks[idx].admitted_by.min(n - 1));
+            let lei_a = self.lei_index_of(from);
+            let lei_b = self.lei_index_of(host);
+            let transfer = self.network.transfer_s(
+                lei_a,
+                lei_b,
+                self.tasks[idx].spec.net_mb,
+                self.config.specs[host].net_bw,
+            );
+            let task = &mut self.tasks[idx];
+            task.status = TaskStatus::Running;
+            task.host = Some(host);
+            task.elapsed_s += transfer;
+        }
+
+        // --- 5. Broker-failure stalls: every member of a failed broker's
+        // LEI makes no progress while the broker is down ("all active tasks
+        // within the LEI and all incoming tasks ... are impacted", §I).
+        let mut stalled_host = vec![false; n];
+        let mut broker_stall_s = 0.0;
+        for b in self.topology.brokers() {
+            if failed_now[b] {
+                for member in self.topology.lei(b) {
+                    stalled_host[member] = true;
+                }
+            }
+        }
+
+        // --- 6. Execution with processor sharing per host.
+        let mut per_host_tasks: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, task) in self.tasks.iter().enumerate() {
+            if task.status == TaskStatus::Running {
+                if let Some(h) = task.host {
+                    per_host_tasks[h].push(idx);
+                }
+            }
+        }
+
+        let mut completed: Vec<(TaskId, f64, bool)> = Vec::new();
+        let mut new_states = vec![HostState::default(); n];
+
+        for h in 0..n {
+            let spec_h = self.config.specs[h].clone();
+            let fl = fault_loads[h];
+            let is_broker = matches!(self.topology.role(h), NodeRole::Broker);
+            let mgmt_cpu = if is_broker {
+                // Admission/queue management grows with the backlog parked
+                // at this broker — deep queues are the "processing
+                // bottleneck" of §I that makes loaded brokers fragile.
+                let queued = self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.status == TaskStatus::Pending && t.admitted_by == h)
+                    .count() as f64;
+                self.config.broker_base_overhead
+                    + self.config.broker_per_worker_overhead
+                        * self.topology.workers_of(h).len() as f64
+                    + (0.012 * queued).min(0.25)
+            } else {
+                0.0
+            };
+            let mgmt_ram = if is_broker {
+                self.config.broker_mgmt_ram_mb / spec_h.ram_mb
+            } else {
+                0.0
+            };
+
+            let task_idxs = per_host_tasks[h].clone();
+            let state = &mut new_states[h];
+            state.active_tasks = task_idxs.len();
+            state.failed = failed_now[h];
+
+            // RAM pressure from resident tasks.
+            let resident_ram: f64 = task_idxs
+                .iter()
+                .map(|&i| self.tasks[i].spec.ram_mb)
+                .sum::<f64>()
+                / spec_h.ram_mb;
+            let ram_util = resident_ram + mgmt_ram + fl.ram;
+            state.ram = ram_util.min(1.0);
+            state.swap = (ram_util - 1.0).max(0.0).min(1.0);
+
+            // Disk / network pressure.
+            let disk_demand: f64 = task_idxs
+                .iter()
+                .map(|&i| self.tasks[i].spec.disk_mb)
+                .sum::<f64>()
+                / (spec_h.disk_bw * INTERVAL_SECONDS);
+            let net_demand: f64 = task_idxs
+                .iter()
+                .map(|&i| self.tasks[i].spec.net_mb)
+                .sum::<f64>()
+                / (spec_h.net_bw * INTERVAL_SECONDS);
+            state.disk = (disk_demand + fl.disk).min(1.0);
+            state.net = (net_demand + fl.net).min(1.0);
+            state.io_wait = (0.5 * state.swap + 0.3 * state.disk + 0.2 * state.net).min(1.0);
+
+            // Effective task time this interval after stalls/penalties.
+            let shift_pen = std::mem::take(&mut self.shift_penalty_s[h]);
+            let mut usable_s: f64 = INTERVAL_SECONDS - shift_pen;
+            if failed_now[h] || stalled_host[h] {
+                usable_s = 0.0;
+            }
+            usable_s = usable_s.max(0.0);
+            let stall_s = INTERVAL_SECONDS - usable_s;
+            if stalled_host[h] && !failed_now[h] {
+                broker_stall_s += INTERVAL_SECONDS;
+            }
+
+            // Thrashing: swap pressure halves effective capacity (§I:
+            // storage-mapped virtual memory over congested backhaul).
+            let thrash = 1.0 / (1.0 + 2.0 * state.swap);
+            // Broker-bottleneck contention (§I): a worker whose broker
+            // manages more than `broker_span` peers runs degraded, waiting
+            // on dispatch/synchronisation from the saturated broker.
+            let span_eff = if is_broker {
+                1.0
+            } else {
+                let siblings = self
+                    .topology
+                    .workers_of(self.topology.broker_of(h))
+                    .len()
+                    .max(1);
+                (self.config.broker_span as f64 / siblings as f64).min(1.0)
+            };
+            let cap_frac = (1.0 - mgmt_cpu - fl.cpu).max(0.0);
+            let capacity_per_s = spec_h.cpu_capacity * cap_frac * thrash * span_eff;
+
+            // Exact processor sharing within the usable window: with k
+            // active tasks each runs at capacity/k; process completions in
+            // order of remaining work.
+            let mut active: Vec<usize> = task_idxs.clone();
+            active.sort_by(|&a, &b| {
+                self.tasks[a]
+                    .remaining_work
+                    .partial_cmp(&self.tasks[b].remaining_work)
+                    .expect("work values are finite")
+            });
+            let mut time_left = usable_s;
+            let mut work_done_total = 0.0;
+            let mut i = 0;
+            while i < active.len() && time_left > 0.0 && capacity_per_s > 0.0 {
+                let k = (active.len() - i) as f64;
+                let rate = capacity_per_s / k;
+                let head = &self.tasks[active[i]];
+                let t_finish = head.remaining_work / rate;
+                if t_finish <= time_left {
+                    // Head task completes inside the window.
+                    let elapsed_until_done = usable_s - time_left + t_finish;
+                    for &j in &active[i..] {
+                        let task = &mut self.tasks[j];
+                        task.remaining_work -= rate * t_finish;
+                        work_done_total += rate * t_finish;
+                    }
+                    let task = &mut self.tasks[active[i]];
+                    task.remaining_work = 0.0;
+                    task.status = TaskStatus::Completed;
+                    task.elapsed_s += stall_s + elapsed_until_done;
+                    let violated = task.elapsed_s > task.spec.deadline_s;
+                    completed.push((task.id, task.elapsed_s, violated));
+                    time_left -= t_finish;
+                    i += 1;
+                } else {
+                    for &j in &active[i..] {
+                        let task = &mut self.tasks[j];
+                        task.remaining_work -= rate * time_left;
+                        work_done_total += rate * time_left;
+                    }
+                    time_left = 0.0;
+                }
+            }
+            let time_left_after = time_left;
+            // Survivors carry the whole interval in elapsed time.
+            for &j in &active[i..] {
+                let task = &mut self.tasks[j];
+                if task.status == TaskStatus::Running {
+                    task.elapsed_s += INTERVAL_SECONDS;
+                }
+            }
+
+            // CPU utilisation: busy-time accounting. While any task is
+            // resident the cores spin at their allocated fraction whether
+            // the cycles are productive or lost to thrashing / broker-span
+            // contention — inefficient topologies therefore *burn energy*,
+            // not just time. `work_done_total` is kept for diagnostics.
+            let busy_s = usable_s - time_left_after;
+            let _ = work_done_total;
+            let work_util = if INTERVAL_SECONDS > 0.0 {
+                (busy_s / INTERVAL_SECONDS) * cap_frac
+            } else {
+                0.0
+            };
+            state.cpu = (work_util + mgmt_cpu + fl.cpu).min(1.0);
+            if failed_now[h] {
+                // An unresponsive node pins whichever resource the fault hit.
+                state.cpu = state.cpu.max((fl.cpu > 0.0) as u8 as f64);
+            }
+
+            // Energy: linear power curve over the interval (reboot ≈ idle).
+            // Workers with no resident tasks drop into standby (§V-C: the
+            // "remaining hosts in standby mode to conserve energy").
+            let standby = !is_broker && task_idxs.is_empty() && !failed_now[h] && fl.cpu == 0.0;
+            let util_for_power = if failed_now[h] { 0.2 } else { state.cpu };
+            let power_w = if standby {
+                STANDBY_POWER_FRACTION * spec_h.power_idle_w
+            } else {
+                spec_h.power_at(util_for_power)
+            };
+            state.energy_wh = power_w * INTERVAL_SECONDS / 3600.0;
+        }
+
+        // Pending tasks (unplaced, e.g. dead broker or outage) also wait.
+        for task in &mut self.tasks {
+            if task.status == TaskStatus::Pending {
+                task.elapsed_s += INTERVAL_SECONDS;
+            }
+        }
+
+        // --- 7. Bookkeeping.
+        let energy: f64 = new_states.iter().map(|s| s.energy_wh).sum();
+        self.total_energy_wh += energy;
+        for &(_, resp, violated) in &completed {
+            self.completed_count += 1;
+            self.response_times.push(resp);
+            if violated {
+                self.violation_count += 1;
+            }
+        }
+        self.states = new_states;
+        let failed_hosts: Vec<HostId> = (0..n).filter(|&h| failed_now[h]).collect();
+        let failed_brokers: Vec<HostId> = self
+            .topology
+            .brokers()
+            .into_iter()
+            .filter(|&b| failed_now[b])
+            .collect();
+        self.last_failed_brokers = failed_brokers.clone();
+        self.interval += 1;
+
+        IntervalReport {
+            interval: t,
+            energy_wh: energy,
+            completed,
+            arrivals: n_arrivals,
+            failed_hosts,
+            failed_brokers,
+            restarted_tasks: restarted,
+            broker_stall_s,
+            decision,
+        }
+    }
+
+    /// Organic (task + management) utilisation of `h` before fault load,
+    /// as `(cpu, ram, disk, net)`. Used for failure determination.
+    fn organic_utilisation(&self, h: HostId) -> (f64, f64, f64, f64) {
+        let spec = &self.config.specs[h];
+        let is_broker = matches!(self.topology.role(h), NodeRole::Broker);
+        let mgmt_cpu = if is_broker {
+            let queued = self
+                .tasks
+                .iter()
+                .filter(|t| t.status == TaskStatus::Pending && t.admitted_by == h)
+                .count() as f64;
+            self.config.broker_base_overhead
+                + self.config.broker_per_worker_overhead * self.topology.workers_of(h).len() as f64
+                + (0.012 * queued).min(0.25)
+        } else {
+            0.0
+        };
+        let mgmt_ram = if is_broker {
+            self.config.broker_mgmt_ram_mb / spec.ram_mb
+        } else {
+            0.0
+        };
+        let mut cpu = mgmt_cpu;
+        let mut ram = mgmt_ram;
+        let mut disk = 0.0;
+        let mut net = 0.0;
+        let mut task_cpu = 0.0;
+        for task in &self.tasks {
+            if task.status == TaskStatus::Running && task.host == Some(h) {
+                // CPU demand share: the work a task would do this interval
+                // at full speed, as a fraction of interval capacity.
+                task_cpu += (task.remaining_work / (spec.cpu_capacity * INTERVAL_SECONDS)).min(1.0);
+                ram += task.spec.ram_mb / spec.ram_mb;
+                disk += task.spec.disk_mb / (spec.disk_bw * INTERVAL_SECONDS);
+                net += task.spec.net_mb / (spec.net_bw * INTERVAL_SECONDS);
+            }
+        }
+        // Processor sharing degrades gracefully under pure CPU pressure —
+        // task demand alone cannot render a host unresponsive (the kernel
+        // still schedules the management plane). It contributes at most
+        // 0.65, so byzantine failure needs fault injection or RAM/disk/
+        // network exhaustion on top of organic load.
+        cpu += task_cpu.min(0.65);
+        (cpu, ram, disk, net)
+    }
+
+    /// LEI index of `host` for the network-latency model: position of its
+    /// broker in the sorted broker list, folded into the modelled LEI count.
+    fn lei_index_of(&self, host: HostId) -> usize {
+        let broker = self.topology.broker_of(host);
+        let brokers = self.topology.brokers();
+        let pos = brokers.iter().position(|&b| b == broker).unwrap_or(0);
+        pos % self.network.n_leis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::LeastLoadScheduler;
+
+    fn quick_spec(work: f64) -> TaskSpec {
+        TaskSpec {
+            app: "test".into(),
+            cpu_work: work,
+            ram_mb: 256.0,
+            disk_mb: 5.0,
+            net_mb: 5.0,
+            deadline_s: 400.0,
+        }
+    }
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::small(8, 2, 42))
+    }
+
+    #[test]
+    fn empty_interval_consumes_idle_energy() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        let r = s.step(Vec::new(), &mut sched);
+        assert_eq!(r.completed.len(), 0);
+        // Brokers idle at their management utilisation; task-less workers
+        // drop to standby power.
+        let expected: f64 = s
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(h, spec)| {
+                let is_broker =
+                    matches!(s.topology().role(h), crate::topology::NodeRole::Broker);
+                let watts = if is_broker {
+                    spec.power_at(s.host_states()[h].cpu)
+                } else {
+                    STANDBY_POWER_FRACTION * spec.power_idle_w
+                };
+                watts * INTERVAL_SECONDS / 3600.0
+            })
+            .sum();
+        assert!((r.energy_wh - expected).abs() < 1e-9);
+        assert!(r.energy_wh > 0.0);
+    }
+
+    #[test]
+    fn standby_workers_draw_less_than_idle_brokers() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        s.step(Vec::new(), &mut sched);
+        let worker = s.topology().workers()[0];
+        let broker = s.topology().brokers()[0];
+        assert!(
+            s.host_states()[worker].energy_wh < s.host_states()[broker].energy_wh,
+            "standby worker must undercut a management-loaded broker"
+        );
+    }
+
+    #[test]
+    fn small_task_completes_in_first_interval() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        let r = s.step(vec![quick_spec(4000.0)], &mut sched);
+        assert_eq!(r.completed.len(), 1);
+        let (_, resp, violated) = r.completed[0];
+        assert!(resp > 0.0 && resp < 10.0, "resp={resp}");
+        assert!(!violated);
+        assert_eq!(s.completed_count(), 1);
+        assert_eq!(s.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn long_task_spans_intervals() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        // 4000 units/s capacity × 300 s = 1.2M units/interval.
+        let r = s.step(vec![quick_spec(1.8e6)], &mut sched);
+        assert!(r.completed.is_empty());
+        let r2 = s.step(Vec::new(), &mut sched);
+        assert_eq!(r2.completed.len(), 1);
+        let (_, resp, _) = r2.completed[0];
+        assert!(resp > 300.0 && resp < 600.0, "resp={resp}");
+    }
+
+    #[test]
+    fn processor_sharing_slows_concurrent_tasks() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        // Two tasks on a 2-LEI/8-host system spread out; force same host by
+        // saturating: send 8 tasks (more tasks than workers).
+        let arrivals: Vec<TaskSpec> = (0..8).map(|_| quick_spec(600_000.0)).collect();
+        let r = s.step(arrivals, &mut sched);
+        // 600k work at 4000/s solo = 150 s — but some hosts got 2 tasks, so
+        // their tasks ran slower than solo.
+        assert!(!r.completed.is_empty());
+        let max_resp = r
+            .completed
+            .iter()
+            .map(|&(_, t, _)| t)
+            .fold(0.0f64, f64::max);
+        assert!(max_resp > 150.0, "sharing should slow someone: {max_resp}");
+    }
+
+    #[test]
+    fn fault_load_saturates_and_fails_host() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        s.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        let r = s.step(Vec::new(), &mut sched);
+        assert!(r.failed_hosts.contains(&0));
+        assert!(r.failed_brokers.contains(&0));
+        assert_eq!(s.failed_brokers(), &[0]);
+        // Host recovers next interval.
+        let r2 = s.step(Vec::new(), &mut sched);
+        assert!(!r2.failed_hosts.contains(&0));
+    }
+
+    #[test]
+    fn broker_failure_stalls_its_lei() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        // Start a long task in broker 0's LEI.
+        let spec = TaskSpec {
+            deadline_s: 10_000.0,
+            ..quick_spec(2.0e6)
+        };
+        s.step(vec![spec.clone(), spec], &mut sched);
+        let before: Vec<f64> = s
+            .tasks()
+            .iter()
+            .map(|t| t.remaining_work)
+            .collect();
+        // Fail broker 0.
+        s.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        let r = s.step(Vec::new(), &mut sched);
+        assert!(r.failed_brokers.contains(&0));
+        assert!(r.broker_stall_s > 0.0);
+        // Tasks on broker 0's LEI made no progress.
+        for (task, prev) in s.tasks().iter().zip(&before) {
+            if let Some(h) = task.host {
+                if s.topology().lei(0).contains(&h) && task.status == TaskStatus::Running {
+                    assert_eq!(task.remaining_work, *prev, "stalled task progressed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_failure_restarts_tasks() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        s.step(vec![quick_spec(2.0e6)], &mut sched);
+        let host = s
+            .tasks()
+            .iter()
+            .find(|t| t.status == TaskStatus::Running)
+            .and_then(|t| t.host)
+            .expect("task should be running");
+        s.inject_fault(host, FaultLoad { ram: 1.0, ..Default::default() });
+        let r = s.step(Vec::new(), &mut sched);
+        assert!(r.failed_hosts.contains(&host));
+        assert_eq!(r.restarted_tasks, 1);
+        assert_eq!(s.total_restarts(), 1);
+    }
+
+    #[test]
+    fn node_shift_charges_penalty() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        s.step(Vec::new(), &mut sched);
+        let mut topo = s.topology().clone();
+        let w = topo.workers()[0];
+        topo.promote(w).unwrap();
+        s.set_topology(topo);
+        assert!(s.shift_penalty_s[w] > 0.0);
+        // The penalty drains on the next step.
+        s.step(Vec::new(), &mut sched);
+        assert_eq!(s.shift_penalty_s[w], 0.0);
+    }
+
+    #[test]
+    fn tasks_are_never_lost() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        let mut admitted = 0;
+        for i in 0..20 {
+            let arrivals: Vec<TaskSpec> = (0..(i % 3)).map(|_| quick_spec(500_000.0)).collect();
+            admitted += arrivals.len();
+            if i % 5 == 0 {
+                s.inject_fault(i % 8, FaultLoad { cpu: 1.0, ..Default::default() });
+            }
+            s.step(arrivals, &mut sched);
+        }
+        assert_eq!(s.tasks().len(), admitted);
+        let done = s.tasks().iter().filter(|t| t.status == TaskStatus::Completed).count();
+        assert_eq!(done, s.completed_count());
+    }
+
+    #[test]
+    fn energy_increases_with_load() {
+        let mut idle = sim();
+        let mut busy = sim();
+        let mut sched = LeastLoadScheduler::new();
+        for _ in 0..5 {
+            idle.step(Vec::new(), &mut sched);
+            busy.step(vec![quick_spec(1.0e6); 4], &mut sched);
+        }
+        assert!(busy.total_energy_wh() > idle.total_energy_wh());
+    }
+
+    #[test]
+    fn deadline_violation_recorded() {
+        let mut s = sim();
+        let mut sched = LeastLoadScheduler::new();
+        let spec = TaskSpec {
+            deadline_s: 1.0, // impossible
+            ..quick_spec(900_000.0)
+        };
+        let mut done = false;
+        s.step(vec![spec], &mut sched);
+        for _ in 0..5 {
+            let r = s.step(Vec::new(), &mut sched);
+            if !r.completed.is_empty() {
+                assert!(r.completed[0].2, "must be violated");
+                done = true;
+                break;
+            }
+        }
+        assert!(done || s.violation_count() > 0 || s.completed_count() == 0);
+        assert!(s.violation_rate() > 0.0);
+    }
+}

@@ -1,0 +1,489 @@
+//! Neural-network-facing view of the system state.
+//!
+//! The CAROL network (Fig. 3) consumes three inputs: performance metrics
+//! `M` (per-host resource utilisation `u_i`, QoS `q_i` and task pressure
+//! `t_i`, stacked as a matrix), the scheduling decision `S`, and the
+//! topology graph `G`. [`SystemState`] assembles those from a
+//! [`Simulator`](crate::Simulator) snapshot in a *host-count-agnostic*
+//! encoding: per-host rows fed to shared encoders, so the same network
+//! weights serve any federation size — the property the paper gets from
+//! its graph attention network.
+
+use crate::host::{HostSpec, HostState};
+use crate::scheduler::SchedulingDecision;
+use crate::task::{Task, TaskStatus};
+use crate::topology::{NodeRole, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Width of one host's metric row in `M` (see [`SystemState::metrics`]).
+pub const METRIC_DIM: usize = 10;
+
+/// Width of one host's aggregated scheduling row in `S`.
+pub const SCHED_DIM: usize = 3;
+
+/// Width of one node's GAT feature vector.
+pub const GRAPH_DIM: usize = 6;
+
+/// Deterministic role-change cost model used when projecting a snapshot
+/// onto a *candidate* topology: brokers carry management CPU/RAM, and
+/// workers in over-span LEIs suffer dispatch contention. The constants
+/// mirror [`crate::SimConfig`]'s defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Broker management base CPU fraction.
+    pub base_cpu: f64,
+    /// Broker management CPU fraction per managed worker.
+    pub per_worker_cpu: f64,
+    /// Broker management RAM, MB.
+    pub mgmt_ram_mb: f64,
+    /// Workers one broker manages at full efficiency.
+    pub span: usize,
+    /// Weight of the broker-failure blast-radius term: with byzantine
+    /// attacks striking brokers uniformly, every host's chance of being
+    /// stalled next interval is proportional to `1 / broker_count`, so
+    /// candidates with fewer brokers carry higher projected SLO risk.
+    pub stall_risk: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            base_cpu: 0.08,
+            per_worker_cpu: 0.015,
+            mgmt_ram_mb: 512.0,
+            span: 5,
+            stall_risk: 0.08,
+        }
+    }
+}
+
+/// A complete `(M, S, G)` snapshot for the surrogate models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemState {
+    /// Per-host metric rows, `n_hosts × METRIC_DIM`, all in `[0, 1]`.
+    pub metrics: Vec<[f64; METRIC_DIM]>,
+    /// Per-host aggregated scheduling rows, `n_hosts × SCHED_DIM`.
+    pub schedule: Vec<[f64; SCHED_DIM]>,
+    /// Per-node GAT feature rows, `n_hosts × GRAPH_DIM`.
+    pub graph_features: Vec<[f64; GRAPH_DIM]>,
+    /// GAT adjacency (with self-loops) of the topology.
+    pub neighbors: Vec<Vec<usize>>,
+    /// The topology this snapshot was taken under.
+    pub topology: Topology,
+    /// Per-host RAM capacities (MB), for role-change cost projection.
+    pub ram_mb: Vec<f64>,
+    /// Role-change cost model (management CPU/RAM, broker span).
+    pub costs: CostModel,
+}
+
+/// Reference scales used to normalise raw metrics into `[0, 1]`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Watt-hours per interval treated as "full scale" for one host.
+    pub max_energy_wh: f64,
+    /// Active tasks per host treated as full scale.
+    pub max_tasks: f64,
+    /// Seconds treated as full-scale deadline.
+    pub max_deadline_s: f64,
+    /// CPU work treated as full scale for one task.
+    pub max_cpu_work: f64,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Self {
+            // A Pi 4B at peak for 5 minutes ≈ 0.58 Wh.
+            max_energy_wh: 0.7,
+            max_tasks: 8.0,
+            max_deadline_s: 600.0,
+            max_cpu_work: 2.0e6,
+        }
+    }
+}
+
+impl SystemState {
+    /// Builds the snapshot from simulator components.
+    pub fn capture(
+        topology: &Topology,
+        specs: &[HostSpec],
+        states: &[HostState],
+        tasks: &[Task],
+        decision: &SchedulingDecision,
+        norm: &Normalizer,
+    ) -> Self {
+        let n = specs.len();
+        assert_eq!(states.len(), n, "one state per host required");
+        assert_eq!(topology.len(), n, "topology size mismatch");
+
+        let mut metrics = Vec::with_capacity(n);
+        let mut schedule = vec![[0.0; SCHED_DIM]; n];
+        let mut graph_features = Vec::with_capacity(n);
+
+        // Aggregate the one-hot S matrix into per-host pressure (count,
+        // CPU demand, mean deadline), keeping the encoding size fixed.
+        let mut sched_count = vec![0.0f64; n];
+        let mut sched_work = vec![0.0f64; n];
+        let mut sched_deadline = vec![0.0f64; n];
+        for (task_id, host) in decision.iter() {
+            if host >= n {
+                continue;
+            }
+            if let Some(task) = tasks.iter().find(|t| t.id == task_id) {
+                sched_count[host] += 1.0;
+                sched_work[host] += task.spec.cpu_work;
+                sched_deadline[host] += task.spec.deadline_s;
+            }
+        }
+
+        // Per-host SLO pressure from currently resident tasks, plus the
+        // pending backlog attributed to the admitting broker — deep queues
+        // must be visible to the surrogates' task-pressure column.
+        let mut resident_behind = vec![0.0f64; n];
+        let mut resident_count = vec![0.0f64; n];
+        let mut pressure_count = vec![0.0f64; n];
+        for task in tasks {
+            match task.status {
+                TaskStatus::Running => {
+                    if let Some(h) = task.host {
+                        if h < n {
+                            resident_count[h] += 1.0;
+                            pressure_count[h] += 1.0;
+                            if task.elapsed_s > task.spec.deadline_s {
+                                resident_behind[h] += 1.0;
+                            }
+                        }
+                    }
+                }
+                TaskStatus::Pending => {
+                    let b = topology.broker_of(task.admitted_by.min(n - 1));
+                    pressure_count[b] += 1.0;
+                    if task.elapsed_s > task.spec.deadline_s {
+                        resident_behind[b] += 1.0;
+                        resident_count[b] += 1.0;
+                    }
+                }
+                TaskStatus::Completed => {}
+            }
+        }
+
+        for h in 0..n {
+            let st = &states[h];
+            let is_broker = matches!(topology.role(h), NodeRole::Broker);
+            let slo_pressure = if resident_count[h] > 0.0 {
+                resident_behind[h] / resident_count[h]
+            } else {
+                0.0
+            };
+            metrics.push([
+                st.cpu.clamp(0.0, 1.0),
+                st.ram.clamp(0.0, 1.0),
+                st.disk.clamp(0.0, 1.0),
+                st.net.clamp(0.0, 1.0),
+                st.swap.clamp(0.0, 1.0),
+                st.io_wait.clamp(0.0, 1.0),
+                (st.energy_wh / norm.max_energy_wh).clamp(0.0, 1.0),
+                (pressure_count[h] / norm.max_tasks).clamp(0.0, 1.0),
+                slo_pressure.clamp(0.0, 1.0),
+                if st.failed { 1.0 } else { 0.0 },
+            ]);
+
+            if sched_count[h] > 0.0 {
+                schedule[h] = [
+                    (sched_count[h] / norm.max_tasks).clamp(0.0, 1.0),
+                    (sched_work[h] / norm.max_cpu_work).clamp(0.0, 1.0),
+                    (sched_deadline[h] / sched_count[h] / norm.max_deadline_s).clamp(0.0, 1.0),
+                ];
+            }
+
+            let spec = &specs[h];
+            graph_features.push([
+                st.cpu.clamp(0.0, 1.0),
+                st.ram.clamp(0.0, 1.0),
+                (spec.ram_mb / 8192.0).clamp(0.0, 1.0),
+                (spec.cpu_capacity / 8000.0).clamp(0.0, 1.0),
+                if is_broker { 1.0 } else { 0.0 },
+                (topology.workers_of(h).len() as f64 / n as f64).clamp(0.0, 1.0),
+            ]);
+        }
+
+        Self {
+            metrics,
+            schedule,
+            graph_features,
+            neighbors: topology.gat_neighbors(),
+            topology: topology.clone(),
+            ram_mb: specs.iter().map(|s| s.ram_mb).collect(),
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Number of hosts in the snapshot.
+    pub fn n_hosts(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Flattens `M` into a single row vector (`1 × n·METRIC_DIM`) — the
+    /// tensor the GON generation loop perturbs.
+    pub fn metrics_flat(&self) -> Vec<f64> {
+        self.metrics.iter().flatten().copied().collect()
+    }
+
+    /// Replaces `M` from a flat row vector (inverse of
+    /// [`SystemState::metrics_flat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != n_hosts · METRIC_DIM`.
+    pub fn set_metrics_flat(&mut self, flat: &[f64]) {
+        assert_eq!(
+            flat.len(),
+            self.n_hosts() * METRIC_DIM,
+            "flat metric length mismatch"
+        );
+        for (h, chunk) in flat.chunks_exact(METRIC_DIM).enumerate() {
+            self.metrics[h].copy_from_slice(chunk);
+        }
+    }
+
+    /// Projects the snapshot onto a *candidate* topology (used by tabu
+    /// search and the baseline surrogates to score repair candidates
+    /// without executing them).
+    ///
+    /// Graph features and adjacency are rebuilt, and the metric rows get
+    /// the *deterministic* role-change costs applied: a newly promoted
+    /// broker gains management CPU/RAM, a demoted one sheds it, and
+    /// workers in LEIs beyond the management span pick up SLO pressure
+    /// from dispatch contention. This is the warm-start estimate of `M_t`
+    /// under the candidate — eq. 1's ascent then refines it (§III-B:
+    /// "we initialize M as M_{t-1} and then converge").
+    pub fn with_topology(&self, topology: &Topology) -> Self {
+        assert_eq!(topology.len(), self.n_hosts(), "host count mismatch");
+        let mut out = self.clone();
+        let c = self.costs;
+        let mgmt_cpu = |topo: &Topology, h: usize| -> f64 {
+            if matches!(topo.role(h), NodeRole::Broker) {
+                c.base_cpu + c.per_worker_cpu * topo.workers_of(h).len() as f64
+            } else {
+                0.0
+            }
+        };
+        let contention = |topo: &Topology, h: usize| -> f64 {
+            if matches!(topo.role(h), NodeRole::Broker) {
+                0.0
+            } else {
+                let siblings = topo.workers_of(topo.broker_of(h)).len().max(1);
+                0.25 * (siblings as f64 / c.span as f64 - 1.0).max(0.0)
+            }
+        };
+        // Expected queueing share: each LEI's task pressure is served by
+        // its worker pool, so a worker's anticipated contention is the LEI
+        // total divided by the pool size. Moving workers toward hot LEIs
+        // lowers the per-worker share there — the rebalancing signal tabu
+        // search optimises over.
+        let queue_share = |topo: &Topology, h: usize| -> f64 {
+            if matches!(topo.role(h), NodeRole::Broker) {
+                return 0.0;
+            }
+            let broker = topo.broker_of(h);
+            let lei = topo.lei(broker);
+            let pressure: f64 = lei.iter().map(|&m| self.metrics[m][7]).sum();
+            let pool = topo.workers_of(broker).len().max(1);
+            pressure / pool as f64
+        };
+        for h in 0..self.n_hosts() {
+            let is_broker = matches!(topology.role(h), NodeRole::Broker);
+            out.graph_features[h][4] = if is_broker { 1.0 } else { 0.0 };
+            out.graph_features[h][5] =
+                (topology.workers_of(h).len() as f64 / self.n_hosts() as f64).clamp(0.0, 1.0);
+
+            let d_cpu = mgmt_cpu(topology, h) - mgmt_cpu(&self.topology, h);
+            let d_ram = (matches!(topology.role(h), NodeRole::Broker) as u8 as f64
+                - matches!(self.topology.role(h), NodeRole::Broker) as u8 as f64)
+                * c.mgmt_ram_mb
+                / self.ram_mb.get(h).copied().unwrap_or(8192.0);
+            let blast = |topo: &Topology| c.stall_risk / topo.brokers().len().max(1) as f64;
+            let d_slo = contention(topology, h) - contention(&self.topology, h)
+                + 0.45 * (queue_share(topology, h) - queue_share(&self.topology, h))
+                + blast(topology)
+                - blast(&self.topology);
+            out.metrics[h][0] = (out.metrics[h][0] + d_cpu).clamp(0.0, 1.0);
+            out.metrics[h][1] = (out.metrics[h][1] + d_ram).clamp(0.0, 1.0);
+            // Energy tracks CPU roughly linearly on constant-frequency
+            // SBCs — plus the standby premium: brokers can never drop into
+            // standby, so promoting a (likely idle) worker costs the
+            // idle-vs-standby power gap and demoting one recovers it in
+            // proportion to how idle the host is.
+            let was_broker = matches!(self.topology.role(h), NodeRole::Broker);
+            let standby_premium = 0.18;
+            let d_standby = if !was_broker && is_broker {
+                standby_premium * (1.0 - self.metrics[h][7].min(1.0))
+            } else if was_broker && !is_broker {
+                -standby_premium * (1.0 - self.metrics[h][7].min(1.0))
+            } else {
+                0.0
+            };
+            out.metrics[h][6] =
+                (out.metrics[h][6] + 0.6 * d_cpu + d_standby).clamp(0.0, 1.0);
+            out.metrics[h][8] = (out.metrics[h][8] + d_slo).clamp(0.0, 1.0);
+        }
+        out.neighbors = topology.gat_neighbors();
+        out.topology = topology.clone();
+        out
+    }
+
+    /// The per-host mean energy (normalised) and SLO-pressure columns of
+    /// `M`, summed over hosts — the ingredients of the objective function
+    /// `O(M) = α·q_energy + β·q_slo` (eq. 6–7).
+    pub fn qos_components(&self) -> (f64, f64) {
+        let energy: f64 = self.metrics.iter().map(|m| m[6]).sum();
+        let slo: f64 = self.metrics.iter().map(|m| m[8]).sum();
+        (energy, slo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use crate::scheduler::SchedulingDecision;
+    use crate::task::{Task, TaskSpec};
+    use crate::topology::Topology;
+
+    fn snapshot() -> SystemState {
+        let topo = Topology::balanced(4, 2).unwrap();
+        let specs: Vec<HostSpec> = (0..4).map(HostSpec::rpi4gb).collect();
+        let mut states = vec![HostState::default(); 4];
+        states[2].cpu = 0.5;
+        states[2].energy_wh = 0.35;
+        let spec = TaskSpec {
+            app: "x".into(),
+            cpu_work: 1.0e6,
+            ram_mb: 512.0,
+            disk_mb: 10.0,
+            net_mb: 10.0,
+            deadline_s: 300.0,
+        };
+        let mut task = Task::new(0, spec, 0, 0);
+        task.status = TaskStatus::Running;
+        task.host = Some(2);
+        task.elapsed_s = 400.0; // already past deadline
+        let mut decision = SchedulingDecision::new();
+        decision.assign(0, 2);
+        SystemState::capture(
+            &topo,
+            &specs,
+            &states,
+            &[task],
+            &decision,
+            &Normalizer::default(),
+        )
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let s = snapshot();
+        assert_eq!(s.n_hosts(), 4);
+        assert_eq!(s.metrics.len(), 4);
+        assert_eq!(s.schedule.len(), 4);
+        assert_eq!(s.graph_features.len(), 4);
+        assert_eq!(s.neighbors.len(), 4);
+    }
+
+    #[test]
+    fn values_are_normalised() {
+        let s = snapshot();
+        for row in &s.metrics {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+            }
+        }
+        for row in &s.schedule {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn slo_pressure_and_energy_feed_qos() {
+        let s = snapshot();
+        let (energy, slo) = s.qos_components();
+        assert!(energy > 0.0, "host 2's energy must appear");
+        assert!(slo > 0.0, "late task must create SLO pressure");
+    }
+
+    #[test]
+    fn metrics_flat_round_trips() {
+        let mut s = snapshot();
+        let flat = s.metrics_flat();
+        assert_eq!(flat.len(), 4 * METRIC_DIM);
+        let mut modified = flat.clone();
+        modified[0] = 0.987;
+        s.set_metrics_flat(&modified);
+        assert_eq!(s.metrics[0][0], 0.987);
+        assert_eq!(s.metrics_flat(), modified);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat metric length mismatch")]
+    fn set_metrics_flat_checks_len() {
+        let mut s = snapshot();
+        s.set_metrics_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn with_topology_applies_role_change_costs() {
+        let s = snapshot();
+        let mut topo = s.topology.clone();
+        let w = topo.workers()[0];
+        topo.promote(w).unwrap();
+        let s2 = s.with_topology(&topo);
+        assert_eq!(s2.graph_features[w][4], 1.0);
+        assert_ne!(s.neighbors, s2.neighbors);
+        // The promoted host gains management CPU and RAM.
+        assert!(s2.metrics[w][0] > s.metrics[w][0], "mgmt CPU must appear");
+        assert!(s2.metrics[w][1] > s.metrics[w][1], "mgmt RAM must appear");
+        // Identity projection leaves metrics untouched.
+        let same = s.with_topology(&s.topology);
+        assert_eq!(same.metrics, s.metrics);
+    }
+
+    #[test]
+    fn with_topology_penalises_over_span_leis() {
+        // Merge everything under one broker: the 14 workers exceed the
+        // span of 5, so their SLO-pressure column must rise.
+        let topo = Topology::balanced(16, 4).unwrap();
+        let specs: Vec<HostSpec> = (0..16).map(HostSpec::rpi4gb).collect();
+        let states = vec![HostState::default(); 16];
+        let s = SystemState::capture(
+            &topo,
+            &specs,
+            &states,
+            &[],
+            &SchedulingDecision::new(),
+            &Normalizer::default(),
+        );
+        let mut merged = topo.clone();
+        for b in [1usize, 2, 3] {
+            for w in merged.workers_of(b) {
+                merged.reassign(w, 0).unwrap();
+            }
+            merged.demote(b, 0).unwrap();
+        }
+        let s2 = s.with_topology(&merged);
+        let (_, slo_before) = s.qos_components();
+        let (_, slo_after) = s2.qos_components();
+        assert!(
+            slo_after > slo_before,
+            "single-broker federation must show contention: {slo_before} → {slo_after}"
+        );
+    }
+
+    #[test]
+    fn broker_flag_set_in_graph_features() {
+        let s = snapshot();
+        assert_eq!(s.graph_features[0][4], 1.0);
+        assert_eq!(s.graph_features[1][4], 1.0);
+        assert_eq!(s.graph_features[2][4], 0.0);
+    }
+}

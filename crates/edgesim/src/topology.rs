@@ -1,0 +1,436 @@
+//! Broker–worker topology of the edge federation.
+//!
+//! The assignment of hosts to the broker layer or the worker layer — and of
+//! each worker to exactly one broker — *is* the decision variable CAROL
+//! optimises (§III-A: "the assignment of edge nodes as brokers or workers
+//! and the allocation of all workers to one of a broker defines the
+//! topology of the system").
+
+use crate::host::HostId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Role of a host within the federation topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Manages a local edge infrastructure (LEI); meshes with all brokers.
+    Broker,
+    /// Executes tasks under the direction of `broker`.
+    Worker {
+        /// The broker this worker reports to.
+        broker: HostId,
+    },
+}
+
+/// Errors raised by topology validation and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The topology has no broker at all.
+    NoBrokers,
+    /// A worker references a host that is not a broker (or out of range).
+    DanglingWorker {
+        /// The offending worker.
+        worker: HostId,
+        /// The invalid broker reference.
+        broker: HostId,
+    },
+    /// A host id was out of range.
+    UnknownHost(HostId),
+    /// The operation would orphan the workers of a broker.
+    WouldOrphanWorkers(HostId),
+    /// The referenced host does not have the role the operation requires.
+    WrongRole(HostId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoBrokers => write!(f, "topology has no brokers"),
+            TopologyError::DanglingWorker { worker, broker } => {
+                write!(f, "worker {worker} references non-broker {broker}")
+            }
+            TopologyError::UnknownHost(h) => write!(f, "host {h} out of range"),
+            TopologyError::WouldOrphanWorkers(b) => {
+                write!(f, "demoting broker {b} would orphan its workers")
+            }
+            TopologyError::WrongRole(h) => write!(f, "host {h} has the wrong role"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Broker–worker topology over `n` hosts.
+///
+/// Invariants (checked by [`Topology::validate`] and preserved by every
+/// mutating method): at least one broker exists, and every worker points at
+/// a host whose role is `Broker`.
+///
+/// # Examples
+///
+/// ```
+/// use edgesim::Topology;
+/// // 8 hosts, 2 LEIs of 1 broker + 3 workers each.
+/// let topo = Topology::balanced(8, 2).unwrap();
+/// assert_eq!(topo.brokers().len(), 2);
+/// assert_eq!(topo.workers_of(topo.brokers()[0]).len(), 3);
+/// topo.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    roles: Vec<NodeRole>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit roles, validating invariants.
+    pub fn new(roles: Vec<NodeRole>) -> Result<Self, TopologyError> {
+        let t = Self { roles };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Evenly partitions `n_hosts` into `n_brokers` LEIs: host `i` of each
+    /// chunk's first position becomes the broker, the rest its workers.
+    /// Mirrors the testbed's symmetric starting topology (§IV-C).
+    pub fn balanced(n_hosts: usize, n_brokers: usize) -> Result<Self, TopologyError> {
+        if n_brokers == 0 || n_brokers > n_hosts {
+            return Err(TopologyError::NoBrokers);
+        }
+        let mut roles = vec![NodeRole::Broker; n_hosts];
+        // Brokers are hosts 0..n_brokers; workers are distributed round-robin
+        // so heterogeneous specs (ordered 8GB-first) spread across LEIs.
+        for (w, role) in roles.iter_mut().enumerate().skip(n_brokers) {
+            *role = NodeRole::Worker {
+                broker: w % n_brokers,
+            };
+        }
+        Ok(Self { roles })
+    }
+
+    /// Number of hosts (brokers + workers).
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// True for a zero-host topology (never valid).
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Role of `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn role(&self, host: HostId) -> NodeRole {
+        self.roles[host]
+    }
+
+    /// All roles, indexed by host.
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.roles
+    }
+
+    /// Hosts currently acting as brokers, ascending.
+    pub fn brokers(&self) -> Vec<HostId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| matches!(r, NodeRole::Broker).then_some(i))
+            .collect()
+    }
+
+    /// Hosts currently acting as workers, ascending.
+    pub fn workers(&self) -> Vec<HostId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| matches!(r, NodeRole::Worker { .. }).then_some(i))
+            .collect()
+    }
+
+    /// Workers managed by `broker` (empty if `broker` is not a broker).
+    pub fn workers_of(&self, broker: HostId) -> Vec<HostId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                NodeRole::Worker { broker: b } if *b == broker => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The LEI of `broker`: the broker itself plus its workers.
+    pub fn lei(&self, broker: HostId) -> Vec<HostId> {
+        let mut nodes = vec![broker];
+        nodes.extend(self.workers_of(broker));
+        nodes
+    }
+
+    /// The broker responsible for `host` (itself when `host` is a broker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn broker_of(&self, host: HostId) -> HostId {
+        match self.roles[host] {
+            NodeRole::Broker => host,
+            NodeRole::Worker { broker } => broker,
+        }
+    }
+
+    /// Checks all invariants.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if !self.roles.iter().any(|r| matches!(r, NodeRole::Broker)) {
+            return Err(TopologyError::NoBrokers);
+        }
+        for (w, role) in self.roles.iter().enumerate() {
+            if let NodeRole::Worker { broker } = role {
+                if *broker >= self.roles.len() {
+                    return Err(TopologyError::UnknownHost(*broker));
+                }
+                if !matches!(self.roles[*broker], NodeRole::Broker) {
+                    return Err(TopologyError::DanglingWorker {
+                        worker: w,
+                        broker: *broker,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Promotes worker `w` to the broker layer. Its previous broker keeps
+    /// its other workers.
+    pub fn promote(&mut self, w: HostId) -> Result<(), TopologyError> {
+        if w >= self.roles.len() {
+            return Err(TopologyError::UnknownHost(w));
+        }
+        match self.roles[w] {
+            NodeRole::Worker { .. } => {
+                self.roles[w] = NodeRole::Broker;
+                Ok(())
+            }
+            NodeRole::Broker => Err(TopologyError::WrongRole(w)),
+        }
+    }
+
+    /// Demotes broker `b` to a worker under `new_broker`. Fails if `b`
+    /// still manages workers (reassign them first) or if `new_broker` is
+    /// not a broker distinct from `b`.
+    pub fn demote(&mut self, b: HostId, new_broker: HostId) -> Result<(), TopologyError> {
+        if b >= self.roles.len() {
+            return Err(TopologyError::UnknownHost(b));
+        }
+        if new_broker >= self.roles.len() {
+            return Err(TopologyError::UnknownHost(new_broker));
+        }
+        if !matches!(self.roles[b], NodeRole::Broker) {
+            return Err(TopologyError::WrongRole(b));
+        }
+        if b == new_broker || !matches!(self.roles[new_broker], NodeRole::Broker) {
+            return Err(TopologyError::WrongRole(new_broker));
+        }
+        if !self.workers_of(b).is_empty() {
+            return Err(TopologyError::WouldOrphanWorkers(b));
+        }
+        if self.brokers().len() == 1 {
+            return Err(TopologyError::NoBrokers);
+        }
+        self.roles[b] = NodeRole::Worker { broker: new_broker };
+        Ok(())
+    }
+
+    /// Reassigns worker `w` to `new_broker`.
+    pub fn reassign(&mut self, w: HostId, new_broker: HostId) -> Result<(), TopologyError> {
+        if w >= self.roles.len() {
+            return Err(TopologyError::UnknownHost(w));
+        }
+        if new_broker >= self.roles.len() {
+            return Err(TopologyError::UnknownHost(new_broker));
+        }
+        if !matches!(self.roles[w], NodeRole::Worker { .. }) {
+            return Err(TopologyError::WrongRole(w));
+        }
+        if !matches!(self.roles[new_broker], NodeRole::Broker) {
+            return Err(TopologyError::WrongRole(new_broker));
+        }
+        self.roles[w] = NodeRole::Worker { broker: new_broker };
+        Ok(())
+    }
+
+    /// Undirected adjacency lists of the federation graph used by the GAT
+    /// encoder: every worker links to its broker; brokers form a full
+    /// mesh; each node carries a self-loop (§IV-A).
+    pub fn gat_neighbors(&self) -> Vec<Vec<usize>> {
+        let brokers = self.brokers();
+        let mut adj: Vec<Vec<usize>> = (0..self.roles.len()).map(|i| vec![i]).collect();
+        for (i, role) in self.roles.iter().enumerate() {
+            match role {
+                NodeRole::Broker => {
+                    for &b in &brokers {
+                        if b != i {
+                            adj[i].push(b);
+                        }
+                    }
+                    for w in self.workers_of(i) {
+                        adj[i].push(w);
+                    }
+                }
+                NodeRole::Worker { broker } => adj[i].push(*broker),
+            }
+        }
+        adj
+    }
+
+    /// Canonical signature for tabu-list membership and hashing: worker
+    /// entries store their broker, broker entries store `usize::MAX`.
+    pub fn signature(&self) -> Vec<usize> {
+        self.roles
+            .iter()
+            .map(|r| match r {
+                NodeRole::Broker => usize::MAX,
+                NodeRole::Worker { broker } => *broker,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_topology_matches_testbed() {
+        let t = Topology::balanced(16, 4).unwrap();
+        assert_eq!(t.brokers(), vec![0, 1, 2, 3]);
+        assert_eq!(t.workers().len(), 12);
+        for b in t.brokers() {
+            assert_eq!(t.workers_of(b).len(), 3);
+            assert_eq!(t.lei(b).len(), 4);
+        }
+    }
+
+    #[test]
+    fn balanced_rejects_degenerate_configs() {
+        assert!(Topology::balanced(4, 0).is_err());
+        assert!(Topology::balanced(4, 5).is_err());
+        assert!(Topology::balanced(4, 4).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_dangling_worker() {
+        let roles = vec![
+            NodeRole::Broker,
+            NodeRole::Worker { broker: 2 }, // host 2 is a worker, not broker
+            NodeRole::Worker { broker: 0 },
+        ];
+        assert_eq!(
+            Topology::new(roles).unwrap_err(),
+            TopologyError::DanglingWorker { worker: 1, broker: 2 }
+        );
+    }
+
+    #[test]
+    fn validation_requires_a_broker() {
+        let roles = vec![NodeRole::Worker { broker: 0 }];
+        assert_eq!(Topology::new(roles).unwrap_err(), TopologyError::NoBrokers);
+    }
+
+    #[test]
+    fn promote_then_reassign_preserves_invariants() {
+        let mut t = Topology::balanced(8, 2).unwrap();
+        let w = t.workers()[0];
+        t.promote(w).unwrap();
+        assert_eq!(t.brokers().len(), 3);
+        t.validate().unwrap();
+        let other = t.workers()[0];
+        t.reassign(other, w).unwrap();
+        t.validate().unwrap();
+        assert!(t.workers_of(w).contains(&other));
+    }
+
+    #[test]
+    fn demote_guards_orphans_and_last_broker() {
+        let mut t = Topology::balanced(4, 2).unwrap();
+        // broker 0 still has a worker: refuse.
+        assert_eq!(
+            t.demote(0, 1).unwrap_err(),
+            TopologyError::WouldOrphanWorkers(0)
+        );
+        // Move 0's workers to 1, then demote works.
+        for w in t.workers_of(0) {
+            t.reassign(w, 1).unwrap();
+        }
+        t.demote(0, 1).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.brokers(), vec![1]);
+        // Demoting the last broker must fail.
+        for w in t.workers_of(1) {
+            let _ = w; // broker 1 has workers; also single-broker guard fires first
+        }
+        assert!(t.demote(1, 1).is_err());
+    }
+
+    #[test]
+    fn broker_of_resolves_both_roles() {
+        let t = Topology::balanced(6, 2).unwrap();
+        assert_eq!(t.broker_of(0), 0);
+        let w = t.workers()[0];
+        let b = match t.role(w) {
+            NodeRole::Worker { broker } => broker,
+            _ => unreachable!(),
+        };
+        assert_eq!(t.broker_of(w), b);
+    }
+
+    #[test]
+    fn gat_neighbors_structure() {
+        let t = Topology::balanced(6, 2).unwrap();
+        let adj = t.gat_neighbors();
+        assert_eq!(adj.len(), 6);
+        // Self-loop everywhere.
+        for (i, nbrs) in adj.iter().enumerate() {
+            assert!(nbrs.contains(&i));
+        }
+        // Brokers see each other.
+        assert!(adj[0].contains(&1));
+        assert!(adj[1].contains(&0));
+        // A worker sees exactly its broker plus itself.
+        let w = t.workers()[0];
+        assert_eq!(adj[w].len(), 2);
+        assert!(adj[w].contains(&t.broker_of(w)));
+    }
+
+    #[test]
+    fn gat_neighbors_symmetric() {
+        let t = Topology::balanced(16, 4).unwrap();
+        let adj = t.gat_neighbors();
+        for (i, nbrs) in adj.iter().enumerate() {
+            for &j in nbrs {
+                if j != i {
+                    assert!(adj[j].contains(&i), "edge {i}->{j} not symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_distinguishes_topologies() {
+        let a = Topology::balanced(6, 2).unwrap();
+        let mut b = a.clone();
+        let w = b.workers()[0];
+        b.promote(w).unwrap();
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(a.signature(), a.clone().signature());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::balanced(8, 2).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

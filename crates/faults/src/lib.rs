@@ -1,0 +1,266 @@
+//! Fault-injection module, after Ye et al. [41] as used in §IV-F.
+//!
+//! At test time the paper injects byzantine faults into broker (and
+//! worker) nodes with a Poisson process of rate λ_f = 0.5 per interval,
+//! sampling uniformly from four attack types that all manifest as resource
+//! over-utilisation:
+//!
+//! * **CPU overload** — a CPU-hogging loop;
+//! * **RAM contention** — continuous memory read/write pressure;
+//! * **Disk attack** — IOZone consuming most disk bandwidth;
+//! * **DDoS attack** — invalid HTTP connection floods contending the NIC.
+//!
+//! The injector translates each attack into a [`FaultLoad`] pushed into the
+//! simulator, which saturates the victim and renders it unresponsive —
+//! exactly the failure pathway the paper restricts itself to ("faults that
+//! manifest in the form of resource over-utilization", §III-A).
+
+#![warn(missing_docs)]
+
+use edgesim::{FaultLoad, HostId, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four attack types of §IV-F.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// CPU hogging application.
+    CpuOverload,
+    /// Continuous memory read/write contention.
+    RamContention,
+    /// IOZone-style disk-bandwidth exhaustion.
+    DiskAttack,
+    /// Network-bandwidth contention from connection floods.
+    DdosAttack,
+}
+
+impl FaultKind {
+    /// All attack types, in a fixed order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::CpuOverload,
+        FaultKind::RamContention,
+        FaultKind::DiskAttack,
+        FaultKind::DdosAttack,
+    ];
+
+    /// The nominal resource pressure this attack exerts for one interval.
+    /// Each attack pins its target resource hard enough to saturate a host
+    /// with typical organic load. See [`FaultKind::load_scaled`] for the
+    /// randomised intensity the injector actually applies.
+    pub fn load(self) -> FaultLoad {
+        match self {
+            FaultKind::CpuOverload => FaultLoad {
+                cpu: 1.0,
+                ram: 0.10,
+                ..Default::default()
+            },
+            FaultKind::RamContention => FaultLoad {
+                ram: 1.0,
+                cpu: 0.25,
+                ..Default::default()
+            },
+            FaultKind::DiskAttack => FaultLoad {
+                disk: 1.0,
+                cpu: 0.15,
+                ..Default::default()
+            },
+            FaultKind::DdosAttack => FaultLoad {
+                net: 1.0,
+                cpu: 0.20,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl FaultKind {
+    /// The attack intensity actually injected: nominal load scaled by a
+    /// uniform factor in `[0.65, 1.15]`. Weak attacks only fell brokers
+    /// that already carry pressure (queue backlog, management span) — the §I
+    /// coupling between bottlenecks and fault frequency.
+    pub fn load_scaled(self, rng: &mut StdRng) -> FaultLoad {
+        let k: f64 = rng.gen_range(0.65..1.15);
+        let base = self.load();
+        FaultLoad {
+            cpu: base.cpu * k,
+            ram: base.ram * k,
+            disk: base.disk * k,
+            net: base.net * k,
+        }
+    }
+}
+
+/// One injected fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Interval the fault strikes.
+    pub interval: usize,
+    /// Victim host.
+    pub host: HostId,
+    /// Attack type.
+    pub kind: FaultKind,
+}
+
+/// Strategy for choosing fault victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetPolicy {
+    /// Target brokers only — the paper's broker-resilience experiments
+    /// ("these attacks were performed to cause the byzantine failure of
+    /// broker nodes", §IV-F).
+    BrokersOnly,
+    /// Target any host uniformly (workers included).
+    AnyHost,
+}
+
+/// Poisson fault injector (λ_f = 0.5 by default, §IV-F).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rate: f64,
+    target: TargetPolicy,
+    rng: StdRng,
+    history: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with rate `rate` faults per interval.
+    pub fn new(rate: f64, target: TargetPolicy, seed: u64) -> Self {
+        assert!(rate >= 0.0, "fault rate must be non-negative");
+        Self {
+            rate,
+            target,
+            rng: StdRng::seed_from_u64(seed),
+            history: Vec::new(),
+        }
+    }
+
+    /// The paper's configuration: λ_f = 0.5, brokers targeted.
+    pub fn paper_defaults(seed: u64) -> Self {
+        Self::new(0.5, TargetPolicy::BrokersOnly, seed)
+    }
+
+    /// Injection rate per interval.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Everything injected so far.
+    pub fn history(&self) -> &[FaultEvent] {
+        &self.history
+    }
+
+    /// Draws this interval's faults and pushes their loads into `sim`.
+    /// Returns the events injected (empty most intervals at λ_f = 0.5).
+    pub fn inject(&mut self, interval: usize, sim: &mut Simulator) -> Vec<FaultEvent> {
+        let n_faults = workloads::poisson(self.rate, &mut self.rng);
+        let mut events = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let candidates: Vec<HostId> = match self.target {
+                TargetPolicy::BrokersOnly => sim.topology().brokers(),
+                TargetPolicy::AnyHost => (0..sim.specs().len()).collect(),
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            let host = candidates[self.rng.gen_range(0..candidates.len())];
+            let kind = FaultKind::ALL[self.rng.gen_range(0..FaultKind::ALL.len())];
+            sim.inject_fault(host, kind.load_scaled(&mut self.rng));
+            let event = FaultEvent {
+                interval,
+                host,
+                kind,
+            };
+            self.history.push(event);
+            events.push(event);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgesim::scheduler::LeastLoadScheduler;
+    use edgesim::SimConfig;
+
+    #[test]
+    fn every_attack_saturates_its_resource() {
+        for kind in FaultKind::ALL {
+            let l = kind.load();
+            let peak = l.cpu.max(l.ram).max(l.disk).max(l.net);
+            assert!(peak >= 1.0, "{kind:?} must saturate something");
+        }
+    }
+
+    #[test]
+    fn injection_rate_matches_poisson_mean() {
+        let mut sim = Simulator::new(SimConfig::small(8, 2, 0));
+        let mut inj = FaultInjector::new(0.5, TargetPolicy::BrokersOnly, 1);
+        let mut sched = LeastLoadScheduler::new();
+        let intervals = 4000;
+        for t in 0..intervals {
+            inj.inject(t, &mut sim);
+            sim.step(Vec::new(), &mut sched);
+        }
+        let mean = inj.history().len() as f64 / intervals as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn brokers_only_policy_hits_brokers() {
+        let mut sim = Simulator::new(SimConfig::small(8, 2, 3));
+        let mut inj = FaultInjector::new(3.0, TargetPolicy::BrokersOnly, 5);
+        let mut sched = LeastLoadScheduler::new();
+        for t in 0..50 {
+            inj.inject(t, &mut sim);
+            sim.step(Vec::new(), &mut sched);
+        }
+        assert!(!inj.history().is_empty());
+        for e in inj.history() {
+            // Victims were brokers at injection time; initial topology has
+            // brokers 0 and 1 and never changes here.
+            assert!(e.host < 2, "non-broker {} attacked", e.host);
+        }
+    }
+
+    #[test]
+    fn injected_faults_cause_broker_failures() {
+        let mut sim = Simulator::new(SimConfig::small(8, 2, 4));
+        let mut inj = FaultInjector::new(5.0, TargetPolicy::BrokersOnly, 6);
+        let mut sched = LeastLoadScheduler::new();
+        let mut saw_broker_failure = false;
+        for t in 0..20 {
+            inj.inject(t, &mut sim);
+            let r = sim.step(Vec::new(), &mut sched);
+            if !r.failed_brokers.is_empty() {
+                saw_broker_failure = true;
+            }
+        }
+        assert!(saw_broker_failure, "high fault rate must fell a broker");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new(SimConfig::small(8, 2, 9));
+            let mut inj = FaultInjector::new(1.0, TargetPolicy::AnyHost, seed);
+            let mut sched = LeastLoadScheduler::new();
+            for t in 0..30 {
+                inj.inject(t, &mut sim);
+                sim.step(Vec::new(), &mut sched);
+            }
+            inj.history().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut sim = Simulator::new(SimConfig::small(4, 1, 0));
+        let mut inj = FaultInjector::new(0.0, TargetPolicy::AnyHost, 0);
+        for t in 0..50 {
+            assert!(inj.inject(t, &mut sim).is_empty());
+        }
+    }
+}

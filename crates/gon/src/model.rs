@@ -1,0 +1,456 @@
+//! The GON discriminator network and input-space generation loop.
+
+use edgesim::state::{SystemState, GRAPH_DIM, METRIC_DIM, SCHED_DIM};
+use nn::init::Initializer;
+use nn::layer::{Activation, Dense, Layer, Param, Sequential};
+use nn::{GraphAttention, Matrix};
+
+/// Hyperparameters of the GON network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GonConfig {
+    /// Hidden width of every feed-forward layer (paper: 128, §IV-E).
+    pub hidden: usize,
+    /// Number of hidden layers in the head. The paper's grid search picks
+    /// 3 layers (a ~1 GB process footprint on the Pi); the sensitivity
+    /// analysis of Fig. 6(b) sweeps this.
+    pub head_layers: usize,
+    /// GAT embedding width.
+    pub gat_dim: usize,
+    /// GAT attention key/query width.
+    pub gat_att: usize,
+    /// Step size γ of the generation loop (paper: 1e-3 optimal, Fig. 6a).
+    pub gen_lr: f64,
+    /// Maximum generation iterations per query.
+    pub gen_steps: usize,
+    /// Convergence threshold on the metric-update norm.
+    pub gen_tol: f64,
+    /// Parameter-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for GonConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 128,
+            head_layers: 3,
+            gat_dim: 32,
+            gat_att: 16,
+            gen_lr: 1e-3,
+            gen_steps: 40,
+            gen_tol: 1e-7,
+            seed: 7,
+        }
+    }
+}
+
+impl GonConfig {
+    /// Maps a target process footprint in GB to a layer count, following
+    /// the paper's sensitivity grid (Fig. 6b: {0.25, 0.5, 1, 2, 5} GB ↔
+    /// growing network depth, with 1 GB = 3 layers chosen).
+    pub fn with_memory_gb(mut self, gb: f64) -> Self {
+        self.head_layers = if gb <= 0.25 {
+            1
+        } else if gb <= 0.5 {
+            2
+        } else if gb <= 1.0 {
+            3
+        } else if gb <= 2.0 {
+            4
+        } else {
+            6
+        };
+        self
+    }
+
+    /// Nominal process footprint in GB implied by the layer count — the
+    /// figure the paper reports for Fig. 5(e)/6(b). The parameters
+    /// themselves are tiny; the footprint models the full inference stack
+    /// (activations, framework, buffers) measured on the testbed.
+    pub fn nominal_memory_gb(&self) -> f64 {
+        match self.head_layers {
+            0 | 1 => 0.25,
+            2 => 0.5,
+            3 => 1.0,
+            4 => 2.0,
+            _ => 5.0,
+        }
+    }
+}
+
+/// Result of one generation query (eq. 1 run to convergence).
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The converged performance-metric prediction `M*` (flattened,
+    /// `n_hosts × METRIC_DIM`, values clamped to `[0, 1]`).
+    pub metrics_flat: Vec<f64>,
+    /// The confidence score `D(M*, S, G) ∈ [0, 1]`.
+    pub confidence: f64,
+    /// Iterations the ascent took.
+    pub iterations: usize,
+}
+
+/// The composite discriminator of Fig. 3.
+pub struct GonModel {
+    config: GonConfig,
+    ms_encoder: Sequential,
+    gat: GraphAttention,
+    head: Sequential,
+}
+
+impl std::fmt::Debug for GonModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GonModel(hidden={}, head_layers={}, params={})",
+            self.config.hidden,
+            self.config.head_layers,
+            self.param_count()
+        )
+    }
+}
+
+impl GonModel {
+    /// Builds the network from a configuration.
+    pub fn new(config: GonConfig) -> Self {
+        let mut init = Initializer::new(config.seed);
+        let mut ms_encoder = Sequential::new();
+        ms_encoder.push(Dense::new(METRIC_DIM + SCHED_DIM, config.hidden, &mut init));
+        ms_encoder.push(Activation::relu());
+
+        let gat = GraphAttention::new(GRAPH_DIM, config.gat_dim, config.gat_att, &mut init);
+
+        let mut head = Sequential::new();
+        let mut in_dim = config.hidden + config.gat_dim;
+        for _ in 0..config.head_layers.saturating_sub(1) {
+            head.push(Dense::new(in_dim, config.hidden, &mut init));
+            head.push(Activation::tanh());
+            in_dim = config.hidden;
+        }
+        head.push(Dense::new(in_dim, 1, &mut init));
+        head.push(Activation::sigmoid());
+
+        Self {
+            config,
+            ms_encoder,
+            gat,
+            head,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &GonConfig {
+        &self.config
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.ms_encoder.param_count() + self.gat.param_count() + self.head.param_count()
+    }
+
+    /// All trainable parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.ms_encoder.params_mut();
+        p.extend(self.gat.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Assembles the `[M | S]` per-host input matrix from a state.
+    fn ms_input(state: &SystemState) -> Matrix {
+        let n = state.n_hosts();
+        let mut x = Matrix::zeros(n, METRIC_DIM + SCHED_DIM);
+        for h in 0..n {
+            x.row_mut(h)[..METRIC_DIM].copy_from_slice(&state.metrics[h]);
+            x.row_mut(h)[METRIC_DIM..].copy_from_slice(&state.schedule[h]);
+        }
+        x
+    }
+
+    fn graph_input(state: &SystemState) -> Matrix {
+        let n = state.n_hosts();
+        let mut g = Matrix::zeros(n, GRAPH_DIM);
+        for h in 0..n {
+            g.row_mut(h).copy_from_slice(&state.graph_features[h]);
+        }
+        g
+    }
+
+    /// Forward pass: `D(M, S, G; θ) ∈ [0, 1]`.
+    pub fn score(&mut self, state: &SystemState) -> f64 {
+        self.forward_internal(state)
+    }
+
+    fn forward_internal(&mut self, state: &SystemState) -> f64 {
+        let n = state.n_hosts() as f64;
+        let x = Self::ms_input(state);
+        let e = self.ms_encoder.forward(&x); // [n × hidden]
+        let e_ms = e.sum_rows().scale(1.0 / n); // mean-pool → [1 × hidden]
+
+        let gfeat = Self::graph_input(state);
+        let eg = self.gat.forward(&gfeat, &state.neighbors); // [n × gat_dim]
+        let e_g = eg.sum_rows().scale(1.0 / n);
+
+        let z = self.head.forward(&e_ms.hcat(&e_g));
+        z[(0, 0)]
+    }
+
+    /// Backward pass after [`GonModel::score`]: given `dL/dD`, accumulates
+    /// parameter gradients and returns the gradient of the loss with
+    /// respect to the *metric entries* of the input (`n_hosts ×
+    /// METRIC_DIM`) — the tensor eq. 1 ascends.
+    pub fn backward(&mut self, n_hosts: usize, grad_score: f64) -> Matrix {
+        let n = n_hosts as f64;
+        let g_head = self
+            .head
+            .backward(&Matrix::from_vec(1, 1, vec![grad_score]));
+        let (g_ms_pooled, g_g_pooled) = g_head.hsplit(self.config.hidden);
+
+        // Mean-pool backward: each host row receives grad / n.
+        let mut g_ms = Matrix::zeros(n_hosts, self.config.hidden);
+        let mut g_g = Matrix::zeros(n_hosts, self.config.gat_dim);
+        for h in 0..n_hosts {
+            for c in 0..self.config.hidden {
+                g_ms[(h, c)] = g_ms_pooled[(0, c)] / n;
+            }
+            for c in 0..self.config.gat_dim {
+                g_g[(h, c)] = g_g_pooled[(0, c)] / n;
+            }
+        }
+
+        let dx = self.ms_encoder.backward(&g_ms);
+        let _dgraph = self.gat.backward(&g_g); // graph features are inputs too
+        let (d_metrics, _d_sched) = dx.hsplit(METRIC_DIM);
+        d_metrics
+    }
+
+    /// Like [`GonModel::backward`], but leaves parameter gradients exactly
+    /// as they were: only the input-metric gradient is returned. Used when
+    /// a generation pass must run *inside* a training step without
+    /// polluting the accumulated parameter gradients (Algorithm 1 line 4).
+    pub fn backward_discard(&mut self, n_hosts: usize, grad_score: f64) -> Matrix {
+        let snapshot: Vec<Matrix> = self
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.clone())
+            .collect();
+        let d_metrics = self.backward(n_hosts, grad_score);
+        for (p, saved) in self.params_mut().into_iter().zip(snapshot) {
+            p.grad = saved;
+        }
+        d_metrics
+    }
+
+    /// Runs the generation loop of eq. 1: starting from the metrics in
+    /// `state` (the paper warm-starts from `M_{t-1}`, §III-B), ascends
+    /// `log D` over `M` with step size γ until convergence. Returns the
+    /// converged metrics and confidence.
+    pub fn generate(&mut self, state: &SystemState) -> Generated {
+        let mut work = state.clone();
+        let n = work.n_hosts();
+        let mut best = Generated {
+            metrics_flat: work.metrics_flat(),
+            confidence: f64::NEG_INFINITY,
+            iterations: 0,
+        };
+        let mut prev_score = f64::NEG_INFINITY;
+        for it in 0..self.config.gen_steps {
+            let score = self.forward_internal(&work);
+            if score > best.confidence {
+                best.confidence = score;
+                best.metrics_flat = work.metrics_flat();
+            }
+            best.iterations = it + 1;
+            // Overshoot: a too-large γ makes the ascent non-monotone; keep
+            // the best iterate and stop (Fig. 6a: γ ≥ 1e-2 "is unable to
+            // converge to the optima").
+            if score < prev_score {
+                break;
+            }
+            // Converged: the likelihood has plateaued. The tolerance is
+            // scaled by γ (relative to the 1e-3 reference) so the
+            // criterion is step-size invariant: a small γ takes many more
+            // iterations to satisfy it — the Fig. 6a scheduling-time
+            // effect — while a large γ plateaus (or overshoots) quickly.
+            let tol = self.config.gen_tol * (self.config.gen_lr / 1e-3).max(1e-6);
+            if it > 0 && score - prev_score < tol {
+                break;
+            }
+            prev_score = score;
+            // ∇_M log D = (1/D) ∇_M D; backward with dL/dD = 1/D.
+            self.zero_grad(); // parameter grads from generation are discarded
+            let d_metrics = self.backward(n, 1.0 / score.max(1e-9));
+            let step = d_metrics.scale(self.config.gen_lr);
+            let mut flat = work.metrics_flat();
+            for (v, d) in flat.iter_mut().zip(step.data()) {
+                *v = (*v + d).clamp(0.0, 1.0);
+            }
+            work.set_metrics_flat(&flat);
+        }
+        self.zero_grad();
+        if best.confidence == f64::NEG_INFINITY {
+            best.confidence = self.forward_internal(&work);
+            self.zero_grad();
+        }
+        best
+    }
+
+    /// Predicts the QoS objective `O(M*) = α·q_energy + β·q_slo` (eq. 6–7)
+    /// for a *candidate topology*, by generating `M*` under that topology
+    /// and summing its energy and SLO columns. Returns
+    /// `(objective, confidence)`; lower objective is better.
+    pub fn predict_qos(
+        &mut self,
+        state: &SystemState,
+        alpha: f64,
+        beta: f64,
+    ) -> (f64, f64) {
+        let generated = self.generate(state);
+        let mut probe = state.clone();
+        probe.set_metrics_flat(&generated.metrics_flat);
+        let (q_energy, q_slo) = probe.qos_components();
+        (alpha * q_energy + beta * q_slo, generated.confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgesim::scheduler::SchedulingDecision;
+    use edgesim::state::Normalizer;
+    use edgesim::{HostSpec, HostState, Topology};
+    use nn::gradcheck::{max_abs_diff, numerical_grad};
+
+    fn test_state(n_hosts: usize, n_brokers: usize, load: f64) -> SystemState {
+        let topo = Topology::balanced(n_hosts, n_brokers).unwrap();
+        let specs: Vec<HostSpec> = (0..n_hosts).map(HostSpec::rpi4gb).collect();
+        let mut states = vec![HostState::default(); n_hosts];
+        for (i, st) in states.iter_mut().enumerate() {
+            st.cpu = (load + 0.05 * i as f64).min(1.0);
+            st.ram = (load * 0.8).min(1.0);
+            st.energy_wh = 0.3 * load;
+        }
+        SystemState::capture(
+            &topo,
+            &specs,
+            &states,
+            &[],
+            &SchedulingDecision::new(),
+            &Normalizer::default(),
+        )
+    }
+
+    fn small_config() -> GonConfig {
+        GonConfig {
+            hidden: 16,
+            head_layers: 2,
+            gat_dim: 8,
+            gat_att: 4,
+            gen_lr: 1e-2,
+            gen_steps: 20,
+            gen_tol: 1e-7,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn score_is_a_probability() {
+        let mut model = GonModel::new(small_config());
+        for load in [0.0, 0.3, 0.9] {
+            let s = test_state(8, 2, load);
+            let z = model.score(&s);
+            assert!((0.0..=1.0).contains(&z), "score {z} out of range");
+        }
+    }
+
+    #[test]
+    fn same_weights_serve_different_host_counts() {
+        let mut model = GonModel::new(small_config());
+        let a = model.score(&test_state(4, 1, 0.4));
+        let b = model.score(&test_state(16, 4, 0.4));
+        assert!(a.is_finite() && b.is_finite());
+    }
+
+    #[test]
+    fn metric_gradient_matches_numerical() {
+        let mut model = GonModel::new(small_config());
+        let state = test_state(4, 2, 0.5);
+        let score = model.score(&state);
+        model.zero_grad();
+        let analytic = model.backward(4, 1.0);
+        let _ = score;
+
+        let numeric = numerical_grad(
+            &Matrix::from_vec(4, METRIC_DIM, state.metrics_flat()),
+            1e-6,
+            |probe| {
+                let mut s = state.clone();
+                s.set_metrics_flat(probe.data());
+                model.score(&s)
+            },
+        );
+        assert!(
+            max_abs_diff(&analytic, &numeric) < 1e-6,
+            "metric gradient mismatch"
+        );
+    }
+
+    #[test]
+    fn generation_increases_score() {
+        let mut model = GonModel::new(small_config());
+        let state = test_state(6, 2, 0.5);
+        let before = model.score(&state);
+        let generated = model.generate(&state);
+        assert!(
+            generated.confidence >= before - 1e-9,
+            "ascent must not reduce the score: {before} → {}",
+            generated.confidence
+        );
+        assert!(generated.iterations >= 1);
+        assert!(generated
+            .metrics_flat
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn generation_preserves_shape() {
+        let mut model = GonModel::new(small_config());
+        let state = test_state(8, 2, 0.4);
+        let generated = model.generate(&state);
+        assert_eq!(generated.metrics_flat.len(), 8 * METRIC_DIM);
+    }
+
+    #[test]
+    fn predict_qos_blends_energy_and_slo() {
+        let mut model = GonModel::new(small_config());
+        let state = test_state(6, 2, 0.5);
+        let (q_energy_only, _) = model.predict_qos(&state, 1.0, 0.0);
+        let (q_slo_only, _) = model.predict_qos(&state, 0.0, 1.0);
+        let (q_mix, conf) = model.predict_qos(&state, 0.5, 0.5);
+        assert!((q_mix - 0.5 * (q_energy_only + q_slo_only)).abs() < 1e-6);
+        assert!((0.0..=1.0).contains(&conf));
+    }
+
+    #[test]
+    fn memory_mapping_follows_figure_6b() {
+        for (gb, layers) in [(0.25, 1), (0.5, 2), (1.0, 3), (2.0, 4), (5.0, 6)] {
+            let c = GonConfig::default().with_memory_gb(gb);
+            assert_eq!(c.head_layers, layers, "gb={gb}");
+            assert_eq!(c.nominal_memory_gb(), gb);
+        }
+    }
+
+    #[test]
+    fn deeper_heads_have_more_parameters() {
+        let small = GonModel::new(GonConfig::default().with_memory_gb(0.25));
+        let big = GonModel::new(GonConfig::default().with_memory_gb(5.0));
+        assert!(big.param_count() > small.param_count());
+    }
+}

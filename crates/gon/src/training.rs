@@ -1,0 +1,360 @@
+//! Offline GON training (Algorithm 1) and online fine-tuning.
+//!
+//! Training is adversarial with a single network: converged generated
+//! samples `Z*` act as fakes, dataset tuples act as reals, and the
+//! discriminator ascends `log D(M,S,G) + log(1 − D(Z*,S,G))` (eq. 2).
+//! The paper trains with Adam (lr 1e-4, weight decay 1e-5), minibatch 32,
+//! an 80/20 train/test split, and early stopping — convergence lands
+//! around 30 epochs (Fig. 4).
+
+use crate::model::GonModel;
+use edgesim::state::SystemState;
+use nn::Adam;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters of offline training.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs (paper: convergence ≤ 30).
+    pub epochs: usize,
+    /// Minibatch size (paper: 32, §IV-E).
+    pub minibatch: usize,
+    /// Early-stopping patience in epochs without test-loss improvement.
+    pub patience: usize,
+    /// Train fraction of the 80/20 split.
+    pub train_fraction: f64,
+    /// Adam learning rate (paper: 1e-4).
+    pub lr: f64,
+    /// Adam weight decay (paper: 1e-5).
+    pub weight_decay: f64,
+    /// Shuffling / noise seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            minibatch: 32,
+            patience: 5,
+            train_fraction: 0.8,
+            lr: 1e-4,
+            weight_decay: 1e-5,
+            seed: 11,
+        }
+    }
+}
+
+/// Per-epoch training diagnostics — the series plotted in Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean adversarial BCE loss over the training set.
+    pub loss: f64,
+    /// MSE between generated `M*` and the true metrics, on the test split.
+    pub mse: f64,
+    /// Mean confidence `D(M,S,G)` on real test tuples.
+    pub confidence: f64,
+}
+
+/// One adversarial update on a single state: returns the sample's BCE loss
+/// contribution and accumulates gradients into the model.
+fn adversarial_step(model: &mut GonModel, state: &SystemState, rng: &mut StdRng) -> f64 {
+    let n = state.n_hosts();
+    const EPS: f64 = 1e-9;
+
+    // Real sample: ascend log D(M,S,G) ⇒ descend −log D.
+    let z_real = model.score(state);
+    let zc = z_real.clamp(EPS, 1.0 - EPS);
+    let loss_real = -zc.ln();
+    model.backward(n, -1.0 / zc);
+
+    // Fake sample: noise-initialised metrics converged through eq. 1
+    // (Algorithm 1 lines 3–4). `backward_discard` keeps the real-sample
+    // parameter gradients accumulated above intact.
+    let mut fake = state.clone();
+    let noise: Vec<f64> = (0..n * edgesim::state::METRIC_DIM)
+        .map(|_| rng.gen_range(0.0..1.0))
+        .collect();
+    fake.set_metrics_flat(&noise);
+    let gen_lr = model.config().gen_lr.max(1e-3);
+    for _ in 0..8 {
+        let score = model.score(&fake);
+        let d_metrics = model.backward_discard(n, 1.0 / score.max(EPS));
+        let mut flat = fake.metrics_flat();
+        for (v, d) in flat.iter_mut().zip(d_metrics.data()) {
+            *v = (*v + gen_lr * d).clamp(0.0, 1.0);
+        }
+        fake.set_metrics_flat(&flat);
+    }
+    let z_fake = model.score(&fake).clamp(EPS, 1.0 - EPS);
+    let loss_fake = -(1.0 - z_fake).ln();
+    // Descend −log(1 − D(fake)): dL/dD = 1/(1 − D).
+    model.backward(n, 1.0 / (1.0 - z_fake));
+
+    loss_real + loss_fake
+}
+
+/// Evaluates MSE (generated vs. true metrics, warm-started from the true
+/// metrics of the *previous* test state, as §III-B prescribes) and mean
+/// confidence over a slice of states.
+pub fn evaluate(model: &mut GonModel, states: &[SystemState]) -> (f64, f64) {
+    if states.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut mse_total = 0.0;
+    let mut conf_total = 0.0;
+    let mut count = 0usize;
+    for w in states.windows(2) {
+        let (prev, cur) = (&w[0], &w[1]);
+        if prev.n_hosts() != cur.n_hosts() {
+            continue;
+        }
+        let mut probe = cur.clone();
+        probe.set_metrics_flat(&prev.metrics_flat());
+        let generated = model.generate(&probe);
+        let truth = cur.metrics_flat();
+        let mse: f64 = generated
+            .metrics_flat
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            / truth.len() as f64;
+        mse_total += mse;
+        count += 1;
+    }
+    for s in states {
+        conf_total += model.score(s);
+        model.zero_grad();
+    }
+    let mse = if count == 0 { 0.0 } else { mse_total / count as f64 };
+    (mse, conf_total / states.len() as f64)
+}
+
+/// Trains the GON offline per Algorithm 1 and returns per-epoch stats
+/// (the Fig. 4 curves). The chronological prefix of the trace becomes the
+/// training split so evaluation respects temporal ordering.
+pub fn train_offline(
+    model: &mut GonModel,
+    dataset: &[SystemState],
+    config: &TrainConfig,
+) -> Vec<EpochStats> {
+    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    let split = ((dataset.len() as f64) * config.train_fraction).round() as usize;
+    let split = split.clamp(1, dataset.len());
+    let (train, test) = dataset.split_at(split);
+    let test = if test.is_empty() { train } else { test };
+
+    let mut adam = Adam::new(config.lr, config.weight_decay);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = Vec::with_capacity(config.epochs);
+    let mut best_loss = f64::INFINITY;
+    let mut stale = 0usize;
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(config.minibatch.max(1)) {
+            model.zero_grad();
+            let mut batch_loss = 0.0;
+            for &i in chunk {
+                batch_loss += adversarial_step(model, &train[i], &mut rng);
+            }
+            // Average gradients over the minibatch.
+            let scale = 1.0 / chunk.len() as f64;
+            for p in model.params_mut() {
+                p.grad = p.grad.scale(scale);
+            }
+            adam.step(model.params_mut());
+            epoch_loss += batch_loss;
+        }
+        epoch_loss /= (train.len() * 2).max(1) as f64; // per-term mean
+
+        let (mse, confidence) = evaluate(model, test);
+        stats.push(EpochStats {
+            epoch,
+            loss: epoch_loss,
+            mse,
+            confidence,
+        });
+
+        if epoch_loss + 1e-6 < best_loss {
+            best_loss = epoch_loss;
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= config.patience {
+                break; // early stopping (§IV-E)
+            }
+        }
+    }
+    stats
+}
+
+/// Online fine-tuning on the running dataset Γ (Algorithm 2 line 15):
+/// a handful of adversarial minibatch steps over the freshest data.
+/// Returns the mean loss across the pass.
+pub fn fine_tune(
+    model: &mut GonModel,
+    running: &[SystemState],
+    adam: &mut Adam,
+    seed: u64,
+) -> f64 {
+    if running.is_empty() {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    // One pass over Γ in minibatches of 8 (Γ is small between triggers).
+    for chunk in running.chunks(8) {
+        model.zero_grad();
+        let mut batch = 0.0;
+        for state in chunk {
+            batch += adversarial_step(model, state, &mut rng);
+        }
+        for p in model.params_mut() {
+            p.grad = p.grad.scale(1.0 / chunk.len() as f64);
+        }
+        adam.step(model.params_mut());
+        total += batch;
+    }
+    total / (running.len() * 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GonConfig;
+    use workloads::trace::{generate_trace, TraceConfig};
+    use workloads::BenchmarkSuite;
+
+    fn tiny_model() -> GonModel {
+        GonModel::new(GonConfig {
+            hidden: 12,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps: 6,
+            gen_tol: 1e-7,
+            seed: 1,
+        })
+    }
+
+    fn tiny_trace(n: usize) -> Vec<SystemState> {
+        generate_trace(
+            &TraceConfig {
+                intervals: n,
+                topology_period: 7,
+                arrival_rate: 1.2,
+                suite: BenchmarkSuite::DeFog,
+                seed: 5,
+            },
+            edgesim::SimConfig::small(6, 2, 5),
+        )
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = tiny_model();
+        let trace = tiny_trace(40);
+        let stats = train_offline(
+            &mut model,
+            &trace,
+            &TrainConfig {
+                epochs: 12,
+                minibatch: 8,
+                patience: 12,
+                lr: 3e-3,
+                ..Default::default()
+            },
+        );
+        assert!(stats.len() >= 2);
+        let first = stats.first().unwrap().loss;
+        let last = stats.last().unwrap().loss;
+        assert!(
+            last < first,
+            "loss should fall: {first} → {last} ({stats:?})"
+        );
+    }
+
+    #[test]
+    fn training_raises_confidence_on_seen_data() {
+        let mut model = tiny_model();
+        let trace = tiny_trace(40);
+        let (_, conf_before) = evaluate(&mut model, &trace[32..]);
+        train_offline(
+            &mut model,
+            &trace,
+            &TrainConfig {
+                epochs: 15,
+                minibatch: 8,
+                patience: 15,
+                lr: 3e-3,
+                ..Default::default()
+            },
+        );
+        let (_, conf_after) = evaluate(&mut model, &trace[32..]);
+        assert!(
+            conf_after > conf_before,
+            "confidence on in-distribution data should rise: {conf_before} → {conf_after}"
+        );
+    }
+
+    #[test]
+    fn early_stopping_bounds_epochs() {
+        let mut model = tiny_model();
+        let trace = tiny_trace(16);
+        let stats = train_offline(
+            &mut model,
+            &trace,
+            &TrainConfig {
+                epochs: 50,
+                minibatch: 8,
+                patience: 2,
+                lr: 0.0, // no progress ⇒ stop after patience
+                ..Default::default()
+            },
+        );
+        assert!(stats.len() <= 4, "should stop early, ran {}", stats.len());
+    }
+
+    #[test]
+    fn fine_tune_moves_parameters() {
+        let mut model = tiny_model();
+        let trace = tiny_trace(12);
+        let before: Vec<f64> = model
+            .params_mut()
+            .iter()
+            .map(|p| p.value.norm())
+            .collect();
+        let mut adam = Adam::new(1e-3, 0.0);
+        let loss = fine_tune(&mut model, &trace, &mut adam, 3);
+        assert!(loss.is_finite() && loss > 0.0);
+        let after: Vec<f64> = model
+            .params_mut()
+            .iter()
+            .map(|p| p.value.norm())
+            .collect();
+        assert_ne!(before, after, "fine-tune must update parameters");
+    }
+
+    #[test]
+    fn fine_tune_on_empty_is_noop() {
+        let mut model = tiny_model();
+        let mut adam = Adam::new(1e-3, 0.0);
+        assert_eq!(fine_tune(&mut model, &[], &mut adam, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn training_rejects_empty_dataset() {
+        let mut model = tiny_model();
+        train_offline(&mut model, &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,297 @@
+//! Summary statistics and evaluation metrics shared across the CAROL
+//! reproduction suite.
+//!
+//! The paper reports means over five seeded runs, percentile-based SLO
+//! deadlines (90th percentile response time of the reference method),
+//! prediction MSE and F1 scores. This crate provides those primitives with
+//! deterministic, allocation-light implementations so every other crate can
+//! agree on their semantics.
+
+#![warn(missing_docs)]
+
+pub mod online;
+pub mod summary;
+
+pub use online::OnlineStats;
+pub use summary::Summary;
+
+/// Returns the `q`-quantile (`0.0 ..= 1.0`) of `values` using linear
+/// interpolation between closest ranks (the "R-7" rule used by NumPy's
+/// default, which the paper's analysis scripts rely on).
+///
+/// Returns `None` when `values` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(metrics::quantile(&v, 0.5), Some(2.5));
+/// assert_eq!(metrics::quantile(&v, 0.0), Some(1.0));
+/// assert_eq!(metrics::quantile(&v, 1.0), Some(4.0));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered above"));
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// ```
+/// assert_eq!(metrics::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(metrics::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (Bessel-corrected); `None` for fewer than two
+/// samples.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Mean squared error between two equal-length series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(metrics::mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+/// ```
+pub fn mse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "mse requires equal-length series"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean absolute error between two equal-length series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "mae requires equal-length series"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Binary-classification counts used to derive precision/recall/F1 for the
+/// fault-detection comparisons in §V-B of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Faults flagged and truly present.
+    pub true_positives: usize,
+    /// Faults flagged but absent.
+    pub false_positives: usize,
+    /// Intervals correctly left unflagged.
+    pub true_negatives: usize,
+    /// Faults missed.
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Records one (predicted, actual) observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Precision = TP / (TP + FP); `0.0` when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); `0.0` when nothing was present.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; `0.0` when both are zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+}
+
+/// Relative change of `ours` with respect to `baseline`, as a signed
+/// fraction (negative means `ours` is lower). Used for the "reduces X by N%"
+/// statements in the paper.
+///
+/// ```
+/// // CAROL reduces energy by 16% compared to StepGAN:
+/// let delta = metrics::relative_change(84.0, 100.0);
+/// assert!((delta + 0.16).abs() < 1e-12);
+/// ```
+pub fn relative_change(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if ours == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * ours.signum()
+        }
+    } else {
+        (ours - baseline) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[5.0], 0.3), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_inputs() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+        assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_ignores_nans() {
+        let v = [1.0, f64::NAN, 3.0];
+        assert_eq!(quantile(&v, 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let v = [9.0, 1.0, 4.0, 7.0, 2.0];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let val = quantile(&v, q).unwrap();
+            assert!(val >= last);
+            last = val;
+        }
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        let sd = std_dev(&v).unwrap();
+        assert!((sd - 2.13808993529939).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_needs_two_samples() {
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn mse_and_mae() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mae(&[1.0, 5.0], &[2.0, 3.0]), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mse_rejects_mismatched_lengths() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn confusion_metrics() {
+        let mut c = Confusion::default();
+        for _ in 0..8 {
+            c.record(true, true);
+        }
+        c.record(true, false);
+        c.record(false, true);
+        assert!((c.precision() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.f1() - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn confusion_degenerate_cases() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn relative_change_signs() {
+        assert!(relative_change(80.0, 100.0) < 0.0);
+        assert!(relative_change(120.0, 100.0) > 0.0);
+        assert_eq!(relative_change(0.0, 0.0), 0.0);
+        assert!(relative_change(1.0, 0.0).is_infinite());
+    }
+}

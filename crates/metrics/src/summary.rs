@@ -1,0 +1,130 @@
+//! Multi-run experiment summaries: the paper averages every reported metric
+//! over five seeded runs (§V-A); [`Summary`] holds one metric's per-run
+//! values and renders the mean ± std-dev rows the harness prints.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-run values of a single named metric, with helpers for the aggregate
+/// statistics reported in the paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::Summary;
+/// let mut s = Summary::new("energy_kwh");
+/// s.add_run(11.9);
+/// s.add_run(12.1);
+/// assert_eq!(s.mean(), 12.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Summary {
+    name: String,
+    runs: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary for the metric `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Metric name as given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one run's value.
+    pub fn add_run(&mut self, value: f64) {
+        self.runs.push(value);
+    }
+
+    /// Values for each run in insertion order.
+    pub fn runs(&self) -> &[f64] {
+        &self.runs
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Mean over runs; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        crate::mean(&self.runs).unwrap_or(0.0)
+    }
+
+    /// Sample standard deviation over runs; `0.0` with fewer than two runs.
+    pub fn std_dev(&self) -> f64 {
+        crate::std_dev(&self.runs).unwrap_or(0.0)
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.runs.len() < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (self.runs.len() as f64).sqrt()
+    }
+
+    /// `mean ± std` rendered to `precision` decimals, as printed by the
+    /// experiment binaries.
+    pub fn display(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ± {:.p$}",
+            self.mean(),
+            self.std_dev(),
+            p = precision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_runs() {
+        let mut s = Summary::new("slo");
+        assert!(s.is_empty());
+        s.add_run(0.05);
+        s.add_run(0.07);
+        s.add_run(0.06);
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 0.06).abs() < 1e-12);
+        assert!(s.std_dev() > 0.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = Summary::new("x");
+        s.add_run(1.0);
+        s.add_run(3.0);
+        assert_eq!(s.display(2), "2.00 ± 1.41");
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new("empty");
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = Summary::new("rt");
+        s.add_run(1.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

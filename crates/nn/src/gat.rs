@@ -1,0 +1,351 @@
+//! Graph attention layer (eq. 4 of the paper).
+//!
+//! CAROL encodes the federation topology with a graph attention network so
+//! the discriminator is "agnostic to the number of nodes in the system
+//! topology" (§IV-A). Each node's feature vector is transformed with a
+//! shared dense map, and neighbours are aggregated with dot-product
+//! self-attention:
+//!
+//! ```text
+//! h_j = tanh(W·u_j + b)
+//! α_ij = softmax_{j ∈ n(i)} ( (W_q h_i) · (W_k h_j) / sqrt(d) )
+//! e_i  = tanh( Σ_{j ∈ n(i)} α_ij · h_j )
+//! ```
+//!
+//! The layer is variadic in the node count: the same parameters serve any
+//! topology, which is what lets CAROL evaluate candidate graphs of
+//! different shapes during tabu search.
+
+use crate::init::Initializer;
+use crate::layer::Param;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Graph attention layer with dot-product self-attention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphAttention {
+    w: Param,
+    b: Param,
+    wq: Param,
+    wk: Param,
+    #[serde(skip)]
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    features: Matrix,
+    h: Matrix,
+    q: Matrix,
+    k: Matrix,
+    attention: Vec<Vec<f64>>,
+    neighbors: Vec<Vec<usize>>,
+    output: Matrix,
+}
+
+impl GraphAttention {
+    /// New layer mapping `in_dim`-dimensional node features to `out_dim`
+    /// embeddings, with `att_dim`-dimensional attention keys/queries.
+    pub fn new(in_dim: usize, out_dim: usize, att_dim: usize, init: &mut Initializer) -> Self {
+        Self {
+            w: Param::new(init.glorot(in_dim, out_dim)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            wq: Param::new(init.glorot(out_dim, att_dim)),
+            wk: Param::new(init.glorot(out_dim, att_dim)),
+            cache: None,
+        }
+    }
+
+    /// Input feature dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output embedding dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len() + self.wq.len() + self.wk.len()
+    }
+
+    /// Mutable access to all parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b, &mut self.wq, &mut self.wk]
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Forward pass over a graph with `features` (`n × in_dim`) and
+    /// per-node neighbour lists. Include `i` in `neighbors[i]` to get
+    /// self-loops (CAROL does).
+    ///
+    /// Nodes with empty neighbour lists produce zero embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbors.len() != features.rows()`, if
+    /// `features.cols() != in_dim`, or if a neighbour index is out of range.
+    pub fn forward(&mut self, features: &Matrix, neighbors: &[Vec<usize>]) -> Matrix {
+        let n = features.rows();
+        assert_eq!(neighbors.len(), n, "one neighbour list per node required");
+        assert_eq!(features.cols(), self.in_dim(), "feature width mismatch");
+
+        let h_pre = features.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let h = h_pre.map(f64::tanh);
+        let q = h.matmul(&self.wq.value);
+        let k = h.matmul(&self.wk.value);
+        let scale = 1.0 / (self.wq.value.cols() as f64).sqrt();
+
+        let d_out = self.out_dim();
+        let mut output = Matrix::zeros(n, d_out);
+        let mut attention = Vec::with_capacity(n);
+        for i in 0..n {
+            let nbrs = &neighbors[i];
+            for &j in nbrs {
+                assert!(j < n, "neighbour index {j} out of range for {n} nodes");
+            }
+            if nbrs.is_empty() {
+                attention.push(Vec::new());
+                continue;
+            }
+            // Dot-product attention logits, softmax-normalised with the
+            // usual max-subtraction for stability.
+            let logits: Vec<f64> = nbrs
+                .iter()
+                .map(|&j| {
+                    q.row(i)
+                        .iter()
+                        .zip(k.row(j))
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                        * scale
+                })
+                .collect();
+            let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+            let denom: f64 = exps.iter().sum();
+            let alpha: Vec<f64> = exps.iter().map(|e| e / denom).collect();
+
+            for (idx, &j) in nbrs.iter().enumerate() {
+                let a = alpha[idx];
+                for c in 0..d_out {
+                    output[(i, c)] += a * h[(j, c)];
+                }
+            }
+            attention.push(alpha);
+        }
+        let output = output.map(f64::tanh);
+
+        self.cache = Some(Cache {
+            features: features.clone(),
+            h,
+            q,
+            k,
+            attention,
+            neighbors: neighbors.to_vec(),
+            output: output.clone(),
+        });
+        output
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GraphAttention::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("GraphAttention::backward called before forward");
+        let n = cache.features.rows();
+        let d_out = self.out_dim();
+        let d_att = self.wq.value.cols();
+        let scale = 1.0 / (d_att as f64).sqrt();
+        assert_eq!(grad_output.shape(), (n, d_out), "grad_output shape mismatch");
+
+        // Through the output tanh.
+        let mut d_agg = grad_output.clone();
+        for i in 0..d_agg.len() {
+            let y = cache.output.data()[i];
+            d_agg.data_mut()[i] *= 1.0 - y * y;
+        }
+
+        let mut d_h = Matrix::zeros(n, d_out);
+        let mut d_q = Matrix::zeros(n, d_att);
+        let mut d_k = Matrix::zeros(n, d_att);
+
+        for i in 0..n {
+            let nbrs = &cache.neighbors[i];
+            if nbrs.is_empty() {
+                continue;
+            }
+            let alpha = &cache.attention[i];
+            // dα_ij = dAgg_i · h_j ; and aggregation path into h_j.
+            let mut d_alpha = vec![0.0; nbrs.len()];
+            for (idx, &j) in nbrs.iter().enumerate() {
+                let mut dot = 0.0;
+                for c in 0..d_out {
+                    dot += d_agg[(i, c)] * cache.h[(j, c)];
+                    d_h[(j, c)] += alpha[idx] * d_agg[(i, c)];
+                }
+                d_alpha[idx] = dot;
+            }
+            // Softmax backward: ds_j = α_j (dα_j − Σ_k α_k dα_k).
+            let weighted: f64 = alpha.iter().zip(&d_alpha).map(|(a, d)| a * d).sum();
+            for (idx, &j) in nbrs.iter().enumerate() {
+                let ds = alpha[idx] * (d_alpha[idx] - weighted);
+                for c in 0..d_att {
+                    d_q[(i, c)] += ds * cache.k[(j, c)] * scale;
+                    d_k[(j, c)] += ds * cache.q[(i, c)] * scale;
+                }
+            }
+        }
+
+        // Through Q = H·Wq and K = H·Wk.
+        self.wq.grad = &self.wq.grad + &cache.h.transpose().matmul(&d_q);
+        self.wk.grad = &self.wk.grad + &cache.h.transpose().matmul(&d_k);
+        d_h = &d_h + &d_q.matmul(&self.wq.value.transpose());
+        d_h = &d_h + &d_k.matmul(&self.wk.value.transpose());
+
+        // Through H = tanh(U·W + b).
+        let mut d_hpre = d_h;
+        for i in 0..d_hpre.len() {
+            let y = cache.h.data()[i];
+            d_hpre.data_mut()[i] *= 1.0 - y * y;
+        }
+        self.w.grad = &self.w.grad + &cache.features.transpose().matmul(&d_hpre);
+        self.b.grad = &self.b.grad + &d_hpre.sum_rows();
+        d_hpre.matmul(&self.w.value.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_abs_diff, numerical_grad};
+
+    fn ring_neighbors(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| vec![i, (i + 1) % n, (i + n - 1) % n])
+            .collect()
+    }
+
+    #[test]
+    fn output_shape_follows_node_count() {
+        let mut init = Initializer::new(1);
+        let mut gat = GraphAttention::new(4, 6, 3, &mut init);
+        for n in [2usize, 5, 9] {
+            let feats = Initializer::new(n as u64).normal(n, 4, 1.0);
+            let out = gat.forward(&feats, &ring_neighbors(n));
+            assert_eq!(out.shape(), (n, 6));
+        }
+    }
+
+    #[test]
+    fn attention_weights_are_a_distribution() {
+        let mut init = Initializer::new(2);
+        let mut gat = GraphAttention::new(3, 4, 4, &mut init);
+        let feats = Initializer::new(3).normal(5, 3, 1.0);
+        gat.forward(&feats, &ring_neighbors(5));
+        let cache = gat.cache.as_ref().unwrap();
+        for alpha in &cache.attention {
+            let sum: f64 = alpha.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(alpha.iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn isolated_node_gets_zero_embedding() {
+        let mut init = Initializer::new(4);
+        let mut gat = GraphAttention::new(3, 4, 2, &mut init);
+        let feats = Initializer::new(9).normal(3, 3, 1.0);
+        let neighbors = vec![vec![0, 1], vec![1, 0], vec![]];
+        let out = gat.forward(&feats, &neighbors);
+        // tanh(0) = 0 for the isolated node's row.
+        assert!(out.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn input_gradient_matches_numerical() {
+        let mut init = Initializer::new(7);
+        let mut gat = GraphAttention::new(3, 4, 3, &mut init);
+        let feats = Initializer::new(13).normal(4, 3, 0.8);
+        let neighbors = ring_neighbors(4);
+
+        let loss = |g: &mut GraphAttention, x: &Matrix| -> f64 {
+            let y = g.forward(x, &neighbors);
+            0.5 * y.data().iter().map(|v| v * v).sum::<f64>()
+        };
+
+        let y = gat.forward(&feats, &neighbors);
+        let analytic = gat.backward(&y);
+        let numeric = numerical_grad(&feats, 1e-6, |probe| loss(&mut gat, probe));
+        assert!(
+            max_abs_diff(&analytic, &numeric) < 1e-6,
+            "GAT input gradient mismatch"
+        );
+    }
+
+    #[test]
+    fn parameter_gradients_match_numerical() {
+        let mut init = Initializer::new(21);
+        let mut gat = GraphAttention::new(2, 3, 2, &mut init);
+        let feats = Initializer::new(5).normal(3, 2, 0.7);
+        let neighbors = ring_neighbors(3);
+
+        let y = gat.forward(&feats, &neighbors);
+        gat.backward(&y);
+        let analytic: Vec<Matrix> = gat.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+        // Numerically perturb each parameter tensor in turn.
+        for which in 0..4 {
+            let base = {
+                let params = gat.params_mut();
+                params[which].value.clone()
+            };
+            let numeric = numerical_grad(&base, 1e-6, |probe| {
+                {
+                    let mut params = gat.params_mut();
+                    params[which].value = probe.clone();
+                }
+                let y = gat.forward(&feats, &neighbors);
+                {
+                    let mut params = gat.params_mut();
+                    params[which].value = base.clone();
+                }
+                0.5 * y.data().iter().map(|v| v * v).sum::<f64>()
+            });
+            assert!(
+                max_abs_diff(&analytic[which], &numeric) < 1e-6,
+                "parameter {which} gradient mismatch"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one neighbour list per node")]
+    fn neighbor_list_length_checked() {
+        let mut init = Initializer::new(0);
+        let mut gat = GraphAttention::new(2, 2, 2, &mut init);
+        gat.forward(&Matrix::zeros(3, 2), &[vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbor_bounds_checked() {
+        let mut init = Initializer::new(0);
+        let mut gat = GraphAttention::new(2, 2, 2, &mut init);
+        gat.forward(&Matrix::zeros(2, 2), &[vec![5], vec![0]]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Feed-forward layers with explicit forward/backward passes.
+
+use crate::init::Initializer;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor together with its accumulated gradient and Adam
+/// moment buffers.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Matrix,
+    /// Adam first-moment buffer.
+    pub m: Matrix,
+    /// Adam second-moment buffer.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Wraps a value with zeroed gradient and moment buffers.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Resets the gradient to zero (call between minibatches).
+    pub fn zero_grad(&mut self) {
+        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True for an empty (0-element) parameter.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable computation stage.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// gradient of the loss with respect to the layer output and returns the
+/// gradient with respect to the layer *input* (this input gradient is what
+/// the GON generation loop ascends) while accumulating parameter gradients.
+pub trait Layer {
+    /// Computes the layer output for `input` and caches activations.
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient with respect to the last `forward` input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Mutable access to this layer's parameters (empty for activations).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Fully connected layer: `Y = X·W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Glorot-initialised dense layer mapping `in_dim` → `out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, init: &mut Initializer) -> Self {
+        Self {
+            weight: Param::new(init.glorot(in_dim, out_dim)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Builds a dense layer from explicit weights (tests, serde round-trips).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias` is `1 × weight.cols()`.
+    pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Read-only view of the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let out = input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        let grad_w = input.transpose().matmul(grad_output);
+        self.weight.grad = &self.weight.grad + &grad_w;
+        self.bias.grad = &self.bias.grad + &grad_output.sum_rows();
+        grad_output.matmul(&self.weight.value.transpose())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+/// Elementwise activation functions used by the CAROL network (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// `max(0, x)` — used after the metric/schedule encoder (eq. 3).
+    Relu,
+    /// `tanh(x)` — used inside the graph update (eq. 4).
+    Tanh,
+    /// `1/(1+e^{-x})` — used by the discriminator head (eq. 5).
+    Sigmoid,
+    /// `max(0.01x, x)` — used on attention logits.
+    LeakyRelu,
+}
+
+impl ActivationKind {
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`
+    /// (and input `x` where needed).
+    pub fn derivative(self, x: f64, y: f64) -> f64 {
+        match self {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Tanh => 1.0 - y * y,
+            ActivationKind::Sigmoid => y * (1.0 - y),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+}
+
+/// Stateless activation layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Activation {
+    kind: ActivationKind,
+    #[serde(skip)]
+    cached: Option<(Matrix, Matrix)>, // (input, output)
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Self { kind, cached: None }
+    }
+
+    /// ReLU activation.
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    /// Tanh activation.
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid() -> Self {
+        Self::new(ActivationKind::Sigmoid)
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let out = input.map(|v| self.kind.apply(v));
+        self.cached = Some((input.clone(), out.clone()));
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let (input, output) = self
+            .cached
+            .as_ref()
+            .expect("Activation::backward called before forward");
+        let mut grad = grad_output.clone();
+        for i in 0..grad.len() {
+            grad.data_mut()[i] *= self.kind.derivative(input.data()[i], output.data()[i]);
+        }
+        grad
+    }
+}
+
+/// A stack of layers applied in sequence.
+///
+/// # Examples
+///
+/// ```
+/// use nn::{Dense, Activation, Sequential, Layer, Matrix};
+/// use nn::init::Initializer;
+/// let mut init = Initializer::new(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, &mut init));
+/// net.push(Activation::relu());
+/// net.push(Dense::new(8, 1, &mut init));
+/// let y = net.forward(&Matrix::zeros(2, 4));
+/// assert_eq!(y.shape(), (2, 1));
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers, {} params)", self.layers.len(), self.param_count())
+    }
+}
+
+impl Sequential {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + Send + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when no layers have been added.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Zeroes gradients of all parameters.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_abs_diff, numerical_grad};
+
+    fn loss_of(net: &mut Sequential, x: &Matrix) -> f64 {
+        // Simple quadratic loss: 0.5 * ||f(x)||^2 so dL/dy = y.
+        let y = net.forward(x);
+        0.5 * y.data().iter().map(|v| v * v).sum::<f64>()
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::row_vector(&[1.0, -1.0]);
+        let mut d = Dense::from_parts(w, b);
+        let y = d.forward(&Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert_eq!(y, Matrix::from_rows(&[&[4.0, 7.0]]));
+    }
+
+    #[test]
+    fn dense_input_gradient_matches_numerical() {
+        let mut init = Initializer::new(42);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, &mut init));
+        net.push(Activation::tanh());
+        net.push(Dense::new(5, 2, &mut init));
+        net.push(Activation::sigmoid());
+
+        let x = Initializer::new(7).normal(2, 3, 1.0);
+        let y = net.forward(&x);
+        let analytic = net.backward(&y); // dL/dy = y for 0.5||y||^2
+        let numeric = numerical_grad(&x, 1e-5, |probe| loss_of(&mut net, probe));
+        assert!(
+            max_abs_diff(&analytic, &numeric) < 1e-6,
+            "input gradient mismatch: {:?} vs {:?}",
+            analytic,
+            numeric
+        );
+    }
+
+    #[test]
+    fn dense_param_gradients_match_numerical() {
+        let mut init = Initializer::new(9);
+        let mut dense = Dense::new(3, 2, &mut init);
+        let x = Initializer::new(5).normal(4, 3, 1.0);
+
+        let y = dense.forward(&x);
+        dense.backward(&y);
+        let analytic_w = dense.weight.grad.clone();
+        let analytic_b = dense.bias.grad.clone();
+
+        let w0 = dense.weight.value.clone();
+        let numeric_w = numerical_grad(&w0, 1e-5, |probe| {
+            let mut d = Dense::from_parts(probe.clone(), dense.bias.value.clone());
+            let y = d.forward(&x);
+            0.5 * y.data().iter().map(|v| v * v).sum::<f64>()
+        });
+        assert!(max_abs_diff(&analytic_w, &numeric_w) < 1e-6);
+
+        let b0 = dense.bias.value.clone();
+        let numeric_b = numerical_grad(&b0, 1e-5, |probe| {
+            let mut d = Dense::from_parts(dense.weight.value.clone(), probe.clone());
+            let y = d.forward(&x);
+            0.5 * y.data().iter().map(|v| v * v).sum::<f64>()
+        });
+        assert!(max_abs_diff(&analytic_b, &numeric_b) < 1e-6);
+    }
+
+    #[test]
+    fn relu_gradient_matches_numerical() {
+        let mut act = Activation::relu();
+        // Offset inputs away from the kink at 0 for clean finite differences.
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[-0.3, 2.0, -1.0]]);
+        let y = act.forward(&x);
+        let analytic = act.backward(&y);
+        let numeric = numerical_grad(&x, 1e-6, |probe| {
+            let mut a = Activation::relu();
+            let y = a.forward(probe);
+            0.5 * y.data().iter().map(|v| v * v).sum::<f64>()
+        });
+        assert!(max_abs_diff(&analytic, &numeric) < 1e-6);
+    }
+
+    #[test]
+    fn activation_values() {
+        assert_eq!(ActivationKind::Relu.apply(-3.0), 0.0);
+        assert_eq!(ActivationKind::Relu.apply(3.0), 3.0);
+        assert!((ActivationKind::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((ActivationKind::Tanh.apply(0.0)).abs() < 1e-12);
+        assert_eq!(ActivationKind::LeakyRelu.apply(-1.0), -0.01);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut init = Initializer::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(10, 20, &mut init));
+        net.push(Activation::relu());
+        net.push(Dense::new(20, 1, &mut init));
+        assert_eq!(net.param_count(), 10 * 20 + 20 + 20 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut init = Initializer::new(0);
+        let mut d = Dense::new(2, 2, &mut init);
+        d.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut init = Initializer::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut init));
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let y = net.forward(&x);
+        net.backward(&y);
+        let nonzero = net
+            .params_mut()
+            .iter()
+            .any(|p| p.grad.data().iter().any(|&g| g != 0.0));
+        assert!(nonzero);
+        net.zero_grad();
+        for p in net.params_mut() {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        }
+    }
+}

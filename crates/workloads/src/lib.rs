@@ -1,0 +1,154 @@
+//! Workload generators reproducing the paper's benchmark suites.
+//!
+//! * **DeFog** [30] — Yolo, PocketSphinx and Aeneas, used to create the
+//!   offline GON training trace (§IV-D).
+//! * **AIoTBench** [31] — seven computer-vision applications (three
+//!   heavy-weight: ResNet18, ResNet34, ResNext32x4d; four light-weight:
+//!   SqueezeNet, GoogleNet, MobileNetV2, MnasNet), used *only at test
+//!   time* to probe generalisation (§V-A).
+//!
+//! The real benchmarks execute Docker containers over COCO images on the
+//! testbed; the reproduction substitutes per-application resource/duration
+//! profiles calibrated to the published relative weights (heavy networks
+//! cost 3–6× the light ones) with ±25% per-task jitter to reproduce the
+//! "volatile utilization characteristics" the paper selects AIoTBench for.
+//! Tasks arrive as a Poisson bag-of-tasks with rate λ = 1.2 per interval
+//! (§V-A).
+
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod trace;
+
+pub use profiles::{AppProfile, BenchmarkSuite};
+
+use edgesim::TaskSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Poisson bag-of-tasks arrival process over a benchmark suite.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{BagOfTasks, BenchmarkSuite};
+/// let mut wl = BagOfTasks::new(BenchmarkSuite::AIoTBench, 1.2, 7);
+/// let arrivals = wl.sample_interval(0);
+/// for t in &arrivals {
+///     assert!(t.cpu_work > 0.0);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BagOfTasks {
+    apps: Vec<AppProfile>,
+    rate: f64,
+    rng: StdRng,
+}
+
+impl BagOfTasks {
+    /// Creates a generator over `suite` with Poisson rate `rate` tasks per
+    /// scheduling interval (the paper uses λ = 1.2 for AIoTBench tests).
+    pub fn new(suite: BenchmarkSuite, rate: f64, seed: u64) -> Self {
+        assert!(rate >= 0.0, "arrival rate must be non-negative");
+        Self {
+            apps: suite.profiles(),
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Arrival rate per interval.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The applications this generator draws from.
+    pub fn apps(&self) -> &[AppProfile] {
+        &self.apps
+    }
+
+    /// Draws one interval's arrivals: `Poisson(rate)` tasks, each sampled
+    /// uniformly at random from the suite's applications (§V-A).
+    pub fn sample_interval(&mut self, _interval: usize) -> Vec<TaskSpec> {
+        let count = poisson(self.rate, &mut self.rng);
+        (0..count)
+            .map(|_| {
+                let app = &self.apps[self.rng.gen_range(0..self.apps.len())];
+                app.sample(&mut self.rng)
+            })
+            .collect()
+    }
+}
+
+/// Knuth's Poisson sampler. Exposed for the fault injector, which shares
+/// the same arrival model (λ_f = 0.5, §IV-F).
+pub fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            // Pathological λ guard; λ in this suite is ~1.
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(1.2, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.2).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_yields_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mut a = BagOfTasks::new(BenchmarkSuite::DeFog, 1.2, 9);
+        let mut b = BagOfTasks::new(BenchmarkSuite::DeFog, 1.2, 9);
+        for t in 0..20 {
+            assert_eq!(a.sample_interval(t), b.sample_interval(t));
+        }
+    }
+
+    #[test]
+    fn tasks_come_from_the_right_suite() {
+        let mut wl = BagOfTasks::new(BenchmarkSuite::AIoTBench, 3.0, 4);
+        let names: Vec<String> = BenchmarkSuite::AIoTBench
+            .profiles()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        for t in 0..50 {
+            for task in wl.sample_interval(t) {
+                assert!(names.contains(&task.app), "unknown app {}", task.app);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        BagOfTasks::new(BenchmarkSuite::DeFog, -1.0, 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-application resource profiles.
+//!
+//! Absolute values are calibrated against the simulator's Pi 4B capacity
+//! model (4000 work-units/s, so one interval executes 1.2M units solo):
+//! a Yolo container dominates an interval, PocketSphinx takes ~2 minutes,
+//! the light CNNs finish within tens of seconds — matching the relative
+//! costs reported for DeFog [30] and AIoTBench [31].
+
+use edgesim::TaskSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Mean resource demands of one application, with jitter bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name (e.g. `"yolo"`).
+    pub name: String,
+    /// Mean CPU work per task, in simulator work units.
+    pub cpu_work: f64,
+    /// Mean resident RAM, MB.
+    pub ram_mb: f64,
+    /// Mean disk traffic, MB.
+    pub disk_mb: f64,
+    /// Mean network traffic, MB.
+    pub net_mb: f64,
+    /// Soft SLO deadline, seconds.
+    pub deadline_s: f64,
+    /// Relative jitter applied to cpu/disk/net demands (±).
+    pub jitter: f64,
+}
+
+impl AppProfile {
+    /// Samples one concrete task from the profile with multiplicative
+    /// uniform jitter (RAM jitters at ±15% regardless of `jitter`, since
+    /// model footprints vary less than input-dependent compute).
+    pub fn sample(&self, rng: &mut StdRng) -> TaskSpec {
+        let j = |rng: &mut StdRng, jit: f64| 1.0 + rng.gen_range(-jit..jit);
+        TaskSpec {
+            app: self.name.clone(),
+            cpu_work: (self.cpu_work * j(rng, self.jitter)).max(1.0),
+            ram_mb: (self.ram_mb * j(rng, 0.15)).max(16.0),
+            disk_mb: (self.disk_mb * j(rng, self.jitter)).max(0.1),
+            net_mb: (self.net_mb * j(rng, self.jitter)).max(0.1),
+            deadline_s: self.deadline_s,
+        }
+    }
+}
+
+/// The two benchmark suites of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchmarkSuite {
+    /// DeFog [30]: Yolo, PocketSphinx, Aeneas — training workloads (§IV-D).
+    DeFog,
+    /// AIoTBench [31]: seven CNN inference apps — test workloads (§V-A).
+    AIoTBench,
+}
+
+impl BenchmarkSuite {
+    /// The application profiles of the suite.
+    pub fn profiles(self) -> Vec<AppProfile> {
+        match self {
+            BenchmarkSuite::DeFog => vec![
+                AppProfile {
+                    name: "yolo".into(),
+                    cpu_work: 9.0e5,
+                    ram_mb: 1500.0,
+                    disk_mb: 80.0,
+                    net_mb: 60.0,
+                    deadline_s: 300.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "pocketsphinx".into(),
+                    cpu_work: 5.0e5,
+                    ram_mb: 700.0,
+                    disk_mb: 30.0,
+                    net_mb: 20.0,
+                    deadline_s: 200.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "aeneas".into(),
+                    cpu_work: 2.5e5,
+                    ram_mb: 400.0,
+                    disk_mb: 40.0,
+                    net_mb: 15.0,
+                    deadline_s: 130.0,
+                    jitter: 0.25,
+                },
+            ],
+            BenchmarkSuite::AIoTBench => vec![
+                AppProfile {
+                    name: "resnet18".into(),
+                    cpu_work: 4.5e5,
+                    ram_mb: 900.0,
+                    disk_mb: 45.0,
+                    net_mb: 35.0,
+                    deadline_s: 190.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "resnet34".into(),
+                    cpu_work: 6.5e5,
+                    ram_mb: 1100.0,
+                    disk_mb: 55.0,
+                    net_mb: 40.0,
+                    deadline_s: 250.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "resnext32x4d".into(),
+                    cpu_work: 8.5e5,
+                    ram_mb: 1300.0,
+                    disk_mb: 65.0,
+                    net_mb: 45.0,
+                    deadline_s: 310.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "squeezenet".into(),
+                    cpu_work: 1.5e5,
+                    ram_mb: 350.0,
+                    disk_mb: 20.0,
+                    net_mb: 15.0,
+                    deadline_s: 100.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "googlenet".into(),
+                    cpu_work: 2.5e5,
+                    ram_mb: 500.0,
+                    disk_mb: 25.0,
+                    net_mb: 20.0,
+                    deadline_s: 130.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "mobilenetv2".into(),
+                    cpu_work: 1.8e5,
+                    ram_mb: 400.0,
+                    disk_mb: 20.0,
+                    net_mb: 15.0,
+                    deadline_s: 110.0,
+                    jitter: 0.25,
+                },
+                AppProfile {
+                    name: "mnasnet".into(),
+                    cpu_work: 1.6e5,
+                    ram_mb: 380.0,
+                    disk_mb: 20.0,
+                    net_mb: 15.0,
+                    deadline_s: 105.0,
+                    jitter: 0.25,
+                },
+            ],
+        }
+    }
+
+    /// Convenience: profile names.
+    pub fn app_names(self) -> Vec<String> {
+        self.profiles().into_iter().map(|p| p.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suites_have_published_app_counts() {
+        assert_eq!(BenchmarkSuite::DeFog.profiles().len(), 3);
+        assert_eq!(BenchmarkSuite::AIoTBench.profiles().len(), 7);
+    }
+
+    #[test]
+    fn aiot_heavy_networks_cost_more_than_light() {
+        let profiles = BenchmarkSuite::AIoTBench.profiles();
+        let cost = |name: &str| {
+            profiles
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.cpu_work)
+                .unwrap()
+        };
+        for heavy in ["resnet18", "resnet34", "resnext32x4d"] {
+            for light in ["squeezenet", "googlenet", "mobilenetv2", "mnasnet"] {
+                assert!(
+                    cost(heavy) > cost(light),
+                    "{heavy} should out-cost {light}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_jitter_bounds() {
+        let p = &BenchmarkSuite::DeFog.profiles()[0];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let t = p.sample(&mut rng);
+            assert!(t.cpu_work >= p.cpu_work * (1.0 - p.jitter) - 1e-9);
+            assert!(t.cpu_work <= p.cpu_work * (1.0 + p.jitter) + 1e-9);
+            assert!(t.ram_mb >= p.ram_mb * 0.85 - 1e-9);
+            assert!(t.ram_mb <= p.ram_mb * 1.15 + 1e-9);
+            assert_eq!(t.deadline_s, p.deadline_s);
+        }
+    }
+
+    #[test]
+    fn tasks_fit_on_an_8gb_node() {
+        for suite in [BenchmarkSuite::DeFog, BenchmarkSuite::AIoTBench] {
+            for p in suite.profiles() {
+                assert!(p.ram_mb * 1.15 < 8192.0, "{} would never fit", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn deadlines_leave_headroom_over_solo_runtime() {
+        // Each task's deadline must exceed its contention-free runtime on a
+        // Pi (4000 units/s), otherwise every task would violate trivially.
+        for suite in [BenchmarkSuite::DeFog, BenchmarkSuite::AIoTBench] {
+            for p in suite.profiles() {
+                let solo = p.cpu_work * (1.0 + p.jitter) / 4000.0;
+                assert!(
+                    p.deadline_s > solo,
+                    "{}: deadline {} ≤ worst-case solo {}",
+                    p.name,
+                    p.deadline_s,
+                    solo
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline training-trace generation (§IV-D).
+//!
+//! The paper creates the GON training dataset Λ = {M_t, S_t, G_t} by
+//! running DeFog workloads for 1000 intervals on the testbed, changing the
+//! graph topology every ten intervals (≈100 distinct topologies), under
+//! *normal* (fault-free) execution. [`generate_trace`] reproduces that
+//! procedure on the simulator.
+
+use crate::{BagOfTasks, BenchmarkSuite};
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::state::{Normalizer, SystemState};
+use edgesim::{SimConfig, Simulator, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a trace-generation run.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of scheduling intervals to record (paper: 1000).
+    pub intervals: usize,
+    /// Change the topology every this many intervals (paper: 10).
+    pub topology_period: usize,
+    /// Arrival rate per interval.
+    pub arrival_rate: f64,
+    /// Benchmark suite to draw tasks from (paper: DeFog for training).
+    pub suite: BenchmarkSuite,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            intervals: 1000,
+            topology_period: 10,
+            arrival_rate: 7.2,
+            suite: BenchmarkSuite::DeFog,
+            seed: 0,
+        }
+    }
+}
+
+/// Applies one random, validity-preserving topology mutation: promote a
+/// worker, demote an empty broker, or reassign a worker across LEIs.
+pub fn random_topology_mutation(topo: &mut Topology, rng: &mut StdRng) {
+    for _attempt in 0..16 {
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let workers = topo.workers();
+                if workers.len() > 1 {
+                    let w = workers[rng.gen_range(0..workers.len())];
+                    if topo.promote(w).is_ok() {
+                        return;
+                    }
+                }
+            }
+            1 => {
+                let brokers = topo.brokers();
+                if brokers.len() > 1 {
+                    let b = brokers[rng.gen_range(0..brokers.len())];
+                    let target = brokers[rng.gen_range(0..brokers.len())];
+                    if b != target {
+                        // Move b's workers to target first.
+                        let workers = topo.workers_of(b);
+                        for w in &workers {
+                            let _ = topo.reassign(*w, target);
+                        }
+                        if topo.demote(b, target).is_ok() {
+                            return;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let workers = topo.workers();
+                let brokers = topo.brokers();
+                if !workers.is_empty() && brokers.len() > 1 {
+                    let w = workers[rng.gen_range(0..workers.len())];
+                    let b = brokers[rng.gen_range(0..brokers.len())];
+                    if topo.reassign(w, b).is_ok() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the §IV-D procedure and returns one [`SystemState`] per interval.
+///
+/// The trace is fault-free by construction — the GON learns the
+/// distribution of *normal* execution so that deviations at test time
+/// depress its confidence score.
+pub fn generate_trace(config: &TraceConfig, sim_config: SimConfig) -> Vec<SystemState> {
+    let mut sim = Simulator::new(sim_config);
+    let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, config.seed ^ 0x57_4C);
+    let mut scheduler = LeastLoadScheduler::new();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x54_4F);
+    let norm = Normalizer::default();
+
+    let mut states = Vec::with_capacity(config.intervals);
+    for t in 0..config.intervals {
+        if config.topology_period > 0 && t > 0 && t % config.topology_period == 0 {
+            let mut topo = sim.topology().clone();
+            random_topology_mutation(&mut topo, &mut rng);
+            sim.set_topology(topo);
+        }
+        let arrivals = workload.sample_interval(t);
+        let report = sim.step(arrivals, &mut scheduler);
+        states.push(SystemState::capture(
+            sim.topology(),
+            sim.specs(),
+            sim.host_states(),
+            sim.tasks(),
+            &report.decision,
+            &norm,
+        ));
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace(intervals: usize, seed: u64) -> Vec<SystemState> {
+        let cfg = TraceConfig {
+            intervals,
+            topology_period: 5,
+            arrival_rate: 1.2,
+            suite: BenchmarkSuite::DeFog,
+            seed,
+        };
+        generate_trace(&cfg, SimConfig::small(8, 2, seed))
+    }
+
+    #[test]
+    fn trace_has_one_state_per_interval() {
+        let trace = small_trace(30, 1);
+        assert_eq!(trace.len(), 30);
+        for s in &trace {
+            assert_eq!(s.n_hosts(), 8);
+            s.topology.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_visits_multiple_topologies() {
+        let trace = small_trace(60, 2);
+        let distinct: std::collections::BTreeSet<Vec<usize>> =
+            trace.iter().map(|s| s.topology.signature()).collect();
+        assert!(distinct.len() > 3, "only {} topologies seen", distinct.len());
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = small_trace(20, 7);
+        let b = small_trace(20, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.topology, y.topology);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut topo = Topology::balanced(16, 4).unwrap();
+        for _ in 0..500 {
+            random_topology_mutation(&mut topo, &mut rng);
+            topo.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_states_show_load() {
+        let trace = small_trace(40, 3);
+        let busy = trace
+            .iter()
+            .any(|s| s.metrics.iter().any(|row| row[0] > 0.05));
+        assert!(busy, "trace should show CPU activity somewhere");
+    }
+}

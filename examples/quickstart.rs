@@ -1,0 +1,69 @@
+//! Quickstart: train CAROL offline and run it through a faulty AIoTBench
+//! experiment, printing the QoS metrics the paper reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use carol::carol::{Carol, CarolConfig};
+use carol::runner::{run_experiment, ExperimentConfig};
+use carol::tabu::TabuConfig;
+use gon::{GonConfig, TrainConfig};
+
+fn main() {
+    // 1. Configure CAROL: the paper's hyperparameters (α = β = 0.5,
+    //    tabu list 100, POT-gated fine-tuning), with a short offline
+    //    training budget so the example runs in seconds.
+    let config = CarolConfig {
+        gon: GonConfig {
+            gen_steps: 10,
+            ..Default::default()
+        },
+        tabu: TabuConfig {
+            list_size: 100,
+            max_iters: 3,
+        },
+        pretrain_intervals: 60,
+        offline: TrainConfig {
+            epochs: 5,
+            minibatch: 32,
+            patience: 3,
+            lr: 1e-3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // 2. Offline phase (§IV-D/E): generate a DeFog trace on the simulated
+    //    16-Pi testbed and train the GON on it.
+    println!("pre-training the GON on a DeFog trace…");
+    let mut policy = Carol::pretrained(config, 42);
+
+    // 3. Online phase (§V): 30 intervals of AIoTBench under broker fault
+    //    injection at λ_f = 0.5, with CAROL repairing the topology.
+    println!("running the faulty AIoTBench experiment…");
+    let experiment = ExperimentConfig {
+        intervals: 30,
+        ..ExperimentConfig::paper(42)
+    };
+    let result = run_experiment(&mut policy, &experiment);
+
+    println!("\n=== {} over {} intervals ===", result.name, experiment.intervals);
+    println!("energy consumption : {:>8.1} Wh", result.total_energy_wh);
+    println!("mean response time : {:>8.1} s", result.mean_response_s);
+    println!(
+        "SLO violation rate : {:>8.1} %",
+        100.0 * result.slo_violation_rate
+    );
+    println!("completed tasks    : {:>8}", result.completed);
+    println!("broker failures    : {:>8}", result.broker_failures);
+    println!(
+        "repair decisions   : {:>8}  (mean {:.2} s each)",
+        result.decision_events, result.mean_decision_time_s
+    );
+    println!(
+        "fine-tune events   : {:>8}  ({:.1} s total overhead)",
+        result.fine_tune_events, result.fine_tune_overhead_s
+    );
+    println!("model memory       : {:>8.1} % of federation RAM", result.memory_pct);
+}

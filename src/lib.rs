@@ -1,0 +1,23 @@
+//! Umbrella crate for the CAROL (DSN 2022) reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! * [`carol`] — the confidence-aware resilience model (the paper's
+//!   contribution: GON-backed topology repair with POT-gated fine-tuning).
+//! * [`edgesim`] — the federated edge-cluster simulator substrate.
+//! * [`workloads`] — DeFog / AIoTBench workload generators.
+//! * [`faults`] — the fault-injection module.
+//! * [`gon`] — generative optimization network and comparator surrogates.
+//! * [`baselines`] — DYVERSE, ECLB, LBOS, ELBS, FRAS, TopoMAD, StepGAN.
+//! * [`nn`] — the from-scratch neural substrate.
+//! * [`metrics`] — shared statistics.
+
+pub use baselines;
+pub use carol;
+pub use edgesim;
+pub use faults;
+pub use gon;
+pub use metrics;
+pub use nn;
+pub use workloads;

@@ -1,0 +1,176 @@
+//! Property-based integration tests (proptest): invariants that must hold
+//! for arbitrary topology-mutation sequences, workload draws and fault
+//! patterns.
+
+use carol::nodeshift::{broker_bounds, mutations, neighborhood};
+use carol::tabu::{search, TabuConfig};
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::{FaultLoad, NodeRole, SimConfig, Simulator, TaskStatus, Topology};
+use proptest::prelude::*;
+use workloads::{BagOfTasks, BenchmarkSuite};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of node-shift mutations keeps the topology valid and
+    /// within the broker-count band.
+    #[test]
+    fn mutation_sequences_preserve_invariants(
+        n_hosts in 4usize..20,
+        n_brokers in 1usize..6,
+        moves in proptest::collection::vec(0usize..64, 1..30),
+    ) {
+        prop_assume!(n_brokers <= n_hosts / 2);
+        let mut topo = Topology::balanced(n_hosts, n_brokers).unwrap();
+        for pick in moves {
+            let options = mutations(&topo, &[]);
+            if options.is_empty() {
+                break;
+            }
+            topo = options[pick % options.len()].clone();
+            topo.validate().unwrap();
+            let (lo, hi) = broker_bounds(&topo);
+            let b = topo.brokers().len();
+            prop_assert!(b >= lo.min(b) && b <= hi.max(b));
+            // Every worker has exactly one broker, and it is a broker.
+            for w in topo.workers() {
+                let broker = topo.broker_of(w);
+                prop_assert!(matches!(topo.role(broker), NodeRole::Broker));
+            }
+        }
+    }
+
+    /// Repairing any broker with any banned set yields only valid
+    /// topologies that demote the failed broker.
+    #[test]
+    fn neighborhood_always_yields_valid_repairs(
+        n_hosts in 4usize..16,
+        n_brokers in 2usize..5,
+        banned_mask in 0u16..256,
+    ) {
+        prop_assume!(n_brokers < n_hosts / 2);
+        let topo = Topology::balanced(n_hosts, n_brokers).unwrap();
+        let failed = topo.brokers()[0];
+        let banned: Vec<usize> = (0..n_hosts)
+            .filter(|&h| h != failed && (banned_mask >> (h % 16)) & 1 == 1)
+            .collect();
+        for cand in neighborhood(&topo, failed, &banned) {
+            cand.validate().unwrap();
+            let demoted = matches!(cand.role(failed), NodeRole::Worker { .. });
+            prop_assert!(demoted, "failed broker must be demoted");
+            for &b in &banned {
+                // Banned hosts are never *newly promoted*; ones that were
+                // already brokers keep their role until their own repair
+                // pass handles them (Algorithm 2 iterates failed brokers).
+                let was_worker = matches!(topo.role(b), NodeRole::Worker { .. });
+                let now_broker = matches!(cand.role(b), NodeRole::Broker);
+                prop_assert!(
+                    !(was_worker && now_broker),
+                    "banned worker {b} was promoted"
+                );
+            }
+        }
+    }
+
+    /// Tabu search never returns something worse than its start, for any
+    /// random (but deterministic) objective.
+    #[test]
+    fn tabu_never_regresses(
+        n_hosts in 6usize..14,
+        n_brokers in 2usize..4,
+        weights in proptest::collection::vec(0.0f64..1.0, 24),
+    ) {
+        prop_assume!(n_brokers <= n_hosts / 2);
+        let start = Topology::balanced(n_hosts, n_brokers).unwrap();
+        let objective = |t: &Topology| -> f64 {
+            t.signature()
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let w = weights[i % weights.len()];
+                    w * ((s % 97) as f64)
+                })
+                .sum()
+        };
+        let start_score = objective(&start);
+        let result = search(
+            start,
+            &[],
+            &TabuConfig { list_size: 16, max_iters: 4 },
+            objective,
+        );
+        prop_assert!(result.best_score <= start_score + 1e-12);
+        result.best.validate().unwrap();
+    }
+
+    /// Simulator conservation laws: tasks are never lost, energy is
+    /// positive and finite, violation counts never exceed completions —
+    /// under arbitrary (bounded) workloads and fault patterns.
+    #[test]
+    fn simulator_conservation(
+        seed in 0u64..500,
+        rate in 0.0f64..4.0,
+        fault_host in 0usize..8,
+        fault_interval in 0usize..10,
+    ) {
+        let mut sim = Simulator::new(SimConfig::small(8, 2, seed));
+        let mut sched = LeastLoadScheduler::new();
+        let mut workload = BagOfTasks::new(BenchmarkSuite::AIoTBench, rate, seed);
+        let mut admitted = 0usize;
+        for t in 0..12 {
+            if t == fault_interval {
+                sim.inject_fault(fault_host, FaultLoad { ram: 1.1, ..Default::default() });
+            }
+            let arrivals = workload.sample_interval(t);
+            admitted += arrivals.len();
+            let report = sim.step(arrivals, &mut sched);
+            prop_assert!(report.energy_wh.is_finite() && report.energy_wh > 0.0);
+        }
+        prop_assert_eq!(sim.tasks().len(), admitted);
+        let done = sim
+            .tasks()
+            .iter()
+            .filter(|t| t.status == TaskStatus::Completed)
+            .count();
+        prop_assert_eq!(done, sim.completed_count());
+        prop_assert!(sim.violation_count() <= sim.completed_count());
+        prop_assert!(sim.total_energy_wh().is_finite());
+        // Response times are positive and recorded once per completion.
+        prop_assert_eq!(sim.response_times().len(), done);
+        prop_assert!(sim.response_times().iter().all(|&r| r > 0.0));
+    }
+
+    /// The POT detector never alarms during calibration and always keeps a
+    /// finite threshold afterwards, for arbitrary bounded streams.
+    #[test]
+    fn pot_detector_is_total(
+        values in proptest::collection::vec(0.0f64..1.0, 40..120),
+    ) {
+        let mut pot = carol::PotDetector::new(0.02, 0.1, 16, 8);
+        for (i, &v) in values.iter().enumerate() {
+            let alarm = pot.observe(v);
+            if i < 16 {
+                prop_assert!(!alarm, "alarm during calibration at {i}");
+            }
+            if let Some(z) = pot.threshold() {
+                prop_assert!(z.is_finite());
+            }
+        }
+    }
+
+    /// Workload generators only emit tasks from their suite with positive
+    /// resource demands.
+    #[test]
+    fn workload_tasks_are_well_formed(seed in 0u64..1000, rate in 0.1f64..6.0) {
+        let mut wl = BagOfTasks::new(BenchmarkSuite::DeFog, rate, seed);
+        let names = BenchmarkSuite::DeFog.app_names();
+        for t in 0..10 {
+            for task in wl.sample_interval(t) {
+                prop_assert!(names.contains(&task.app));
+                prop_assert!(task.cpu_work > 0.0);
+                prop_assert!(task.ram_mb > 0.0);
+                prop_assert!(task.deadline_s > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Serialization round-trips: traces, snapshots and experiment results
+//! must survive JSON round-trips so runs can be archived and replotted.
+
+use edgesim::state::{Normalizer, SystemState};
+use edgesim::{SimConfig, Topology};
+use workloads::trace::{generate_trace, TraceConfig};
+use workloads::BenchmarkSuite;
+
+#[test]
+fn system_state_round_trips() {
+    let trace = generate_trace(
+        &TraceConfig {
+            intervals: 5,
+            topology_period: 2,
+            arrival_rate: 2.0,
+            suite: BenchmarkSuite::DeFog,
+            seed: 1,
+        },
+        SimConfig::small(6, 2, 1),
+    );
+    for state in &trace {
+        let json = serde_json::to_string(state).expect("serialise");
+        let back: SystemState = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(state, &back);
+    }
+}
+
+#[test]
+fn topology_and_config_round_trip() {
+    let topo = Topology::balanced(16, 4).unwrap();
+    let json = serde_json::to_string(&topo).unwrap();
+    let back: Topology = serde_json::from_str(&json).unwrap();
+    assert_eq!(topo, back);
+
+    let cfg = SimConfig::testbed(9);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg.specs, back.specs);
+    assert_eq!(cfg.n_brokers, back.n_brokers);
+    assert_eq!(cfg.broker_span, back.broker_span);
+}
+
+#[test]
+fn experiment_result_round_trips() {
+    use carol::carol::{Carol, CarolConfig};
+    use carol::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+
+    let mut policy = Carol::pretrained(CarolConfig::fast_test(), 3);
+    let config = ExperimentConfig {
+        intervals: 6,
+        ..ExperimentConfig::small(3)
+    };
+    let result = run_experiment(&mut policy, &config);
+    let json = serde_json::to_string_pretty(&result).unwrap();
+    let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(result.name, back.name);
+    assert_eq!(result.completed, back.completed);
+    assert_eq!(result.total_energy_wh, back.total_energy_wh);
+    assert_eq!(result.response_times_s, back.response_times_s);
+}
+
+#[test]
+fn gon_config_and_normalizer_survive_defaults() {
+    // Normalizer / CostModel defaults are load-bearing for reproducibility:
+    // pin them so accidental changes fail loudly.
+    let norm = Normalizer::default();
+    assert_eq!(norm.max_tasks, 8.0);
+    let costs = edgesim::state::CostModel::default();
+    assert_eq!(costs.span, 5);
+    assert!(costs.base_cpu > 0.0 && costs.per_worker_cpu > 0.0);
+}
