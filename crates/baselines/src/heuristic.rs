@@ -209,9 +209,7 @@ impl ResiliencePolicy for Eclb {
 
         // One rebalancing migration per interval: shift a worker from the
         // most overloaded LEI to the most underloaded broker.
-        let base = repaired
-            .clone()
-            .unwrap_or_else(|| sim.topology().clone());
+        let base = repaired.clone().unwrap_or_else(|| sim.topology().clone());
         let brokers = base.brokers();
         if brokers.len() >= 2 {
             let load_of = |b: HostId| {
@@ -286,7 +284,13 @@ mod tests {
     fn dyverse_repairs_with_least_cpu_orphan() {
         let mut sim = Simulator::new(SimConfig::small(8, 2, 1));
         let mut sched = LeastLoadScheduler::new();
-        sim.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        sim.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         sim.step(Vec::new(), &mut sched);
         let snapshot = capture(&sim);
         let mut policy = Dyverse::new();
@@ -338,7 +342,13 @@ mod tests {
             let snapshot = capture(&sim);
             policy.observe(&sim, &snapshot, &report);
         }
-        sim.inject_fault(1, FaultLoad { ram: 1.0, ..Default::default() });
+        sim.inject_fault(
+            1,
+            FaultLoad {
+                ram: 1.0,
+                ..Default::default()
+            },
+        );
         sim.step(Vec::new(), &mut sched);
         let snapshot = capture(&sim);
         let topo = policy.repair(&sim, &snapshot).expect("repair expected");

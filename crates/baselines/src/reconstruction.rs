@@ -185,7 +185,7 @@ impl StepGan {
     pub fn new(seed: u64) -> Self {
         Self {
             gan: GanSurrogate::new(48, 16, seed ^ 0x5347),
-            repair_policy: Fras::new(seed ^ 0x5347_02),
+            repair_policy: Fras::new(seed ^ 0x0053_4702),
             step: 0,
             scores: Vec::new(),
             fine_tunes: 0,
@@ -273,7 +273,10 @@ mod tests {
             policy.observe(&sim, &snapshot, &report);
         }
         let early: f64 = policy.errors[..10].iter().sum::<f64>() / 10.0;
-        let late: f64 = policy.errors[policy.errors.len() - 10..].iter().sum::<f64>() / 10.0;
+        let late: f64 = policy.errors[policy.errors.len() - 10..]
+            .iter()
+            .sum::<f64>()
+            / 10.0;
         assert!(
             late < early,
             "reconstruction should improve: {early} → {late}"
@@ -284,7 +287,13 @@ mod tests {
     fn both_repair_through_the_fras_policy() {
         let mut sim = Simulator::new(SimConfig::small(8, 2, 2));
         let mut sched = LeastLoadScheduler::new();
-        sim.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        sim.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         sim.step(Vec::new(), &mut sched);
         let snapshot = capture(&sim);
 

@@ -175,7 +175,9 @@ impl ResiliencePolicy for Lbos {
                         .partial_cmp(&states[b].load_score())
                         .expect("finite")
                 });
-                sorted.get(action.min(sorted.len().saturating_sub(1))).copied()
+                sorted
+                    .get(action.min(sorted.len().saturating_sub(1)))
+                    .copied()
             },
         )
     }
@@ -249,7 +251,13 @@ mod tests {
     fn repairs_failed_broker_via_q_action() {
         let mut sim = Simulator::new(SimConfig::small(8, 2, 1));
         let mut sched = LeastLoadScheduler::new();
-        sim.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        sim.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         sim.step(Vec::new(), &mut sched);
         let snapshot = capture(&sim);
         let mut policy = Lbos::new(3);
@@ -265,7 +273,13 @@ mod tests {
         let mut policy = Lbos::new(5);
         for t in 0..10 {
             if t % 3 == 0 {
-                sim.inject_fault(t % 2, FaultLoad { cpu: 1.0, ..Default::default() });
+                sim.inject_fault(
+                    t % 2,
+                    FaultLoad {
+                        cpu: 1.0,
+                        ..Default::default()
+                    },
+                );
             }
             let report = sim.step(Vec::new(), &mut sched);
             let snapshot = capture(&sim);
@@ -283,7 +297,11 @@ mod tests {
         let mut policy = Lbos::new(7);
         policy.evolve_weights(0.4, 0.2, 0.6);
         let sum: f64 = policy.reward_weights.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "weights={:?}", policy.reward_weights);
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "weights={:?}",
+            policy.reward_weights
+        );
         assert!(policy.reward_weights.iter().all(|&w| w >= 0.0));
     }
 

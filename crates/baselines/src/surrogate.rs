@@ -400,7 +400,13 @@ mod tests {
     fn elbs_and_fras_repair_failures() {
         let mut sim = Simulator::new(SimConfig::small(8, 2, 1));
         let mut sched = LeastLoadScheduler::new();
-        sim.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        sim.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         sim.step(Vec::new(), &mut sched);
         let snapshot = capture(&sim);
 

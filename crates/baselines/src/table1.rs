@@ -36,7 +36,10 @@ impl Approach {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialize-only: rows are static data with `&'static str` names, which
+/// no deserializer can produce from owned input.
+#[derive(Debug, Clone, Serialize)]
 pub struct Capability {
     /// Method name.
     pub name: &'static str,
@@ -261,7 +264,9 @@ mod tests {
     #[test]
     fn implemented_baselines_all_appear() {
         let names: Vec<&str> = table().iter().map(|r| r.name).collect();
-        for b in ["DYVERSE", "ECLB", "LBOS", "ELBS", "FRAS", "TopoMAD", "StepGAN"] {
+        for b in [
+            "DYVERSE", "ECLB", "LBOS", "ELBS", "FRAS", "TopoMAD", "StepGAN",
+        ] {
             assert!(names.contains(&b), "{b} missing from Table I");
         }
     }

@@ -16,8 +16,7 @@ use gon::{GonConfig, GonModel};
 fn testbed_state() -> SystemState {
     let mut sim = Simulator::new(SimConfig::testbed(7));
     let mut sched = LeastLoadScheduler::new();
-    let mut workload =
-        workloads::BagOfTasks::new(workloads::BenchmarkSuite::AIoTBench, 2.0, 7);
+    let mut workload = workloads::BagOfTasks::new(workloads::BenchmarkSuite::AIoTBench, 2.0, 7);
     let mut last = SchedulingDecision::new();
     for t in 0..5 {
         let r = sim.step(workload.sample_interval(t), &mut sched);
@@ -91,8 +90,7 @@ fn bench_simulator(c: &mut Criterion) {
     c.bench_function("simulator_interval_16_hosts", |b| {
         let mut sim = Simulator::new(SimConfig::testbed(3));
         let mut sched = LeastLoadScheduler::new();
-        let mut workload =
-            workloads::BagOfTasks::new(workloads::BenchmarkSuite::AIoTBench, 1.2, 3);
+        let mut workload = workloads::BagOfTasks::new(workloads::BenchmarkSuite::AIoTBench, 1.2, 3);
         let mut t = 0;
         b.iter(|| {
             let arrivals = workload.sample_interval(t);
@@ -102,5 +100,11 @@ fn bench_simulator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gon, bench_topology, bench_pot, bench_simulator);
+criterion_group!(
+    benches,
+    bench_gon,
+    bench_topology,
+    bench_pot,
+    bench_simulator
+);
 criterion_main!(benches);

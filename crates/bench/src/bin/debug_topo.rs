@@ -48,7 +48,8 @@ fn run_one(policy: &mut dyn ResiliencePolicy, label: &str) {
             &norm,
         );
         policy.observe(&sim, &snapshot, &report);
-        if std::env::args().any(|a| a == "--verbose") { println!(
+        if std::env::args().any(|a| a == "--verbose") {
+            println!(
             "t={t:3} brokers={:2} failed_prev={:?} failed_now={:?} done={:3} viol={:3} stall={:5.0} pending={}",
             sim.topology().brokers().len(),
             failed,
@@ -57,7 +58,8 @@ fn run_one(policy: &mut dyn ResiliencePolicy, label: &str) {
             sim.violation_count(),
             report.broker_stall_s,
             sim.tasks().iter().filter(|x| x.status == edgesim::TaskStatus::Pending).count(),
-        ); }
+        );
+        }
     }
     println!(
         "{label}: energy={:.1}Wh resp={:.1}s slo={:.3} restarts={}\n",

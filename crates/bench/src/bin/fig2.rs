@@ -63,7 +63,10 @@ fn main() {
     }
 
     println!("# Fig. 2 — confidence scores and POT threshold, {intervals} intervals");
-    println!("# fine-tune events (blue bands in the paper): {:?}", policy.fine_tune_intervals);
+    println!(
+        "# fine-tune events (blue bands in the paper): {:?}",
+        policy.fine_tune_intervals
+    );
     println!("interval\tconfidence\tpot_threshold\tfine_tuned");
     for (t, (c, z)) in policy
         .confidence_history

@@ -57,10 +57,16 @@ fn main() {
         },
     );
 
-    println!("# Fig. 4 — GON training curves ({} epochs run, paper: converges ≤ 30)", stats.len());
+    println!(
+        "# Fig. 4 — GON training curves ({} epochs run, paper: converges ≤ 30)",
+        stats.len()
+    );
     println!("epoch\tloss\tmse\tconfidence");
     for s in &stats {
-        println!("{}\t{:.4}\t{:.4}\t{:.4}", s.epoch, s.loss, s.mse, s.confidence);
+        println!(
+            "{}\t{:.4}\t{:.4}\t{:.4}",
+            s.epoch, s.loss, s.mse, s.confidence
+        );
     }
 
     let first = stats.first().expect("training produced stats");
@@ -68,7 +74,10 @@ fn main() {
     println!("\n# summary");
     println!("# loss:       {:.4} → {:.4}", first.loss, last.loss);
     println!("# mse:        {:.4} → {:.4}", first.mse, last.mse);
-    println!("# confidence: {:.4} → {:.4}", first.confidence, last.confidence);
+    println!(
+        "# confidence: {:.4} → {:.4}",
+        first.confidence, last.confidence
+    );
     println!(
         "# converged in {} epochs ({})",
         stats.len(),

@@ -43,7 +43,10 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let data = run(&config);
-    eprintln!("[fig5] sweep finished in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[fig5] sweep finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     let panels: [(&str, &str, &str); 6] = [
         ("a", "energy", "Energy (kWh)"),

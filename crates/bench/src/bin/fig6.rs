@@ -10,7 +10,10 @@
 use bench::fig6::{run, Fig6Config, SensitivityPoint, Sweep};
 
 fn print_panel(panel: &str, sweep: Sweep, points: &[SensitivityPoint]) {
-    println!("\n=== Fig. 6({panel}) — sensitivity to {} ===", sweep.label());
+    println!(
+        "\n=== Fig. 6({panel}) — sensitivity to {} ===",
+        sweep.label()
+    );
     println!(
         "{:>12}  {:>10}  {:>14}  {:>12}  {:>10}",
         sweep.label(),

@@ -145,7 +145,11 @@ fn heldout_mse(cfg: &CarolConfig, intervals: usize, seed: u64) -> f64 {
         },
         match cfg.pretrain_sim.specs.len() {
             n if n >= 16 => SimConfig::testbed(seed ^ 1),
-            _ => SimConfig::small(cfg.pretrain_sim.specs.len(), cfg.pretrain_sim.n_brokers, seed ^ 1),
+            _ => SimConfig::small(
+                cfg.pretrain_sim.specs.len(),
+                cfg.pretrain_sim.n_brokers,
+                seed ^ 1,
+            ),
         },
     );
     let mut model = GonModel::new(cfg.gon.clone());
@@ -170,9 +174,7 @@ pub fn run(sweep: Sweep, config: &Fig6Config) -> Vec<SensitivityPoint> {
                 // Report the *algorithmic* component (the fixed
                 // infrastructure constant is identical across points and
                 // would mask the trend the paper plots).
-                decision_s: (result.mean_decision_time_s
-                    - carol::runner::INFRA_REPAIR_S)
-                    .max(0.0),
+                decision_s: (result.mean_decision_time_s - carol::runner::INFRA_REPAIR_S).max(0.0),
                 energy_kwh: result.total_energy_wh / 1000.0,
                 slo_rate: result.slo_violation_rate,
             }

@@ -59,7 +59,11 @@ pub fn render_comparison(headers: &[&str], rows: &[Row], relative_to: Option<&st
         for (i, m) in row.metrics.iter().enumerate() {
             let cell = match &reference {
                 Some(r) if r[i].abs() > 1e-12 => {
-                    format!("{} ({:+.0}%)", m.display(3), 100.0 * (m.mean() - r[i]) / r[i])
+                    format!(
+                        "{} ({:+.0}%)",
+                        m.display(3),
+                        100.0 * (m.mean() - r[i]) / r[i]
+                    )
                 }
                 _ => m.display(3),
             };

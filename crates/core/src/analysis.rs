@@ -70,10 +70,7 @@ pub fn relative_slo_rate_from_times(ours: &[f64], reference: &[f64]) -> Option<f
 }
 
 /// [`relative_slo_rate_from_times`] applied to two experiment results.
-pub fn relative_slo_rate(
-    ours: &ExperimentResult,
-    reference: &ExperimentResult,
-) -> Option<f64> {
+pub fn relative_slo_rate(ours: &ExperimentResult, reference: &ExperimentResult) -> Option<f64> {
     relative_slo_rate_from_times(&ours.response_times_s, &reference.response_times_s)
 }
 

@@ -252,28 +252,28 @@ impl Carol {
         let transition = Self::transition_cost(&base.topology, candidate);
         transition
             + match self.config.variant {
-            CarolVariant::Gon => {
-                let generated = self.gon.generate(&probe);
-                // 0.08 ms per ascent iteration at the reference depth of
-                // 3 layers; deeper models pay proportionally more per
-                // pass (the Fig. 6b scheduling-time growth).
-                let depth_factor = self.config.gon.head_layers.max(1) as f64 / 3.0;
-                self.modeled_decision_s += 8.0e-5 * depth_factor * generated.iterations as f64;
-                let mut refined = probe.clone();
-                refined.set_metrics_flat(&generated.metrics_flat);
-                let (qe, qs) = refined.qos_components();
-                self.config.alpha * qe + self.config.beta * qs
-            }
-            CarolVariant::Gan => self
-                .gan
-                .as_mut()
-                .expect("GAN variant carries a GAN")
-                .predict_qos(&probe, self.config.alpha, self.config.beta, 17),
-            CarolVariant::TraditionalSurrogate => self
-                .ff
-                .as_mut()
-                .expect("FF variant carries a regressor")
-                .predict_qos(&probe),
+                CarolVariant::Gon => {
+                    let generated = self.gon.generate(&probe);
+                    // 0.08 ms per ascent iteration at the reference depth of
+                    // 3 layers; deeper models pay proportionally more per
+                    // pass (the Fig. 6b scheduling-time growth).
+                    let depth_factor = self.config.gon.head_layers.max(1) as f64 / 3.0;
+                    self.modeled_decision_s += 8.0e-5 * depth_factor * generated.iterations as f64;
+                    let mut refined = probe.clone();
+                    refined.set_metrics_flat(&generated.metrics_flat);
+                    let (qe, qs) = refined.qos_components();
+                    self.config.alpha * qe + self.config.beta * qs
+                }
+                CarolVariant::Gan => self
+                    .gan
+                    .as_mut()
+                    .expect("GAN variant carries a GAN")
+                    .predict_qos(&probe, self.config.alpha, self.config.beta, 17),
+                CarolVariant::TraditionalSurrogate => self
+                    .ff
+                    .as_mut()
+                    .expect("FF variant carries a regressor")
+                    .predict_qos(&probe),
             }
     }
 
@@ -454,7 +454,13 @@ mod tests {
         let mut policy = Carol::pretrained(CarolConfig::fast_test(), 1);
         let mut sim = Simulator::new(SimConfig::small(8, 2, 1));
         let mut sched = LeastLoadScheduler::new();
-        sim.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        sim.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         let report = sim.step(Vec::new(), &mut sched);
         assert!(report.failed_brokers.contains(&0));
         let snapshot = capture(&sim, &report.decision);
@@ -467,7 +473,10 @@ mod tests {
             matches!(repaired.role(0), NodeRole::Worker { .. }),
             "failed broker must be demoted: {repaired:?}"
         );
-        assert!(policy.surrogate_queries > 0, "tabu must query the surrogate");
+        assert!(
+            policy.surrogate_queries > 0,
+            "tabu must query the surrogate"
+        );
     }
 
     #[test]
@@ -508,7 +517,10 @@ mod tests {
             never.observe(&sim, &snapshot, &report);
         }
         assert_eq!(never.fine_tune_count(), 0);
-        assert!(always.fine_tune_count() >= intervals - 2, "always should tune ~every interval (needs Γ)");
+        assert!(
+            always.fine_tune_count() >= intervals - 2,
+            "always should tune ~every interval (needs Γ)"
+        );
         assert!(conf.fine_tune_count() <= always.fine_tune_count());
         assert_eq!(conf.confidence_history.len(), intervals);
         assert_eq!(conf.threshold_history.len(), intervals);

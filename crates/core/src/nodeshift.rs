@@ -313,7 +313,11 @@ mod tests {
     fn mutations_are_valid_and_plentiful() {
         let topo = Topology::balanced(16, 4).unwrap();
         let muts = mutations(&topo, &[]);
-        assert!(muts.len() > 16, "expected a rich move set, got {}", muts.len());
+        assert!(
+            muts.len() > 16,
+            "expected a rich move set, got {}",
+            muts.len()
+        );
         for t in &muts {
             t.validate().unwrap();
         }

@@ -80,7 +80,10 @@ impl PotDetector {
             "init quantile must be in (0,1)"
         );
         assert!(calibration >= 8, "need at least 8 calibration points");
-        assert!(drift_window >= 4, "drift window must hold at least 4 values");
+        assert!(
+            drift_window >= 4,
+            "drift window must hold at least 4 values"
+        );
         Self {
             q,
             init_quantile,
@@ -173,11 +176,7 @@ impl PotDetector {
             .map(|&v| u - v)
             .collect();
         self.n = self.warmup.len();
-        self.min_residual = self
-            .warmup
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        self.min_residual = self.warmup.iter().copied().fold(f64::INFINITY, f64::min);
         self.calibrated = true;
         self.refit();
     }
@@ -243,11 +242,7 @@ impl PotDetector {
     }
 
     fn spread_guess(&self) -> f64 {
-        let lo = self
-            .warmup
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let lo = self.warmup.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = self
             .warmup
             .iter()

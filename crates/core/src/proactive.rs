@@ -107,7 +107,7 @@ impl ResiliencePolicy for ProactiveCarol {
         if !sim.failed_brokers().is_empty() {
             return self.inner.repair(sim, snapshot);
         }
-        if t > 0 && t % self.period == 0 {
+        if t > 0 && t.is_multiple_of(self.period) {
             return self.preventive(sim, snapshot);
         }
         None

@@ -116,11 +116,8 @@ pub fn run_experiment(
 ) -> ExperimentResult {
     let mut sim = Simulator::new(config.sim.clone());
     let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, config.seed ^ 0x5754);
-    let mut injector = FaultInjector::new(
-        config.fault_rate,
-        config.fault_target,
-        config.seed ^ 0x4654,
-    );
+    let mut injector =
+        FaultInjector::new(config.fault_rate, config.fault_target, config.seed ^ 0x4654);
     let mut scheduler = LeastLoadScheduler::new();
     let norm = Normalizer::default();
 

@@ -33,6 +33,9 @@ impl NetworkModel {
         assert!(n_leis > 0, "need at least one LEI");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut wan = vec![vec![0.0; n_leis]; n_leis];
+        // Index-based loops keep the symmetric fill readable and the RNG
+        // draw order explicit.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n_leis {
             for j in (i + 1)..n_leis {
                 let l = rng.gen_range(0.020..0.080);
@@ -57,7 +60,10 @@ impl NetworkModel {
 
     /// One-way latency between two LEIs (LAN latency when equal).
     pub fn latency_s(&self, lei_a: usize, lei_b: usize) -> f64 {
-        assert!(lei_a < self.n_leis && lei_b < self.n_leis, "LEI out of range");
+        assert!(
+            lei_a < self.n_leis && lei_b < self.n_leis,
+            "LEI out of range"
+        );
         if lei_a == lei_b {
             self.lan_latency_s
         } else {
@@ -156,11 +162,7 @@ mod tests {
             net.step_mobility(interval);
         }
         let after = net.gateway_weights();
-        let moved: f64 = before
-            .iter()
-            .zip(after)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let moved: f64 = before.iter().zip(after).map(|(a, b)| (a - b).abs()).sum();
         assert!(moved > 0.05, "weights barely moved: {moved}");
     }
 

@@ -145,7 +145,10 @@ impl Scheduler for LeastLoadScheduler {
         for task in tasks.iter().filter(|t| t.status == TaskStatus::Pending) {
             // Re-home the admission point if the admitting broker died.
             let admit = if task.admitted_by < topology.len()
-                && matches!(topology.role(task.admitted_by), crate::topology::NodeRole::Broker)
+                && matches!(
+                    topology.role(task.admitted_by),
+                    crate::topology::NodeRole::Broker
+                )
                 && live(task.admitted_by)
             {
                 task.admitted_by
@@ -185,7 +188,8 @@ impl Scheduler for LeastLoadScheduler {
 
             let spec = &specs[best];
             let cpu_add = task.spec.cpu_work / (spec.cpu_capacity * crate::INTERVAL_SECONDS);
-            *extra.entry(best).or_insert(0.0) += 0.6 * cpu_add + 0.4 * task.spec.ram_mb / spec.ram_mb;
+            *extra.entry(best).or_insert(0.0) +=
+                0.6 * cpu_add + 0.4 * task.spec.ram_mb / spec.ram_mb;
             *extra_ram.entry(best).or_insert(0.0) += task.spec.ram_mb / spec.ram_mb;
             decision.assign(task.id, best);
         }
@@ -270,8 +274,8 @@ mod tests {
     #[test]
     fn total_outage_leaves_task_pending() {
         let (topo, specs, mut states) = setup();
-        for h in 0..8 {
-            states[h].failed = true;
+        for state in states.iter_mut().take(8) {
+            state.failed = true;
         }
         let mut sched = LeastLoadScheduler::new();
         let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);

@@ -169,7 +169,7 @@ impl Simulator {
         let n = config.specs.len();
         let topology = Topology::balanced(n, config.n_brokers)
             .expect("SimConfig must describe a valid federation");
-        let network = NetworkModel::new(config.n_brokers, config.seed ^ 0x4E45_54);
+        let network = NetworkModel::new(config.n_brokers, config.seed ^ 0x004E_4554);
         Self::with_topology(config, topology, network)
     }
 
@@ -298,7 +298,8 @@ impl Simulator {
     /// Panics if the new topology has a different host count or is invalid.
     pub fn set_topology(&mut self, new: Topology) {
         assert_eq!(new.len(), self.topology.len(), "host count must not change");
-        new.validate().expect("refusing to install an invalid topology");
+        new.validate()
+            .expect("refusing to install an invalid topology");
         for h in 0..new.len() {
             let old_role = self.topology.role(h);
             let new_role = new.role(h);
@@ -335,7 +336,11 @@ impl Simulator {
     /// Runs one scheduling interval: admits `arrivals`, places pending
     /// tasks with `scheduler`, simulates execution, applies queued fault
     /// loads, detects failures, and returns the interval's report.
-    pub fn step(&mut self, arrivals: Vec<TaskSpec>, scheduler: &mut dyn Scheduler) -> IntervalReport {
+    pub fn step(
+        &mut self,
+        arrivals: Vec<TaskSpec>,
+        scheduler: &mut dyn Scheduler,
+    ) -> IntervalReport {
         let t = self.interval;
         let n = self.config.specs.len();
 
@@ -365,7 +370,8 @@ impl Simulator {
         // --- 2. Failure determination for THIS interval.
         // Compute provisional utilisation from current placement + queued
         // fault loads; saturated hosts are unresponsive this interval.
-        let fault_loads = std::mem::replace(&mut self.pending_faults, vec![FaultLoad::default(); n]);
+        let fault_loads =
+            std::mem::replace(&mut self.pending_faults, vec![FaultLoad::default(); n]);
         let mut failed_now = vec![false; n];
         for h in 0..n {
             if self.recovering[h] > 0 {
@@ -410,7 +416,8 @@ impl Simulator {
         for h in 0..n {
             fail_view[h].failed = failed_now[h];
         }
-        let decision = scheduler.schedule(&self.tasks, &self.topology, &self.config.specs, &fail_view);
+        let decision =
+            scheduler.schedule(&self.tasks, &self.topology, &self.config.specs, &fail_view);
         for (task_id, host) in decision.iter() {
             if failed_now[host] {
                 continue; // stale decision against a dying host: skip
@@ -422,7 +429,9 @@ impl Simulator {
                 continue;
             }
             // Broker→worker dispatch transfer.
-            let from = self.topology.broker_of(self.tasks[idx].admitted_by.min(n - 1));
+            let from = self
+                .topology
+                .broker_of(self.tasks[idx].admitted_by.min(n - 1));
             let lei_a = self.lei_index_of(from);
             let lei_b = self.lei_index_of(host);
             let transfer = self.network.transfer_s(
@@ -502,7 +511,7 @@ impl Simulator {
                 / spec_h.ram_mb;
             let ram_util = resident_ram + mgmt_ram + fl.ram;
             state.ram = ram_util.min(1.0);
-            state.swap = (ram_util - 1.0).max(0.0).min(1.0);
+            state.swap = (ram_util - 1.0).clamp(0.0, 1.0);
 
             // Disk / network pressure.
             let disk_demand: f64 = task_idxs
@@ -763,8 +772,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(h, spec)| {
-                let is_broker =
-                    matches!(s.topology().role(h), crate::topology::NodeRole::Broker);
+                let is_broker = matches!(s.topology().role(h), crate::topology::NodeRole::Broker);
                 let watts = if is_broker {
                     spec.power_at(s.host_states()[h].cpu)
                 } else {
@@ -839,7 +847,13 @@ mod tests {
     fn fault_load_saturates_and_fails_host() {
         let mut s = sim();
         let mut sched = LeastLoadScheduler::new();
-        s.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        s.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         let r = s.step(Vec::new(), &mut sched);
         assert!(r.failed_hosts.contains(&0));
         assert!(r.failed_brokers.contains(&0));
@@ -859,13 +873,15 @@ mod tests {
             ..quick_spec(2.0e6)
         };
         s.step(vec![spec.clone(), spec], &mut sched);
-        let before: Vec<f64> = s
-            .tasks()
-            .iter()
-            .map(|t| t.remaining_work)
-            .collect();
+        let before: Vec<f64> = s.tasks().iter().map(|t| t.remaining_work).collect();
         // Fail broker 0.
-        s.inject_fault(0, FaultLoad { cpu: 1.0, ..Default::default() });
+        s.inject_fault(
+            0,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
         let r = s.step(Vec::new(), &mut sched);
         assert!(r.failed_brokers.contains(&0));
         assert!(r.broker_stall_s > 0.0);
@@ -890,7 +906,13 @@ mod tests {
             .find(|t| t.status == TaskStatus::Running)
             .and_then(|t| t.host)
             .expect("task should be running");
-        s.inject_fault(host, FaultLoad { ram: 1.0, ..Default::default() });
+        s.inject_fault(
+            host,
+            FaultLoad {
+                ram: 1.0,
+                ..Default::default()
+            },
+        );
         let r = s.step(Vec::new(), &mut sched);
         assert!(r.failed_hosts.contains(&host));
         assert_eq!(r.restarted_tasks, 1);
@@ -921,12 +943,22 @@ mod tests {
             let arrivals: Vec<TaskSpec> = (0..(i % 3)).map(|_| quick_spec(500_000.0)).collect();
             admitted += arrivals.len();
             if i % 5 == 0 {
-                s.inject_fault(i % 8, FaultLoad { cpu: 1.0, ..Default::default() });
+                s.inject_fault(
+                    i % 8,
+                    FaultLoad {
+                        cpu: 1.0,
+                        ..Default::default()
+                    },
+                );
             }
             s.step(arrivals, &mut sched);
         }
         assert_eq!(s.tasks().len(), admitted);
-        let done = s.tasks().iter().filter(|t| t.status == TaskStatus::Completed).count();
+        let done = s
+            .tasks()
+            .iter()
+            .filter(|t| t.status == TaskStatus::Completed)
+            .count();
         assert_eq!(done, s.completed_count());
     }
 

@@ -322,8 +322,7 @@ impl SystemState {
             } else {
                 0.0
             };
-            out.metrics[h][6] =
-                (out.metrics[h][6] + 0.6 * d_cpu + d_standby).clamp(0.0, 1.0);
+            out.metrics[h][6] = (out.metrics[h][6] + 0.6 * d_cpu + d_standby).clamp(0.0, 1.0);
             out.metrics[h][8] = (out.metrics[h][8] + d_slo).clamp(0.0, 1.0);
         }
         out.neighbors = topology.gat_neighbors();

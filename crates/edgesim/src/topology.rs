@@ -328,7 +328,10 @@ mod tests {
         ];
         assert_eq!(
             Topology::new(roles).unwrap_err(),
-            TopologyError::DanglingWorker { worker: 1, broker: 2 }
+            TopologyError::DanglingWorker {
+                worker: 1,
+                broker: 2
+            }
         );
     }
 

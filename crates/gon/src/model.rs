@@ -235,11 +235,7 @@ impl GonModel {
     /// a generation pass must run *inside* a training step without
     /// polluting the accumulated parameter gradients (Algorithm 1 line 4).
     pub fn backward_discard(&mut self, n_hosts: usize, grad_score: f64) -> Matrix {
-        let snapshot: Vec<Matrix> = self
-            .params_mut()
-            .iter()
-            .map(|p| p.grad.clone())
-            .collect();
+        let snapshot: Vec<Matrix> = self.params_mut().iter().map(|p| p.grad.clone()).collect();
         let d_metrics = self.backward(n_hosts, grad_score);
         for (p, saved) in self.params_mut().into_iter().zip(snapshot) {
             p.grad = saved;
@@ -305,12 +301,7 @@ impl GonModel {
     /// for a *candidate topology*, by generating `M*` under that topology
     /// and summing its energy and SLO columns. Returns
     /// `(objective, confidence)`; lower objective is better.
-    pub fn predict_qos(
-        &mut self,
-        state: &SystemState,
-        alpha: f64,
-        beta: f64,
-    ) -> (f64, f64) {
+    pub fn predict_qos(&mut self, state: &SystemState, alpha: f64, beta: f64) -> (f64, f64) {
         let generated = self.generate(state);
         let mut probe = state.clone();
         probe.set_metrics_flat(&generated.metrics_flat);

@@ -53,7 +53,11 @@ impl FeedForwardSurrogate {
     pub fn new(hidden: usize, seed: u64) -> Self {
         let mut init = Initializer::new(seed);
         let mut net = Sequential::new();
-        net.push(Dense::new(METRIC_DIM + SCHED_DIM + GRAPH_DIM, hidden, &mut init));
+        net.push(Dense::new(
+            METRIC_DIM + SCHED_DIM + GRAPH_DIM,
+            hidden,
+            &mut init,
+        ));
         net.push(Activation::relu());
         net.push(Dense::new(hidden, hidden, &mut init));
         net.push(Activation::tanh());
@@ -75,8 +79,7 @@ impl FeedForwardSurrogate {
         let y = self.net.forward(&x);
         let err = y[(0, 0)] - target_qos;
         self.net.zero_grad();
-        self.net
-            .backward(&Matrix::from_vec(1, 1, vec![2.0 * err]));
+        self.net.backward(&Matrix::from_vec(1, 1, vec![2.0 * err]));
         self.adam.step(self.net.params_mut());
         err * err
     }
@@ -118,7 +121,11 @@ impl GanSurrogate {
 
         // Generator: [noise | pooled S | pooled G-features] → per-host M row.
         let mut generator = Sequential::new();
-        generator.push(Dense::new(noise_dim + SCHED_DIM + GRAPH_DIM, hidden, &mut init));
+        generator.push(Dense::new(
+            noise_dim + SCHED_DIM + GRAPH_DIM,
+            hidden,
+            &mut init,
+        ));
         generator.push(Activation::relu());
         generator.push(Dense::new(hidden, hidden, &mut init));
         generator.push(Activation::relu());
@@ -127,7 +134,11 @@ impl GanSurrogate {
 
         // Discriminator mirrors the GON head over pooled features.
         let mut discriminator = Sequential::new();
-        discriminator.push(Dense::new(METRIC_DIM + SCHED_DIM + gat_dim, hidden, &mut init));
+        discriminator.push(Dense::new(
+            METRIC_DIM + SCHED_DIM + gat_dim,
+            hidden,
+            &mut init,
+        ));
         discriminator.push(Activation::tanh());
         discriminator.push(Dense::new(hidden, 1, &mut init));
         discriminator.push(Activation::sigmoid());

@@ -131,7 +131,11 @@ pub fn evaluate(model: &mut GonModel, states: &[SystemState]) -> (f64, f64) {
         conf_total += model.score(s);
         model.zero_grad();
     }
-    let mse = if count == 0 { 0.0 } else { mse_total / count as f64 };
+    let mse = if count == 0 {
+        0.0
+    } else {
+        mse_total / count as f64
+    };
     (mse, conf_total / states.len() as f64)
 }
 
@@ -199,12 +203,7 @@ pub fn train_offline(
 /// Online fine-tuning on the running dataset Γ (Algorithm 2 line 15):
 /// a handful of adversarial minibatch steps over the freshest data.
 /// Returns the mean loss across the pass.
-pub fn fine_tune(
-    model: &mut GonModel,
-    running: &[SystemState],
-    adam: &mut Adam,
-    seed: u64,
-) -> f64 {
+pub fn fine_tune(model: &mut GonModel, running: &[SystemState], adam: &mut Adam, seed: u64) -> f64 {
     if running.is_empty() {
         return 0.0;
     }
@@ -328,19 +327,11 @@ mod tests {
     fn fine_tune_moves_parameters() {
         let mut model = tiny_model();
         let trace = tiny_trace(12);
-        let before: Vec<f64> = model
-            .params_mut()
-            .iter()
-            .map(|p| p.value.norm())
-            .collect();
+        let before: Vec<f64> = model.params_mut().iter().map(|p| p.value.norm()).collect();
         let mut adam = Adam::new(1e-3, 0.0);
         let loss = fine_tune(&mut model, &trace, &mut adam, 3);
         assert!(loss.is_finite() && loss > 0.0);
-        let after: Vec<f64> = model
-            .params_mut()
-            .iter()
-            .map(|p| p.value.norm())
-            .collect();
+        let after: Vec<f64> = model.params_mut().iter().map(|p| p.value.norm()).collect();
         assert_ne!(before, after, "fine-tune must update parameters");
     }
 

@@ -98,7 +98,9 @@ impl GraphAttention {
         assert_eq!(neighbors.len(), n, "one neighbour list per node required");
         assert_eq!(features.cols(), self.in_dim(), "feature width mismatch");
 
-        let h_pre = features.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let h_pre = features
+            .matmul(&self.w.value)
+            .add_row_broadcast(&self.b.value);
         let h = h_pre.map(f64::tanh);
         let q = h.matmul(&self.wq.value);
         let k = h.matmul(&self.wk.value);
@@ -171,7 +173,11 @@ impl GraphAttention {
         let d_out = self.out_dim();
         let d_att = self.wq.value.cols();
         let scale = 1.0 / (d_att as f64).sqrt();
-        assert_eq!(grad_output.shape(), (n, d_out), "grad_output shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            (n, d_out),
+            "grad_output shape mismatch"
+        );
 
         // Through the output tanh.
         let mut d_agg = grad_output.clone();

@@ -33,7 +33,9 @@ impl Initializer {
 
     /// Uniform matrix in `[lo, hi)`.
     pub fn uniform(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
-        let data = (0..rows * cols).map(|_| self.rng.gen_range(lo..hi)).collect();
+        let data = (0..rows * cols)
+            .map(|_| self.rng.gen_range(lo..hi))
+            .collect();
         Matrix::from_vec(rows, cols, data)
     }
 

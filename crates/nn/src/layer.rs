@@ -127,7 +127,9 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        let out = input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value);
+        let out = input
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value);
         self.cached_input = Some(input.clone());
         out
     }
@@ -278,7 +280,12 @@ pub struct Sequential {
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Sequential({} layers, {} params)", self.layers.len(), self.param_count())
+        write!(
+            f,
+            "Sequential({} layers, {} params)",
+            self.layers.len(),
+            self.param_count()
+        )
     }
 }
 

@@ -46,7 +46,10 @@ pub fn bce_grad(y: &Matrix, t: &Matrix) -> Matrix {
 /// `L = log D(real) + log(1 − D(fake))`, averaged over the minibatch.
 /// Training *ascends* this, so callers negate it to use gradient descent.
 pub fn gon_adversarial(d_real: &Matrix, d_fake: &Matrix) -> f64 {
-    assert!(!d_real.is_empty() && !d_fake.is_empty(), "empty score batch");
+    assert!(
+        !d_real.is_empty() && !d_fake.is_empty(),
+        "empty score batch"
+    );
     let real: f64 = d_real
         .data()
         .iter()
@@ -130,10 +133,7 @@ mod tests {
 
     #[test]
     fn adversarial_loss_maximised_by_perfect_discrimination() {
-        let good = gon_adversarial(
-            &Matrix::row_vector(&[0.99]),
-            &Matrix::row_vector(&[0.01]),
-        );
+        let good = gon_adversarial(&Matrix::row_vector(&[0.99]), &Matrix::row_vector(&[0.01]));
         let bad = gon_adversarial(&Matrix::row_vector(&[0.5]), &Matrix::row_vector(&[0.5]));
         assert!(good > bad);
         assert!(good < 0.0); // log-likelihoods are negative

@@ -186,10 +186,7 @@ mod tests {
         };
         for heavy in ["resnet18", "resnet34", "resnext32x4d"] {
             for light in ["squeezenet", "googlenet", "mobilenetv2", "mnasnet"] {
-                assert!(
-                    cost(heavy) > cost(light),
-                    "{heavy} should out-cost {light}"
-                );
+                assert!(cost(heavy) > cost(light), "{heavy} should out-cost {light}");
             }
         }
     }

@@ -149,7 +149,11 @@ mod tests {
         let trace = small_trace(60, 2);
         let distinct: std::collections::BTreeSet<Vec<usize>> =
             trace.iter().map(|s| s.topology.signature()).collect();
-        assert!(distinct.len() > 3, "only {} topologies seen", distinct.len());
+        assert!(
+            distinct.len() > 3,
+            "only {} topologies seen",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ fn main() {
         // At interval 5, a DDoS attack saturates broker 0's NIC.
         if t == 5 {
             sim.inject_fault(0, FaultKind::DdosAttack.load());
-            println!("  >>> injecting {:?} against broker 0", FaultKind::DdosAttack);
+            println!(
+                "  >>> injecting {:?} against broker 0",
+                FaultKind::DdosAttack
+            );
         }
         let arrivals = workload.sample_interval(t);
         let report = sim.step(arrivals, &mut scheduler);
@@ -67,10 +70,7 @@ fn main() {
     println!("  energy         : {:.1} Wh", sim.total_energy_wh());
     println!("  completed      : {}", sim.completed_count());
     println!("  mean response  : {:.1} s", sim.mean_response_time());
-    println!(
-        "  SLO violations : {:.1} %",
-        100.0 * sim.violation_rate()
-    );
+    println!("  SLO violations : {:.1} %", 100.0 * sim.violation_rate());
     println!("  task restarts  : {}", sim.total_restarts());
 
     // Per-application breakdown.

@@ -76,10 +76,7 @@ fn main() {
     let mut control = DoNothing;
     let without = run_experiment(&mut control, &storm);
 
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "metric", "CAROL", "DoNothing"
-    );
+    println!("{:<22} {:>12} {:>12}", "metric", "CAROL", "DoNothing");
     println!("{}", "-".repeat(48));
     let rows = [
         (

@@ -68,7 +68,11 @@ fn main() {
         let confidence = gon.score(state);
         gon.zero_grad();
         let alarm = pot.observe(confidence);
-        let regime = if t < 40 { "in-dist (DeFog)" } else { "OOD (AIoT ×3)" };
+        let regime = if t < 40 {
+            "in-dist (DeFog)"
+        } else {
+            "OOD (AIoT ×3)"
+        };
         let action = if alarm {
             alarms += 1;
             "FINE-TUNE"

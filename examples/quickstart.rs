@@ -48,7 +48,10 @@ fn main() {
     };
     let result = run_experiment(&mut policy, &experiment);
 
-    println!("\n=== {} over {} intervals ===", result.name, experiment.intervals);
+    println!(
+        "\n=== {} over {} intervals ===",
+        result.name, experiment.intervals
+    );
     println!("energy consumption : {:>8.1} Wh", result.total_energy_wh);
     println!("mean response time : {:>8.1} s", result.mean_response_s);
     println!(
@@ -65,5 +68,8 @@ fn main() {
         "fine-tune events   : {:>8}  ({:.1} s total overhead)",
         result.fine_tune_events, result.fine_tune_overhead_s
     );
-    println!("model memory       : {:>8.1} % of federation RAM", result.memory_pct);
+    println!(
+        "model memory       : {:>8.1} % of federation RAM",
+        result.memory_pct
+    );
 }

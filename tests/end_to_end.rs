@@ -4,7 +4,6 @@
 
 use carol::ablation;
 use carol::carol::{Carol, CarolConfig};
-use carol::policy::ResiliencePolicy;
 use carol::runner::{run_experiment, run_seeds, ExperimentConfig};
 
 fn fast_experiment(seed: u64) -> ExperimentConfig {

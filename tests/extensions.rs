@@ -39,7 +39,10 @@ fn proactive_handles_failures_like_reactive_carol() {
     };
     let result = run_experiment(&mut policy, &config);
     assert!(result.broker_failures > 0);
-    assert!(result.decision_events > 0, "failures must still be repaired");
+    assert!(
+        result.decision_events > 0,
+        "failures must still be repaired"
+    );
     assert!(result.completed > 0);
 }
 
@@ -59,5 +62,8 @@ fn response_summary_and_relative_slo_compose() {
     let cross = relative_slo_rate(&result_a, &result_b).expect("both ran");
     assert!((0.0..=1.0).contains(&cross));
     let self_rate = relative_slo_rate(&result_a, &result_a).unwrap();
-    assert!(self_rate <= 0.2, "self p90 violation rate ≈ 10%: {self_rate}");
+    assert!(
+        self_rate <= 0.2,
+        "self p90 violation rate ≈ 10%: {self_rate}"
+    );
 }

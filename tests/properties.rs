@@ -173,4 +173,159 @@ proptest! {
             }
         }
     }
+
+    /// Welford online statistics agree with a two-pass batch recompute for
+    /// arbitrary bounded streams: mean, sample variance, extrema, count.
+    #[test]
+    fn online_stats_match_batch_recompute(
+        values in proptest::collection::vec(-1.0e3f64..1.0e3, 1..80),
+    ) {
+        let mut online = metrics::OnlineStats::new();
+        for &v in &values {
+            online.push(v);
+        }
+        let n = values.len() as f64;
+        let batch_mean = values.iter().sum::<f64>() / n;
+        prop_assert!(
+            (online.mean() - batch_mean).abs() <= 1e-9 * (1.0 + batch_mean.abs()),
+            "mean diverged: online {} vs batch {}",
+            online.mean(),
+            batch_mean
+        );
+        if values.len() >= 2 {
+            let batch_var = values
+                .iter()
+                .map(|v| (v - batch_mean) * (v - batch_mean))
+                .sum::<f64>()
+                / (n - 1.0);
+            prop_assert!(
+                (online.variance() - batch_var).abs() <= 1e-6 * (1.0 + batch_var.abs()),
+                "variance diverged: online {} vs batch {}",
+                online.variance(),
+                batch_var
+            );
+        } else {
+            prop_assert_eq!(online.variance(), 0.0);
+        }
+        let batch_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let batch_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(online.min(), Some(batch_min));
+        prop_assert_eq!(online.max(), Some(batch_max));
+        prop_assert_eq!(online.count(), values.len() as u64);
+    }
+
+    /// The parallel Welford merge of a split stream equals processing the
+    /// stream whole (the property `run_seeds` shard-combining relies on).
+    #[test]
+    fn online_stats_merge_equals_single_pass(
+        values in proptest::collection::vec(-50.0f64..50.0, 2..60),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((values.len() as f64) * split_frac) as usize;
+        let mut whole = metrics::OnlineStats::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let mut left = metrics::OnlineStats::new();
+        let mut right = metrics::OnlineStats::new();
+        for &v in &values[..split] {
+            left.push(v);
+        }
+        for &v in &values[split..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!(
+            (left.mean() - whole.mean()).abs() <= 1e-9 * (1.0 + whole.mean().abs()),
+            "merged mean {} vs single-pass {}",
+            left.mean(),
+            whole.mean()
+        );
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                <= 1e-6 * (1.0 + whole.variance().abs()),
+            "merged variance {} vs single-pass {}",
+            left.variance(),
+            whole.variance()
+        );
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// Matrix multiplication produces the right shape, is associative (up
+    /// to floating-point tolerance) and has the identity as neutral
+    /// element, on random small matrices.
+    #[test]
+    fn matmul_shape_identity_and_associativity(
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+        p in 1usize..6,
+        data in proptest::collection::vec(-2.0f64..2.0, 3 * 36),
+    ) {
+        use nn::Matrix;
+        let a = Matrix::from_vec(m, k, data[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, data[36..36 + k * n].to_vec());
+        let c = Matrix::from_vec(n, p, data[72..72 + n * p].to_vec());
+
+        let ab = a.matmul(&b);
+        prop_assert_eq!(ab.shape(), (m, n));
+
+        // Identity neutrality, left and right.
+        let ai = a.matmul(&Matrix::identity(k));
+        let ia = Matrix::identity(m).matmul(&a);
+        for (x, y) in ai.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() <= 1e-12, "A·I diverged: {} vs {}", x, y);
+        }
+        for (x, y) in ia.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() <= 1e-12, "I·A diverged: {} vs {}", x, y);
+        }
+
+        // Associativity: (A·B)·C == A·(B·C) within accumulation tolerance.
+        let left = ab.matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert_eq!(left.shape(), (m, p));
+        prop_assert_eq!(left.shape(), right.shape());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
+                "associativity violated: {} vs {}",
+                x,
+                y
+            );
+        }
+    }
+
+    /// Transposition inverts itself and distributes over products as
+    /// `(A·B)ᵀ = Bᵀ·Aᵀ` — exactly, since both sides compute identical
+    /// dot products over identical operand orders.
+    #[test]
+    fn transpose_involution_and_product_rule(
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+        data in proptest::collection::vec(-2.0f64..2.0, 2 * 36),
+    ) {
+        use nn::Matrix;
+        let a = Matrix::from_vec(m, k, data[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, data[36..36 + k * n].to_vec());
+
+        let att = a.transpose().transpose();
+        prop_assert_eq!(att.shape(), a.shape());
+        prop_assert_eq!(att.data(), a.data());
+
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.shape(), (n, m));
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
+                "(AB)ᵀ != BᵀAᵀ: {} vs {}",
+                x,
+                y
+            );
+        }
+    }
 }

@@ -1,0 +1,151 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Keeps `benches/micro.rs` compiling and producing useful numbers with no
+//! crates.io access. The statistical machinery of real criterion (outlier
+//! rejection, regression fitting, HTML reports) is replaced by a plain
+//! median-of-samples wall-clock measurement printed to stdout; use
+//! `cargo bench` to invoke it.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. One instance is handed to every
+/// `criterion_group!`-registered function.
+pub struct Criterion {
+    /// Samples collected per benchmark.
+    sample_count: usize,
+    /// Minimum measured wall-clock per sample; iterations scale up until a
+    /// sample takes at least this long.
+    min_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 20,
+            min_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` repeatedly via the supplied [`Bencher`] and prints a
+    /// median per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm up and calibrate the per-sample iteration count.
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= self.min_sample_time || bencher.iters >= 1 << 24 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{name:<40} {:>12}/iter ({} iters/sample)",
+            human_time(median),
+            bencher.iters
+        );
+        self
+    }
+}
+
+fn human_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`, keeping the returned value alive
+    /// through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_count: 3,
+            min_sample_time: Duration::from_micros(50),
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn human_time_picks_sane_units() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).ends_with(" µs"));
+        assert!(human_time(2e-9).ends_with(" ns"));
+    }
+}

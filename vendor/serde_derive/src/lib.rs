@@ -1,0 +1,558 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's `Value` data model, with no dependency on
+//! `syn`/`quote` (neither is available offline): the item is parsed by
+//! walking `proc_macro::TokenTree`s directly and the impl is emitted as a
+//! source string.
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields (incl. `#[serde(skip)]`: omitted when
+//!   serializing, `Default::default()` when deserializing),
+//! * tuple and unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * plain type parameters (`struct Foo<T> { .. }`) — bounds, lifetimes
+//!   and const generics on *derived* items are rejected with a
+//!   `compile_error!` naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names, e.g. `["T", "U"]`.
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Token-walking parser
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
+    fn eat_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.is_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let text = g.stream().to_string().replace(' ', "");
+                if text.starts_with("serde") && text.contains("skip") {
+                    skip = true;
+                }
+            }
+        }
+        skip
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` etc.
+    fn eat_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a type (after a field's `:`) up to a top-level `,` or the end,
+    /// tracking `<`/`>` nesting. Parens/brackets arrive pre-grouped.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses the generic-parameter list after the item name. Only plain type
+/// parameters are supported; anything else returns `Err`.
+fn parse_generics(cur: &mut Cursor) -> Result<Vec<String>, String> {
+    if !cur.is_punct('<') {
+        return Ok(Vec::new());
+    }
+    cur.next();
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut expect_param = true;
+    while depth > 0 {
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Ident(i)) if depth == 1 && expect_param => {
+                let word = i.to_string();
+                if word == "const" {
+                    return Err(
+                        "const generics are not supported by the vendored serde_derive \
+                                (vendor/serde_derive/src/lib.rs)"
+                            .into(),
+                    );
+                }
+                params.push(word);
+                expect_param = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err(
+                    "lifetime parameters are not supported by the vendored serde_derive \
+                            (vendor/serde_derive/src/lib.rs)"
+                        .into(),
+                );
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                return Err(
+                    "bounds on derived generics are not supported by the vendored \
+                            serde_derive (vendor/serde_derive/src/lib.rs)"
+                        .into(),
+                );
+            }
+            Some(_) => {}
+            None => return Err("unbalanced generics".into()),
+        }
+    }
+    Ok(params)
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.eat_attrs();
+        cur.eat_visibility();
+        let name = cur.expect_ident()?;
+        if !cur.is_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.next();
+        cur.skip_type();
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant paren group.
+fn count_tuple_fields(group: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor::new(group);
+    let mut count = 0usize;
+    while !cur.at_end() {
+        if cur.eat_attrs() {
+            return Err(
+                "#[serde(skip)] on tuple fields is not supported by the vendored \
+                        serde_derive (vendor/serde_derive/src/lib.rs)"
+                    .into(),
+            );
+        }
+        cur.eat_visibility();
+        cur.skip_type();
+        count += 1;
+        if cur.is_punct(',') {
+            cur.next();
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.eat_attrs();
+        let name = cur.expect_ident()?;
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream())?;
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if cur.is_punct('=') {
+            while let Some(tok) = cur.peek() {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.eat_attrs();
+    cur.eat_visibility();
+    let keyword = cur.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("expected struct or enum, found `{other}`")),
+    };
+    let name = cur.expect_ident()?;
+    let type_params = parse_generics(&mut cur)?;
+    if cur.is_ident("where") {
+        return Err(
+            "where clauses on derived items are not supported by the vendored \
+                    serde_derive (vendor/serde_derive/src/lib.rs)"
+                .into(),
+        );
+    }
+    let shape = if is_enum {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("expected struct body, found {other:?}")),
+        }
+    };
+    Ok(Item {
+        name,
+        type_params,
+        shape,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: serde::Serialize, ..> serde::Serialize for Name<T, ..>` header.
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.type_params.is_empty() {
+        format!("impl serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.type_params.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(String::from({n:?}), serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vn} => serde::Value::Str(String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({binds}) => serde::Value::Map(vec![(String::from({vn:?}), serde::Value::Seq(vec![{vals}]))]),",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(String::from({n:?}), serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => serde::Value::Map(vec![(String::from({vn:?}), serde::Value::Map(vec![{vals}]))]),",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+/// Expression deserializing the named fields of `src` (a `&serde::Value`
+/// known to be a map) into a `Name { .. }` / `Variant { .. }` literal body.
+fn named_fields_literal(owner: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: Default::default()", f.name)
+            } else {
+                format!(
+                    "{n}: serde::Deserialize::from_value({src}.get({n:?}).ok_or_else(|| \
+                     serde::Error(String::from(concat!(\"missing field `\", {n:?}, \"` in \", {owner:?}))))?)?",
+                    n = f.name,
+                    src = src,
+                    owner = owner
+                )
+            }
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let literal = named_fields_literal(name, fields, "v");
+            format!(
+                "match v {{ serde::Value::Map(_) => Ok(Self {{ {literal} }}), \
+                 other => Err(serde::Error::expected({expect:?}, other)) }}",
+                expect = format!("struct {name}")
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ serde::Value::Seq(__items) if __items.len() == {n} => \
+                 Ok(Self({inits})), other => Err(serde::Error::expected({expect:?}, other)) }}",
+                inits = inits.join(", "),
+                expect = format!("tuple struct {name} with {n} fields")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match v {{ serde::Value::Null => Ok(Self), \
+             other => Err(serde::Error::expected({expect:?}, other)) }}",
+            expect = format!("unit struct {name}")
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{vn:?} => Ok(Self::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match __inner {{ serde::Value::Seq(__items) if \
+                                 __items.len() == {n} => Ok(Self::{vn}({inits})), \
+                                 other => Err(serde::Error::expected({expect:?}, other)) }},",
+                                inits = inits.join(", "),
+                                expect = format!("payload of {name}::{vn}")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let owner = format!("{name}::{vn}");
+                            let literal = named_fields_literal(&owner, fields, "__inner");
+                            Some(format!(
+                                "{vn:?} => match __inner {{ serde::Value::Map(_) => \
+                                 Ok(Self::{vn} {{ {literal} }}), \
+                                 other => Err(serde::Error::expected({expect:?}, other)) }},",
+                                expect = format!("payload of {owner}")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     other => Err(serde::Error(format!(\"unknown variant `{{other}}` of {name}\"))) \
+                   }}, \
+                   serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {{ \
+                       {data_arms} \
+                       other => Err(serde::Error(format!(\"unknown variant `{{other}}` of {name}\"))) \
+                     }} \
+                   }}, \
+                   other => Err(serde::Error::expected({expect:?}, other)) \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+                expect = format!("enum {name}")
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` (vendored stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| err(&format!("serde_derive stub emitted invalid code: {e}"))),
+        Err(msg) => err(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (vendored stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| err(&format!("serde_derive stub emitted invalid code: {e}"))),
+        Err(msg) => err(&msg),
+    }
+}

@@ -1,0 +1,520 @@
+//! Offline stand-in for [`serde_json`], over the vendored `serde` stub's
+//! [`Value`] model.
+//!
+//! Provides exactly the functions the workspace calls — [`to_string`],
+//! [`to_string_pretty`], [`from_str`] — with one hard guarantee: the
+//! round-trip `from_str(&to_string(&x))` reproduces `x` exactly. Finite
+//! `f64`s are written with Rust's shortest-round-trip `Display`
+//! formatting, which `str::parse::<f64>` inverts bit-for-bit; non-finite
+//! floats become `null` (JSON has no NaN/inf) and deserialize as NaN.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => write_sequence(items.iter(), out, indent, depth, |item, out, d| {
+            write_value(item, out, indent, d)
+        }),
+        Value::Map(entries) => write_sequence_delim(
+            entries.iter(),
+            out,
+            indent,
+            depth,
+            '{',
+            '}',
+            |(k, v), out, d| {
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(v, out, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 is the shortest string that parses back to the same
+    // bits. Integral values print without a fractional part ("3"); the
+    // parser then yields an integer Value, and `f64::from_value` coerces
+    // it back — still bit-exact because the value was integral.
+    out.push_str(&f.to_string());
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_sequence<'a, I, T: 'a>(
+    items: I,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&T, &mut String, usize),
+) where
+    I: ExactSizeIterator<Item = &'a T>,
+{
+    write_sequence_delim(items, out, indent, depth, '[', ']', |item, out, d| {
+        write_item(item, out, d)
+    })
+}
+
+fn write_sequence_delim<'a, I, T: 'a>(
+    items: I,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&T, &mut String, usize),
+) where
+    I: ExactSizeIterator<Item = &'a T>,
+{
+    let n = items.len();
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(item, out, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document into a [`Value`].
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with the low half.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                let low = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((code - 0xd800) << 10)
+                                    + (low
+                                        .checked_sub(0xdc00)
+                                        .ok_or_else(|| Error("invalid low surrogate".into()))?);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid surrogate pair".into()))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("invalid \\u{code:04x}")))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "invalid escape {:?}",
+                                other.map(|c| c as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8 by
+                    // construction: it came from a &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes `uXXXX` (cursor on the `u`) and returns the code unit,
+    /// leaving the cursor just past the last hex digit.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                // "-0" must stay a float so the sign bit survives the
+                // round-trip (f64 Display writes -0.0 as "-0").
+                if i != 0 {
+                    return Ok(Value::I64(i));
+                }
+                return Ok(Value::F64(-0.0));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let cases = [
+            Value::Null,
+            Value::Bool(true),
+            Value::U64(18_446_744_073_709_551_615),
+            Value::I64(-42),
+            Value::F64(0.1),
+            Value::F64(1.0 / 3.0),
+            Value::Str("he said \"hi\"\n\tπ≈3".into()),
+        ];
+        for v in &cases {
+            let mut text = String::new();
+            write_value(v, &mut text, None, 0);
+            let back = parse_value(&text).unwrap();
+            match (v, &back) {
+                // Integral floats come back as integers; checked below.
+                (Value::F64(_), _) => {}
+                _ => assert_eq!(v, &back, "round-trip of {text}"),
+            }
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        let values = [
+            0.1,
+            -0.0,
+            1.0,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+            4.9e-324,
+            1.7976931348623157e308,
+            123456.789e-30,
+        ];
+        for &f in &values {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{f} via {text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("carol".into())),
+            (
+                "runs".into(),
+                Value::Seq(vec![Value::F64(1.5), Value::U64(2), Value::Null]),
+            ),
+            ("empty_list".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+        ]);
+        let compact = {
+            let mut s = String::new();
+            write_value(&v, &mut s, None, 0);
+            s
+        };
+        assert_eq!(parse_value(&compact).unwrap(), v);
+
+        let pretty = {
+            let mut s = String::new();
+            write_value(&v, &mut s, Some(2), 0);
+            s
+        };
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse_value("\"\\u00e9\\u20ac\"").unwrap();
+        assert_eq!(v, Value::Str("é€".into()));
+        let v = parse_value("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Value::Str("😀".into()));
+    }
+}
