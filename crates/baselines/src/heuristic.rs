@@ -1,11 +1,11 @@
-//! Heuristic and meta-heuristic baselines: DYVERSE [13] and ECLB [17].
+//! Heuristic and meta-heuristic baselines: DYVERSE \[13\] and ECLB \[17\].
 
 use crate::{least_cpu, promote_orphan_repair};
 use carol::policy::{ObserveOutcome, ResiliencePolicy};
 use edgesim::state::SystemState;
 use edgesim::{HostId, IntervalReport, Simulator, Topology};
 
-/// DYVERSE [13]: dynamic vertical scaling in multi-tenant edge systems.
+/// DYVERSE \[13\]: dynamic vertical scaling in multi-tenant edge systems.
 ///
 /// Priority scores are an ensemble of three heuristics — system-aware,
 /// community-aware and workload-aware — recomputed every interval. For
@@ -99,7 +99,7 @@ impl ResiliencePolicy for Dyverse {
     }
 }
 
-/// ECLB [17]: energy-efficient checkpointing and load balancing.
+/// ECLB \[17\]: energy-efficient checkpointing and load balancing.
 ///
 /// A Bayesian classifier sorts hosts into *overloaded / normal /
 /// underloaded* classes from running load statistics; failed brokers are

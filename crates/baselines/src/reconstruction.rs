@@ -1,4 +1,4 @@
-//! Reconstruction-based baselines: TopoMAD [21] and StepGAN [22].
+//! Reconstruction-based baselines: TopoMAD \[21\] and StepGAN \[22\].
 //!
 //! Both are *fault-detection* methods: they reconstruct the system state
 //! and use the reconstruction error as an anomaly signal. As §V notes,
@@ -29,7 +29,7 @@ fn metric_row(state: &SystemState) -> Matrix {
     Matrix::row_vector(&pooled)
 }
 
-/// TopoMAD [21]: topology-aware anomaly detection with an LSTM + VAE.
+/// TopoMAD \[21\]: topology-aware anomaly detection with an LSTM + VAE.
 ///
 /// The reproduction models the reconstruction pathway with a recurrent
 /// encoder feeding a bottlenecked autoencoder: reconstruction error over
@@ -157,7 +157,7 @@ impl ResiliencePolicy for TopoMad {
     }
 }
 
-/// StepGAN [22]: stepwise-GAN anomaly detection over metric matrices.
+/// StepGAN \[22\]: stepwise-GAN anomaly detection over metric matrices.
 ///
 /// The reproduction reuses the GAN substrate: the discriminator score over
 /// the current state is the (inverse) anomaly signal, and the stepwise

@@ -1,4 +1,4 @@
-//! LBOS [18]: reinforcement-learning load balancing and optimisation.
+//! LBOS \[18\]: reinforcement-learning load balancing and optimisation.
 //!
 //! LBOS "allocates the resources using RL", computing the agent's reward
 //! as a weighted average of QoS metrics whose weights come from a genetic

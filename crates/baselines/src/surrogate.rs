@@ -1,4 +1,4 @@
-//! Surrogate-model baselines: ELBS [19] and FRAS [20].
+//! Surrogate-model baselines: ELBS \[19\] and FRAS \[20\].
 //!
 //! Both predict QoS with a neural surrogate and — lacking any confidence
 //! signal — fine-tune it **every interval**, the overhead pathology CAROL
@@ -84,7 +84,7 @@ fn best_neighbor_repair(
     Some(topo)
 }
 
-/// ELBS [19]: effective load balancing with fuzzy + probabilistic neural
+/// ELBS \[19\]: effective load balancing with fuzzy + probabilistic neural
 /// networks.
 ///
 /// A fuzzy inference system converts (SLO pressure, priority, estimated
@@ -216,7 +216,7 @@ impl ResiliencePolicy for Elbs {
     }
 }
 
-/// FRAS [20]: fuzzy-based real-time auto-scaling.
+/// FRAS \[20\]: fuzzy-based real-time auto-scaling.
 ///
 /// A fuzzy *recurrent* neural network predicts QoS for autoscaling
 /// decisions; the hidden state carries temporal context across intervals.

@@ -1,8 +1,11 @@
 //! Criterion micro-benchmarks for the performance-critical primitives:
-//! GON scoring/generation (the inner loop of every tabu evaluation),
-//! node-shift neighbourhood enumeration, tabu search, POT updates and one
-//! full simulator interval. These quantify the decision-time budget behind
-//! Fig. 5(d).
+//! GON scoring/generation (the inner loop of every tabu evaluation), the
+//! blocked matmul kernel at GAT shapes, node-shift neighbourhood
+//! enumeration, tabu search, POT updates and one full simulator interval.
+//! These quantify the decision-time budget behind Fig. 5(d).
+//!
+//! Set `BENCH_JSON=<path>` to also write `{name, median_ns, iters}`
+//! records as a JSON array (CI archives this as `BENCH_PR.json`).
 
 use carol::nodeshift::{mutations, neighborhood};
 use carol::pot::PotDetector;
@@ -12,6 +15,7 @@ use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
 use edgesim::{SchedulingDecision, SimConfig, Simulator, Topology};
 use gon::{GonConfig, GonModel};
+use nn::Matrix;
 
 fn testbed_state() -> SystemState {
     let mut sim = Simulator::new(SimConfig::testbed(7));
@@ -44,6 +48,28 @@ fn bench_gon(c: &mut Criterion) {
     });
     c.bench_function("gon_generate_10_steps", |b| {
         b.iter(|| black_box(model2.generate(black_box(&state))))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    // The GAT/head shapes of the GON forward and backward passes: a tall
+    // activation block times a square weight, and its transpose-side
+    // sibling. These isolate the blocked kernel behind
+    // `gon_generate_10_steps`.
+    let a_16x64 = Matrix::lcg(16, 64, 1);
+    let b_64x64 = Matrix::lcg(64, 64, 2);
+    c.bench_function("matmul_16x64_64x64", |bch| {
+        bch.iter(|| black_box(black_box(&a_16x64).matmul(black_box(&b_64x64))))
+    });
+    let a_64x64 = Matrix::lcg(64, 64, 3);
+    let b_64x16 = Matrix::lcg(64, 16, 4);
+    c.bench_function("matmul_64x64_64x16", |bch| {
+        bch.iter(|| black_box(black_box(&a_64x64).matmul(black_box(&b_64x16))))
+    });
+    // The fused dX = dY·Wᵀ path of every Dense/GAT backward.
+    let w_16x64 = Matrix::lcg(16, 64, 5);
+    c.bench_function("matmul_transpose_b_64x64_16x64t", |bch| {
+        bch.iter(|| black_box(black_box(&a_64x64).matmul_transpose_b(black_box(&w_16x64))))
     });
 }
 
@@ -103,6 +129,7 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gon,
+    bench_matmul,
     bench_topology,
     bench_pot,
     bench_simulator

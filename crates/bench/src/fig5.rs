@@ -244,26 +244,39 @@ pub fn fig5_carol_config() -> CarolConfig {
 
 /// Runs the sweep and returns one [`PolicyMetrics`] per policy, in input
 /// order.
+///
+/// The policy × seed grid is flattened into one parallel fan-out over
+/// [`par::thread_count`] workers (override with `CAROL_THREADS`). Each
+/// grid cell builds its own policy and RNG streams, so results are
+/// bit-identical to the serial sweep in any thread configuration.
 pub fn run(config: &Fig5Config) -> Vec<PolicyMetrics> {
+    let grid: Vec<(PolicyKind, u64)> = config
+        .policies
+        .iter()
+        .flat_map(|&kind| config.seeds.iter().map(move |&seed| (kind, seed)))
+        .collect();
+    let cells = par::par_map(&grid, |&(kind, seed)| {
+        let mut policy = kind.build(&config.carol, seed);
+        let exp = ExperimentConfig {
+            sim: SimConfig {
+                seed,
+                ..config.experiment.sim.clone()
+            },
+            seed,
+            ..config.experiment.clone()
+        };
+        run_experiment(policy.as_mut(), &exp)
+    });
+    // Regroup the flat cell list back into one row per policy, by
+    // ownership (a response-time vector per cell makes cloning costly).
+    // With no seeds this still yields one empty row per policy.
+    let mut cells = cells.into_iter();
     config
         .policies
         .iter()
-        .map(|&kind| {
-            let mut results = Vec::with_capacity(config.seeds.len());
-            let mut name = String::new();
-            for &seed in &config.seeds {
-                let mut policy = kind.build(&config.carol, seed);
-                name = policy.name().to_string();
-                let exp = ExperimentConfig {
-                    sim: SimConfig {
-                        seed,
-                        ..config.experiment.sim.clone()
-                    },
-                    seed,
-                    ..config.experiment.clone()
-                };
-                results.push(run_experiment(policy.as_mut(), &exp));
-            }
+        .map(|_| {
+            let results: Vec<ExperimentResult> = cells.by_ref().take(config.seeds.len()).collect();
+            let name = results.first().map(|r| r.name.clone()).unwrap_or_default();
             PolicyMetrics::from_results(name, results)
         })
         .collect()

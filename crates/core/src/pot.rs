@@ -1,4 +1,4 @@
-//! Streaming peaks-over-threshold (POT) detector, after Siffer et al. [38].
+//! Streaming peaks-over-threshold (POT) detector, after Siffer et al. \[38\].
 //!
 //! CAROL watches the stream of GON confidence scores and fine-tunes only
 //! when a score falls below a *dynamic* threshold derived from extreme

@@ -209,26 +209,42 @@ pub fn run_experiment(
 
 /// Runs `make_policy(seed)` across `seeds` and returns all results — the
 /// paper averages each metric over five seeded runs.
+///
+/// Seeds execute **in parallel** on [`par::thread_count`] workers (the
+/// `CAROL_THREADS` environment variable overrides the count; `1` forces
+/// the serial path). Every seed owns its RNG streams and its policy
+/// instance, so the result vector is bit-identical to serial execution —
+/// same order, same bits — a guarantee enforced by
+/// `tests/determinism.rs`.
 pub fn run_seeds<P: ResiliencePolicy>(
-    mut make_policy: impl FnMut(u64) -> P,
+    make_policy: impl Fn(u64) -> P + Sync,
     base: &ExperimentConfig,
     seeds: &[u64],
 ) -> Vec<ExperimentResult> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            let mut policy = make_policy(seed);
-            let config = ExperimentConfig {
-                sim: SimConfig {
-                    seed,
-                    ..base.sim.clone()
-                },
+    run_seeds_threads(par::thread_count(), make_policy, base, seeds)
+}
+
+/// [`run_seeds`] with an explicit worker count, for callers (and the
+/// determinism suite) that must pin the parallelism level regardless of
+/// `CAROL_THREADS`.
+pub fn run_seeds_threads<P: ResiliencePolicy>(
+    threads: usize,
+    make_policy: impl Fn(u64) -> P + Sync,
+    base: &ExperimentConfig,
+    seeds: &[u64],
+) -> Vec<ExperimentResult> {
+    par::par_map_threads(threads, seeds, |&seed| {
+        let mut policy = make_policy(seed);
+        let config = ExperimentConfig {
+            sim: SimConfig {
                 seed,
-                ..base.clone()
-            };
-            run_experiment(&mut policy, &config)
-        })
-        .collect()
+                ..base.sim.clone()
+            },
+            seed,
+            ..base.clone()
+        };
+        run_experiment(&mut policy, &config)
+    })
 }
 
 #[cfg(test)]
@@ -290,5 +306,23 @@ mod tests {
             &[1, 2, 3],
         );
         assert_eq!(results.len(), 3);
+    }
+
+    // A 2-seed smoke of the serial/parallel equivalence; the full 8-seed
+    // bit-identity contract is gated in release by `tests/determinism.rs`.
+    #[test]
+    fn parallel_seed_fanout_smoke_matches_serial() {
+        let config = ExperimentConfig {
+            intervals: 6,
+            ..ExperimentConfig::small(0)
+        };
+        let make = |seed| Carol::pretrained(CarolConfig::fast_test(), seed);
+        let serial = run_seeds_threads(1, make, &config, &[1, 2]);
+        let parallel = run_seeds_threads(2, make, &config, &[1, 2]);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.completed, p.completed);
+            assert_eq!(s.total_energy_wh.to_bits(), p.total_energy_wh.to_bits());
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Deterministic tabu search over the topology space (§III-B).
 //!
 //! The paper selects tabu search "due to its deterministic nature and
-//! empirically faster convergence" [49]. The search walks the generic
+//! empirically faster convergence" \[49\]. The search walks the generic
 //! node-shift move set ([`crate::nodeshift::mutations`]), always moving to
 //! the best non-tabu neighbour, while a FIFO tabu list of topology
 //! signatures (size `L = 100` in the paper, Fig. 6c) prevents cycling.

@@ -1,7 +1,7 @@
 //! WAN/LAN latency and gateway-mobility model.
 //!
 //! The testbed emulates geographically distant LEIs with NetLimiter-shaped
-//! inter-broker latencies (§IV-C, [51]) and a gateway mobility model [52]
+//! inter-broker latencies (§IV-C, \[51\]) and a gateway mobility model \[52\]
 //! that shifts where user tasks enter the federation over time. The
 //! mobility drift is what makes the workload distribution non-stationary —
 //! exactly the condition CAROL's confidence score is designed to detect.
@@ -27,7 +27,7 @@ pub struct NetworkModel {
 }
 
 impl NetworkModel {
-    /// Urban-edge defaults: 1–8 ms LAN, 20–80 ms WAN pairs (model of [51]),
+    /// Urban-edge defaults: 1–8 ms LAN, 20–80 ms WAN pairs (model of \[51\]),
     /// uniform initial gateway weights, mobility drift `0.05`/interval.
     pub fn new(n_leis: usize, seed: u64) -> Self {
         assert!(n_leis > 0, "need at least one LEI");
@@ -85,7 +85,7 @@ impl NetworkModel {
 
     /// Advances the gateway mobility model by one interval: weights take a
     /// bounded random walk and renormalise, following the massive-scale
-    /// emulation model of [52]. `interval` seeds the step so replays are
+    /// emulation model of \[52\]. `interval` seeds the step so replays are
     /// deterministic.
     pub fn step_mobility(&mut self, interval: usize) {
         let mut rng = StdRng::seed_from_u64(

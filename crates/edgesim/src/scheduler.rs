@@ -2,7 +2,7 @@
 //!
 //! CAROL assumes "an underlying scheduler in the system independent from
 //! the proposed fault-tolerance solution" (§III-A); the testbed uses the
-//! GOBI surrogate scheduler [33]. This module provides the simulated
+//! GOBI surrogate scheduler \[33\]. This module provides the simulated
 //! equivalent: a least-projected-interference placer that assigns each
 //! pending task to the lightest-loaded worker of the LEI that admitted it,
 //! which is the behaviourally relevant property (resilience models, not the

@@ -1,4 +1,4 @@
-//! Fault-injection module, after Ye et al. [41] as used in §IV-F.
+//! Fault-injection module, after Ye et al. \[41\] as used in §IV-F.
 //!
 //! At test time the paper injects byzantine faults into broker (and
 //! worker) nodes with a Poisson process of rate λ_f = 0.5 per interval,

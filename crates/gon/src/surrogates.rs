@@ -7,7 +7,7 @@
 //!   the testbed).
 //! * [`FeedForwardSurrogate`] — "With Traditional Surrogate": a plain
 //!   regression network from `(M_{t-1}, S, G)` straight to the QoS scalar,
-//!   as in GOBI/ELBS-style methods [17], [19], [33]. Fast, but it emits no
+//!   as in GOBI/ELBS-style methods \[17\], \[19\], \[33\]. Fast, but it emits no
 //!   confidence signal, so a CAROL built on it must fine-tune every
 //!   interval — which is exactly the overhead pathology the ablation
 //!   demonstrates.

@@ -217,11 +217,13 @@ impl GraphAttention {
             }
         }
 
-        // Through Q = H·Wq and K = H·Wk.
-        self.wq.grad = &self.wq.grad + &cache.h.transpose().matmul(&d_q);
-        self.wk.grad = &self.wk.grad + &cache.h.transpose().matmul(&d_k);
-        d_h = &d_h + &d_q.matmul(&self.wq.value.transpose());
-        d_h = &d_h + &d_k.matmul(&self.wk.value.transpose());
+        // Through Q = H·Wq and K = H·Wk. The dX = dY·Wᵀ products use the
+        // fused transposed-B kernel: W is already laid out as the
+        // transpose of what the dot products need.
+        self.wq.grad.add_in_place(&cache.h.transpose().matmul(&d_q));
+        self.wk.grad.add_in_place(&cache.h.transpose().matmul(&d_k));
+        d_h.add_in_place(&d_q.matmul_transpose_b(&self.wq.value));
+        d_h.add_in_place(&d_k.matmul_transpose_b(&self.wk.value));
 
         // Through H = tanh(U·W + b).
         let mut d_hpre = d_h;
@@ -229,9 +231,11 @@ impl GraphAttention {
             let y = cache.h.data()[i];
             d_hpre.data_mut()[i] *= 1.0 - y * y;
         }
-        self.w.grad = &self.w.grad + &cache.features.transpose().matmul(&d_hpre);
-        self.b.grad = &self.b.grad + &d_hpre.sum_rows();
-        d_hpre.matmul(&self.w.value.transpose())
+        self.w
+            .grad
+            .add_in_place(&cache.features.transpose().matmul(&d_hpre));
+        self.b.grad.add_in_place(&d_hpre.sum_rows());
+        d_hpre.matmul_transpose_b(&self.w.value)
     }
 }
 

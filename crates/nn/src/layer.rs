@@ -30,9 +30,11 @@ impl Param {
         }
     }
 
-    /// Resets the gradient to zero (call between minibatches).
+    /// Resets the gradient to zero (call between minibatches). Fills the
+    /// existing buffer rather than reallocating — this runs once per
+    /// parameter per GON generation step.
     pub fn zero_grad(&mut self) {
-        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+        self.grad.data_mut().fill(0.0);
     }
 
     /// Number of scalar parameters.
@@ -140,9 +142,10 @@ impl Layer for Dense {
             .as_ref()
             .expect("Dense::backward called before forward");
         let grad_w = input.transpose().matmul(grad_output);
-        self.weight.grad = &self.weight.grad + &grad_w;
-        self.bias.grad = &self.bias.grad + &grad_output.sum_rows();
-        grad_output.matmul(&self.weight.value.transpose())
+        self.weight.grad.add_in_place(&grad_w);
+        self.bias.grad.add_in_place(&grad_output.sum_rows());
+        // dX = dY·Wᵀ via the fused kernel — W is already Bᵀ's layout.
+        grad_output.matmul_transpose_b(&self.weight.value)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -104,6 +104,21 @@ impl Matrix {
         Self::from_vec(1, values.len(), values.to_vec())
     }
 
+    /// Deterministic pseudo-random matrix in `[-0.5, 0.5)` from a 64-bit
+    /// LCG — shared by the kernel unit tests and the micro-benchmarks so
+    /// both exercise the same distribution. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn lcg(rows: usize, cols: usize, mut seed: u64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            data.push(((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5);
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -151,7 +166,9 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other`, via the shared
+    /// register-tiled, cache-blocked inner kernel (see `matmul_transpose_b`
+    /// for the f64 ordering guarantee both entry points share).
     ///
     /// # Panics
     ///
@@ -162,29 +179,185 @@ impl Matrix {
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
+        self.matmul_with_b_natural(other)
+    }
+
+    /// Product with an already-transposed right operand:
+    /// `self · other_tᵀ`, i.e. `matmul(&other_t.transpose())` without the
+    /// caller materialising the transpose. This is the layout the
+    /// backward passes hold — `dX = dY·Wᵀ` with `W` stored naturally —
+    /// so `gat.rs` and `layer.rs` call this instead of allocating a
+    /// fresh `Wᵀ` on every backward step. The single internal transpose
+    /// feeds the same kernel as [`Matrix::matmul`], so both entry points
+    /// share one f64 accumulation order and are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other_t.cols()` (`other_t` holds Bᵀ, so
+    /// its columns are B's rows).
+    pub fn matmul_transpose_b(&self, other_t: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other_t.cols,
+            "matmul_transpose_b shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other_t.rows, other_t.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other_t.rows);
+        // Two regimes. For a handful of left rows (the 1-row pooled
+        // embeddings of the discriminator head) the k×n un-transpose
+        // costs more than the whole multiply, and the transposed layout
+        // is exactly what a dot product wants: both operand rows
+        // contiguous. For larger m the vectorisable saxpy kernel wins and
+        // one blocked transpose amortises over m rows.
+        if m <= 8 {
+            let mut out = Matrix::zeros(m, n);
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let mut j = 0;
+                // Four independent single-chain dots at a time for ILP;
+                // each chain is still ascending-k.
+                while j + 4 <= n {
+                    let b0 = &other_t.data[j * k..(j + 1) * k];
+                    let b1 = &other_t.data[(j + 1) * k..(j + 2) * k];
+                    let b2 = &other_t.data[(j + 2) * k..(j + 3) * k];
+                    let b3 = &other_t.data[(j + 3) * k..(j + 4) * k];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    for (idx, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue; // same ±0.0-only skip as the saxpy path
+                        }
+                        s0 += a * b0[idx];
+                        s1 += a * b1[idx];
+                        s2 += a * b2[idx];
+                        s3 += a * b3[idx];
+                    }
+                    out_row[j] = s0;
+                    out_row[j + 1] = s1;
+                    out_row[j + 2] = s2;
+                    out_row[j + 3] = s3;
+                    j += 4;
+                }
+                while j < n {
+                    let b_row = &other_t.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * b;
+                    }
+                    out_row[j] = acc;
+                    j += 1;
+                }
+            }
+            out
+        } else {
+            self.matmul_with_b_natural(&other_t.transpose())
+        }
+    }
+
+    /// The shared inner kernel: cache-blocked, register-tiled saxpy over
+    /// `b` in natural (row-major, `k×n`) layout.
+    ///
+    /// Determinism contract: every output element `out[i][j]` is the sum
+    /// of `a[i][k]·b[k][j]` over `k` in ascending order through a single
+    /// accumulator chain, so results never depend on tile sizes, the
+    /// remainder path, or (for the pipeline) thread count —
+    /// `tests/determinism.rs` stays bit-exact. Within those constraints
+    /// the kernel optimises freely:
+    ///
+    /// * an 8-column register tile holds the accumulators of 8 output
+    ///   elements across the whole `k` sweep, so each `k` step is one
+    ///   contiguous 8-wide load from `b`'s row — independent element
+    ///   chains that auto-vectorise without reassociating any sum;
+    /// * rows of `a` that multiply as exact zeros are skipped (ReLU
+    ///   activations are ~half zeros), which only ever drops `±0.0`
+    ///   addends;
+    /// * `k` is processed in L1-sized blocks per column stripe so `b`
+    ///   tiles are reused from cache at production shapes, while the
+    ///   GAT-sized operands (k ≤ 160) take the single-block fast path.
+    fn matmul_with_b_natural(&self, b: &Matrix) -> Matrix {
+        debug_assert_eq!(self.cols, b.rows);
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Outer product (the `dW = xᵀ·dY` shape of every Dense backward):
+        // each output row is one scaled copy of b's only row.
+        if k == 1 {
+            for i in 0..m {
+                let a = self.data[i];
                 if a == 0.0 {
                     continue;
                 }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
+                for (o, &bv) in out.data[i * n..(i + 1) * n].iter_mut().zip(&b.data) {
+                    // `0.0 +` matches the accumulator chain's start value:
+                    // a -0.0 product must still yield +0.0, as in the
+                    // other paths (and LLVM cannot fold it away without
+                    // fast-math).
+                    *o = 0.0 + a * bv;
+                }
+            }
+            return out;
+        }
+        // 8 f64 accumulators = two AVX2 (or four NEON) registers.
+        const TILE: usize = 8;
+        // k-block sized so a TILE-wide b stripe (KB × TILE doubles) plus
+        // the a-row segment stay within L1.
+        const KB: usize = 512;
+        for k0 in (0..k).step_by(KB) {
+            let k1 = (k0 + KB).min(k);
+            for i in 0..m {
+                let a_seg = &self.data[i * k + k0..i * k + k1];
+                let mut j0 = 0;
+                while j0 + TILE <= n {
+                    let mut acc = [0.0f64; TILE];
+                    if k0 > 0 {
+                        acc.copy_from_slice(&out.data[i * n + j0..i * n + j0 + TILE]);
+                    }
+                    for (kk, &a) in a_seg.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_seg = &b.data[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + TILE];
+                        for (s, &bv) in acc.iter_mut().zip(b_seg) {
+                            *s += a * bv;
+                        }
+                    }
+                    out.data[i * n + j0..i * n + j0 + TILE].copy_from_slice(&acc);
+                    j0 += TILE;
+                }
+                if j0 < n {
+                    let acc = &mut out.data[i * n + j0..(i + 1) * n];
+                    for (kk, &a) in a_seg.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_seg = &b.data[(k0 + kk) * n + j0..(k0 + kk) * n + n];
+                        for (s, &bv) in acc.iter_mut().zip(b_seg) {
+                            *s += a * bv;
+                        }
+                    }
                 }
             }
         }
         out
     }
 
-    /// Transpose.
+    /// Transpose. Tiled 8×8 so both the reads and the strided writes stay
+    /// within a handful of cache lines per tile — a naive row sweep costs
+    /// one cache line per element on the write side once `rows() > 8`.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+        let (r_all, c_all) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c_all, r_all);
+        const T: usize = 8;
+        for r0 in (0..r_all).step_by(T) {
+            let r1 = (r0 + T).min(r_all);
+            for c0 in (0..c_all).step_by(T) {
+                let c1 = (c0 + T).min(c_all);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * r_all + r] = self.data[r * c_all + c];
+                    }
+                }
             }
         }
         out
@@ -245,6 +418,20 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Elementwise in-place addition: `self += other`. The allocation-free
+    /// sibling of `&self + &other`, used on the gradient-accumulation hot
+    /// path (bit-identical to the allocating form: same elementwise order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_in_place(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
     }
 
     /// Scales every element by `s`.
@@ -392,6 +579,104 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transpose_b shape mismatch")]
+    fn matmul_transpose_b_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b_t = Matrix::zeros(5, 4); // inner dims 3 vs 4
+        a.matmul_transpose_b(&b_t);
+    }
+
+    /// Textbook i-j-k triple loop; the oracle for the blocked kernel.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_naive_across_block_boundaries() {
+        // Shapes straddling the 64-wide tile and the 4-wide unroll: full
+        // tiles, remainder rows/cols, and the scalar tail all get hit.
+        // (9, 600, 9) drives k past the KB=512 cache block, exercising the
+        // partial-sum reload between k-blocks.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (16, 64, 64),
+            (64, 64, 16),
+            (70, 33, 67),
+            (9, 600, 9),
+        ] {
+            let a = Matrix::lcg(m, k, 0xA5A5 ^ (m as u64) << 16 ^ k as u64);
+            let b = Matrix::lcg(k, n, 0x5A5A ^ (n as u64) << 16 ^ k as u64);
+            let blocked = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(blocked.shape(), (m, n));
+            for (x, y) in blocked.data().iter().zip(naive.data()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "blocked kernel diverged from ascending-k reference at {m}x{k}·{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose_bitwise() {
+        // m straddles the m ≤ 8 dot-product fast path (the shape every
+        // batch-1 Dense/GAT backward takes) and the transpose-then-saxpy
+        // path; n=9 forces the scalar tail after the 4-wide unroll.
+        for &(m, k, n) in &[
+            (1, 160, 128),
+            (4, 23, 9),
+            (8, 8, 4),
+            (17, 23, 9),
+            (64, 64, 16),
+        ] {
+            let a = Matrix::lcg(m, k, 1 + m as u64);
+            let b = Matrix::lcg(k, n, 2 + n as u64);
+            let fused = a.matmul_transpose_b(&b.transpose());
+            let explicit = a.matmul(&b);
+            for (x, y) in fused.data().iter().zip(explicit.data()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "fused path diverged at {m}x{k}·({n}x{k})ᵀ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_products_follow_the_accumulator_chain() {
+        // A -2.0 · 0.0 product is -0.0; every kernel path starts its
+        // accumulator at +0.0, so the stored element must be +0.0 (bit
+        // pattern 0), including the k==1 outer-product fast path.
+        let a = Matrix::from_rows(&[&[-2.0], &[3.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let out = a.matmul(&b); // k == 1 fast path
+        assert_eq!(out[(0, 0)].to_bits(), 0.0f64.to_bits());
+        let naive = naive_matmul(&a, &b);
+        for (x, y) in out.data().iter().zip(naive.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // And the m ≤ 8 dot path of matmul_transpose_b at k == 1 agrees.
+        let fused = a.matmul_transpose_b(&b.transpose());
+        for (x, y) in fused.data().iter().zip(out.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Std-only parallel-map substrate for the CAROL reproduction.
+//!
+//! The experiment harness fans the same simulation out over many seeds
+//! (`carol::runner::run_seeds`) and many policy × seed pairs (the Fig. 5
+//! sweep). Each unit of work is a pure function of its input — every seed
+//! owns its RNG streams — so the fan-out is embarrassingly parallel, and
+//! the only hard requirement is that parallel execution stays **bit
+//! identical** to serial execution.
+//!
+//! [`par_map`] guarantees exactly that: workers pull items off a shared
+//! atomic queue (single-queue work stealing) but every result is written
+//! back to the slot of its *input index*, so the output order — and, for
+//! pure per-item functions, every output bit — is independent of thread
+//! count and OS scheduling.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be pinned with the `CAROL_THREADS` environment variable (`1`
+//! forces the serial in-place path; values are clamped to ≥ 1). No
+//! threads are spawned for empty or single-item inputs.
+//!
+//! This crate is deliberately dependency-free (crates.io is unreachable
+//! in the build environment) and uses only scoped threads from `std`, so
+//! borrowed inputs and closures need no `'static` bound.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "CAROL_THREADS";
+
+/// Parses a `CAROL_THREADS`-style value: empty / unparsable strings are
+/// ignored (`None`), `0` is clamped up to 1 worker.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// The worker count [`par_map`] will use: the `CAROL_THREADS` override if
+/// set and parsable, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1 when even that is unavailable).
+pub fn thread_count() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Order-preserving parallel map over a slice with the default
+/// ([`thread_count`]) worker count.
+///
+/// `f` must be a pure function of the item for the parallel result to be
+/// bit-identical to the serial one; the scheduling itself never reorders
+/// outputs. Panics in `f` propagate to the caller once all workers have
+/// stopped.
+///
+/// # Examples
+///
+/// ```
+/// let squares = par::par_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 ⇒ serial in-place, no
+/// threads spawned). The `CAROL_THREADS` override is *not* consulted;
+/// this is the entry point for code — and tests — that must pin the
+/// parallelism level.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Single shared queue: workers race on `next` and claim whole items.
+    // Results land in the slot of their input index, so output order (and
+    // bit-for-bit content, for pure `f`) is schedule-independent. The
+    // per-slot mutexes are uncontended — every index is claimed exactly
+    // once — and exist only to hand `Send` results across threads safely.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = par_map_threads(8, &input, |&x| x * 2);
+        assert_eq!(out, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_uneven_work() {
+        let input: Vec<u64> = (0..64).collect();
+        // Uneven per-item cost: late items finish before early ones, so an
+        // order bug would surface as a permuted output.
+        let work = |&x: &u64| -> u64 {
+            let spins = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let serial = par_map_threads(1, &input, work);
+        let parallel = par_map_threads(4, &input, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_threads(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map_threads(64, &[1, 2, 3], |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_threads(2, &[1, 2, 3, 4], |&x| {
+                assert_ne!(x, 3, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("not a number")), None);
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), Some(1), "0 clamps to 1 worker");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn non_copy_results_survive() {
+        let out = par_map_threads(3, &[1, 2, 3], |&x| vec![x; x]);
+        assert_eq!(out, vec![vec![1], vec![2, 2], vec![3, 3, 3]]);
+    }
+}

@@ -1,8 +1,8 @@
 //! Workload generators reproducing the paper's benchmark suites.
 //!
-//! * **DeFog** [30] — Yolo, PocketSphinx and Aeneas, used to create the
+//! * **DeFog** \[30\] — Yolo, PocketSphinx and Aeneas, used to create the
 //!   offline GON training trace (§IV-D).
-//! * **AIoTBench** [31] — seven computer-vision applications (three
+//! * **AIoTBench** \[31\] — seven computer-vision applications (three
 //!   heavy-weight: ResNet18, ResNet34, ResNext32x4d; four light-weight:
 //!   SqueezeNet, GoogleNet, MobileNetV2, MnasNet), used *only at test
 //!   time* to probe generalisation (§V-A).

@@ -4,7 +4,7 @@
 //! model (4000 work-units/s, so one interval executes 1.2M units solo):
 //! a Yolo container dominates an interval, PocketSphinx takes ~2 minutes,
 //! the light CNNs finish within tens of seconds — matching the relative
-//! costs reported for DeFog [30] and AIoTBench [31].
+//! costs reported for DeFog \[30\] and AIoTBench \[31\].
 
 use edgesim::TaskSpec;
 use rand::rngs::StdRng;
@@ -50,9 +50,9 @@ impl AppProfile {
 /// The two benchmark suites of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BenchmarkSuite {
-    /// DeFog [30]: Yolo, PocketSphinx, Aeneas — training workloads (§IV-D).
+    /// DeFog \[30\]: Yolo, PocketSphinx, Aeneas — training workloads (§IV-D).
     DeFog,
-    /// AIoTBench [31]: seven CNN inference apps — test workloads (§V-A).
+    /// AIoTBench \[31\]: seven CNN inference apps — test workloads (§V-A).
     AIoTBench,
 }
 

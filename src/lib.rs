@@ -12,6 +12,7 @@
 //! * [`baselines`] — DYVERSE, ECLB, LBOS, ELBS, FRAS, TopoMAD, StepGAN.
 //! * [`nn`] — the from-scratch neural substrate.
 //! * [`metrics`] — shared statistics.
+//! * [`par`] — the scoped thread-pool substrate behind multi-seed fan-out.
 
 pub use baselines;
 pub use carol;
@@ -20,4 +21,5 @@ pub use faults;
 pub use gon;
 pub use metrics;
 pub use nn;
+pub use par;
 pub use workloads;

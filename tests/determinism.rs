@@ -9,7 +9,7 @@
 
 use baselines::Lbos;
 use carol::carol::{Carol, CarolConfig};
-use carol::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+use carol::runner::{run_experiment, run_seeds_threads, ExperimentConfig, ExperimentResult};
 
 fn fast_config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
@@ -78,6 +78,33 @@ fn different_seeds_diverge_for_carol() {
         a.response_times_s, b.response_times_s,
         "different seeds produced identical response-time streams"
     );
+}
+
+/// The parallel fan-out contract: `run_seeds` on one worker and on four
+/// workers must produce bit-identical results for every seed. Each seed
+/// owns its RNG streams and its policy instance, so thread count and OS
+/// scheduling must never leak into the outputs.
+///
+/// The worker counts are pinned through `run_seeds_threads` rather than
+/// the `CAROL_THREADS` env var: mutating the environment would race
+/// with this binary's other tests (setenv/getenv from concurrent libtest
+/// threads is UB on glibc). The env-override plumbing is covered by
+/// `tests/carol_threads_env.rs`, whose binary holds exactly one test.
+#[test]
+fn parallel_seed_fanout_is_bit_identical_to_serial() {
+    let seeds: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+    let base = fast_config(0);
+    let make = |seed| Carol::pretrained(CarolConfig::fast_test(), seed);
+
+    let serial = run_seeds_threads(1, make, &base, &seeds);
+    let parallel = run_seeds_threads(4, make, &base, &seeds);
+
+    assert_eq!(serial.len(), seeds.len());
+    assert_eq!(parallel.len(), seeds.len());
+    for (seed, (a, b)) in seeds.iter().zip(serial.iter().zip(&parallel)) {
+        assert!(a.completed > 0, "seed {seed} completed no tasks");
+        assert_identical(a, b);
+    }
 }
 
 #[test]

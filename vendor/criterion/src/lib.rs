@@ -6,11 +6,67 @@
 //! median-of-samples wall-clock measurement printed to stdout; use
 //! `cargo bench` to invoke it.
 
+//!
+//! When the `BENCH_JSON` environment variable names a file path, the
+//! entry point additionally writes every measurement as a JSON array of
+//! `{"name", "median_ns", "iters"}` records — the schema CI's bench job
+//! archives as `BENCH_PR.json` to track the perf trajectory per PR.
+
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Environment variable naming the JSON results file (skipped if unset).
+pub const BENCH_JSON_ENV: &str = "BENCH_JSON";
+
+/// Measurements accumulated across all groups of the current process, in
+/// execution order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+struct BenchRecord {
+    name: String,
+    median_ns: u64,
+    iters: u64,
+}
+
+/// Serialises every recorded measurement to the `BENCH_JSON` path, if
+/// set. Called by [`criterion_main!`] after all groups have run; a no-op
+/// without the env var, and IO errors abort loudly rather than silently
+/// dropping the perf record CI archives.
+pub fn write_bench_json() {
+    let Ok(path) = std::env::var(BENCH_JSON_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    write_bench_json_to(&path);
+}
+
+/// The env-free body of [`write_bench_json`]: serialises the recorded
+/// measurements to `path`. Split out so tests can exercise it without
+/// mutating the process environment (concurrent setenv/getenv from
+/// libtest's parallel test threads is UB on glibc).
+fn write_bench_json_to(path: &str) {
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{}\n",
+            name,
+            r.median_ns,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("[criterion-stub] wrote {} results to {path}", results.len());
+}
 
 /// Benchmark driver. One instance is handed to every
 /// `criterion_group!`-registered function.
@@ -66,6 +122,14 @@ impl Criterion {
             human_time(median),
             bencher.iters
         );
+        RESULTS
+            .lock()
+            .expect("bench results poisoned")
+            .push(BenchRecord {
+                name: name.to_string(),
+                median_ns: (median * 1e9).round() as u64,
+                iters: bencher.iters,
+            });
         self
     }
 }
@@ -111,12 +175,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point running the listed groups.
+/// Declares the bench entry point running the listed groups, then writes
+/// the JSON results file if `BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_json();
         }
     };
 }
@@ -139,6 +205,27 @@ mod tests {
             })
         });
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn write_bench_json_emits_schema() {
+        let path = std::env::temp_dir().join("criterion_stub_bench_test.json");
+        RESULTS.lock().unwrap().push(BenchRecord {
+            name: "json_smoke\"quoted".into(),
+            median_ns: 1234,
+            iters: 8,
+        });
+        write_bench_json_to(path.to_str().expect("utf-8 temp path"));
+        let text = std::fs::read_to_string(&path).expect("results file written");
+        assert!(text.trim_start().starts_with('['), "must be a JSON array");
+        assert!(text.trim_end().ends_with(']'), "must be a JSON array");
+        assert!(text.contains("\"median_ns\": 1234"));
+        assert!(text.contains("\"iters\": 8"));
+        assert!(
+            text.contains("json_smoke\\\"quoted"),
+            "quotes must be escaped"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Accepted size arguments for [`vec`]: an exact length or a range.
+    /// Accepted size arguments for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -1,4 +1,4 @@
-//! Offline stand-in for [`serde_json`], over the vendored `serde` stub's
+//! Offline stand-in for `serde_json`, over the vendored `serde` stub's
 //! [`Value`] model.
 //!
 //! Provides exactly the functions the workspace calls — [`to_string`],
