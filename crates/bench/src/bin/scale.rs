@@ -1,0 +1,42 @@
+//! Host-count scaling sweep binary: CAROL over 16 → 128-host federations
+//! on synthetic and replayed workloads, with per-size QoS + wall-clock.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scale            # full sweep (→ 128 hosts)
+//! cargo run --release -p bench --bin scale -- --fast  # CI sweep (→ 64 hosts)
+//! cargo run --release -p bench --bin scale -- --out scale.json
+//! SCALE_JSON=scale.json cargo run --release -p bench --bin scale
+//! ```
+
+use bench::scale::{render_table, sweep, to_json, ScaleConfig, SCALE_JSON_ENV};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(SCALE_JSON_ENV).ok().filter(|p| !p.is_empty()));
+
+    let config = if fast {
+        ScaleConfig::fast(0)
+    } else {
+        ScaleConfig::full(0)
+    };
+    println!(
+        "scale sweep: sizes {:?}, {} intervals each{}",
+        config.sizes,
+        config.intervals,
+        if fast { " (--fast)" } else { "" }
+    );
+
+    let points = sweep(&config);
+    print!("{}", render_table(&points));
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, to_json(&points))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {} points to {path}", points.len());
+    }
+}

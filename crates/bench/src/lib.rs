@@ -9,15 +9,17 @@
 //! | `fig4` | Fig. 4 — GON training curves (loss, MSE, confidence) |
 //! | `fig5` | Fig. 5(a–f) — CAROL vs 7 baselines + 4 ablations on all six metrics |
 //! | `fig6` | Fig. 6(a–c) — sensitivity to learning rate, model memory, tabu list |
+//! | `scale` | Beyond the paper: host-count scaling sweep (16 → 128 hosts, synthetic + replayed traces) |
 //!
 //! The library part holds shared experiment plumbing (multi-seed fan-out,
-//! table rendering) plus the fig5/fig6 implementations so they are unit
-//! testable.
+//! table rendering) plus the fig5/fig6/scale implementations so they are
+//! unit testable.
 
 #![warn(missing_docs)]
 
 pub mod fig5;
 pub mod fig6;
 pub mod render;
+pub mod scale;
 
 pub use render::{render_comparison, Row};

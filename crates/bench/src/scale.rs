@@ -1,0 +1,269 @@
+//! Host-count scaling sweep: the same CAROL policy over growing
+//! federations (16 → 128 hosts), reporting per-size QoS and wall-clock.
+//!
+//! The paper never leaves its 16-host testbed; this sweep is the
+//! scenario engine's scale axis made measurable. Each size runs one
+//! AIoTBench scenario at the paper's per-host arrival intensity
+//! (0.45 tasks/host/interval) plus, for the trace axis, one replayed
+//! DeFog trace recorded at the same scale — so both new workload *and*
+//! new scale are exercised per size.
+//!
+//! Results serialise to the same JSON-artifact pattern as the vendored
+//! criterion stub's `BENCH_JSON`: the `scale` binary honours `--out
+//! <path>` / the `SCALE_JSON` environment variable and CI uploads the
+//! file next to `BENCH_PR.json`.
+
+use carol::carol::{Carol, CarolConfig};
+use carol::scenario::{run_scenario, ScenarioSpec, SchedulerKind, WorkloadSource};
+use edgesim::SimConfig;
+use faults::TargetPolicy;
+use gon::{GonConfig, TrainConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use workloads::replay::record_suite;
+use workloads::BenchmarkSuite;
+
+/// Environment variable naming the JSON results file (mirrors the
+/// criterion stub's `BENCH_JSON`).
+pub const SCALE_JSON_ENV: &str = "SCALE_JSON";
+
+/// Configuration of one scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// `(n_hosts, n_brokers)` per size, ascending.
+    pub sizes: Vec<(usize, usize)>,
+    /// Scheduling intervals per scenario.
+    pub intervals: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Also run a replayed-trace scenario per size.
+    pub with_replay: bool,
+}
+
+impl ScaleConfig {
+    /// The full sweep: 16 → 128 hosts, 30 intervals, replay included.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            sizes: vec![(16, 4), (32, 8), (64, 8), (128, 16)],
+            intervals: 30,
+            seed,
+            with_replay: true,
+        }
+    }
+
+    /// CI-budget sweep: 16 → 64 hosts, 10 intervals.
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            sizes: vec![(16, 4), (32, 8), (64, 8)],
+            intervals: 10,
+            seed,
+            with_replay: true,
+        }
+    }
+}
+
+/// One `(scenario, size)` cell of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Scenario label, e.g. `"aiot-64"` or `"replay-64"`.
+    pub scenario: String,
+    /// Federation size.
+    pub n_hosts: usize,
+    /// LEI count.
+    pub n_brokers: usize,
+    /// Intervals run.
+    pub intervals: usize,
+    /// Completed-task count.
+    pub completed: usize,
+    /// Total federation energy, Wh.
+    pub energy_wh: f64,
+    /// Mean response time, s.
+    pub mean_response_s: f64,
+    /// SLO violation rate over completed tasks.
+    pub slo_violation_rate: f64,
+    /// Broker failures observed.
+    pub broker_failures: usize,
+    /// Repair decisions taken.
+    pub decision_events: usize,
+    /// Wall-clock of the scenario run on this machine, seconds.
+    pub wall_s: f64,
+}
+
+/// A CAROL configuration sized for sweep throughput: the GON stays at
+/// test-scale (it is host-count-agnostic, so one small network serves
+/// every federation size) and pre-trains on an 8-host DeFog trace.
+pub fn sweep_carol_config(seed: u64) -> CarolConfig {
+    CarolConfig {
+        gon: GonConfig {
+            hidden: 16,
+            head_layers: 2,
+            gat_dim: 8,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps: 5,
+            gen_tol: 1e-7,
+            seed,
+        },
+        tabu: carol::tabu::TabuConfig {
+            list_size: 20,
+            max_iters: 2,
+        },
+        offline: TrainConfig {
+            epochs: 3,
+            minibatch: 8,
+            patience: 3,
+            lr: 1e-3,
+            ..Default::default()
+        },
+        pretrain_intervals: 24,
+        pretrain_sim: SimConfig::small(8, 2, seed),
+        ..Default::default()
+    }
+}
+
+/// Fault intensity of the sweep. Higher than the paper's λ_f = 0.5:
+/// attacks are intensity-scaled (0.65–1.15×) and only saturate loaded
+/// brokers, so short sweeps at 0.5 can pass without a single repair —
+/// and the whole point of the wall-clock column is to price CAROL's
+/// repair path (node-shift + tabu over the GON) as the federation grows.
+pub const SWEEP_FAULT_RATE: f64 = 2.0;
+
+/// The scenarios one sweep cell runs at `(n_hosts, n_brokers)`.
+fn size_scenarios(config: &ScaleConfig, n_hosts: usize, n_brokers: usize) -> Vec<ScenarioSpec> {
+    let rate = 0.45 * n_hosts as f64;
+    let mut specs = vec![ScenarioSpec {
+        name: format!("aiot-{n_hosts}"),
+        workload: WorkloadSource::Suite {
+            suite: BenchmarkSuite::AIoTBench,
+            rate,
+        },
+        n_hosts,
+        n_brokers,
+        intervals: config.intervals,
+        fault_rate: SWEEP_FAULT_RATE,
+        fault_target: TargetPolicy::BrokersOnly,
+        scheduler: SchedulerKind::LeastLoad,
+        seed: config.seed,
+    }];
+    if config.with_replay {
+        let events = record_suite(
+            BenchmarkSuite::DeFog,
+            rate,
+            config.seed ^ 0x7265,
+            config.intervals,
+        );
+        specs.push(ScenarioSpec {
+            name: format!("replay-{n_hosts}"),
+            workload: WorkloadSource::Replay { events },
+            n_hosts,
+            n_brokers,
+            intervals: config.intervals,
+            fault_rate: SWEEP_FAULT_RATE,
+            fault_target: TargetPolicy::BrokersOnly,
+            scheduler: SchedulerKind::LeastLoad,
+            seed: config.seed,
+        });
+    }
+    specs
+}
+
+/// Runs the sweep **sequentially** (one scenario at a time, so the
+/// per-size wall-clock is not polluted by sibling runs) and returns one
+/// point per `(scenario, size)` cell.
+pub fn sweep(config: &ScaleConfig) -> Vec<ScalePoint> {
+    let mut points = Vec::new();
+    for &(n_hosts, n_brokers) in &config.sizes {
+        for spec in size_scenarios(config, n_hosts, n_brokers) {
+            let mut policy = Carol::pretrained(sweep_carol_config(config.seed), config.seed);
+            let start = Instant::now();
+            let out = run_scenario(&mut policy, &spec);
+            let wall_s = start.elapsed().as_secs_f64();
+            points.push(ScalePoint {
+                scenario: out.scenario,
+                n_hosts,
+                n_brokers,
+                intervals: spec.intervals,
+                completed: out.result.completed,
+                energy_wh: out.result.total_energy_wh,
+                mean_response_s: out.result.mean_response_s,
+                slo_violation_rate: out.result.slo_violation_rate,
+                broker_failures: out.result.broker_failures,
+                decision_events: out.result.decision_events,
+                wall_s,
+            });
+        }
+    }
+    points
+}
+
+/// Serialises sweep points as pretty JSON (the `SCALE_JSON` artifact).
+pub fn to_json(points: &[ScalePoint]) -> String {
+    serde_json::to_string_pretty(points).expect("scale points serialise")
+}
+
+/// Renders the points as an aligned text table for stdout.
+pub fn render_table(points: &[ScalePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}\n",
+        "scenario", "hosts", "done", "energy_wh", "resp_s", "slo", "repairs", "wall_s"
+    ));
+    out.push_str(&"-".repeat(86));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:<14}{:>8}{:>10}{:>12.1}{:>12.1}{:>10.3}{:>10}{:>10.2}\n",
+            p.scenario,
+            p.n_hosts,
+            p.completed,
+            p.energy_wh,
+            p.mean_response_s,
+            p.slo_violation_rate,
+            p.decision_events,
+            p.wall_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_sweep_produces_one_point_per_cell() {
+        let config = ScaleConfig {
+            sizes: vec![(16, 4), (32, 8)],
+            intervals: 4,
+            seed: 1,
+            with_replay: true,
+        };
+        let points = sweep(&config);
+        assert_eq!(points.len(), 4, "2 sizes × (suite + replay)");
+        for p in &points {
+            assert!(p.energy_wh > 0.0, "{}: no energy", p.scenario);
+            assert!(p.wall_s > 0.0);
+            assert_eq!(p.intervals, 4);
+        }
+        // Energy grows with federation size — more hosts draw more power.
+        assert!(points[2].energy_wh > points[0].energy_wh);
+    }
+
+    #[test]
+    fn points_round_trip_through_json() {
+        let config = ScaleConfig {
+            sizes: vec![(16, 4)],
+            intervals: 3,
+            seed: 2,
+            with_replay: false,
+        };
+        let points = sweep(&config);
+        let json = to_json(&points);
+        let back: Vec<ScalePoint> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), points.len());
+        assert_eq!(back[0].scenario, points[0].scenario);
+        assert_eq!(back[0].energy_wh.to_bits(), points[0].energy_wh.to_bits());
+        let table = render_table(&points);
+        assert!(table.contains("aiot-16"));
+    }
+}

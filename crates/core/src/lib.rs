@@ -43,8 +43,13 @@ pub mod policy;
 pub mod pot;
 pub mod proactive;
 pub mod runner;
+pub mod scenario;
 pub mod tabu;
 
 pub use crate::carol::{Carol, CarolConfig, CarolVariant, FineTuneMode};
 pub use policy::{ObserveOutcome, ResiliencePolicy};
 pub use pot::PotDetector;
+pub use scenario::{
+    run_scenario, run_scenarios, run_scenarios_threads, ScenarioResult, ScenarioSpec,
+    SchedulerKind, WorkloadSource,
+};

@@ -7,11 +7,11 @@
 use crate::policy::ResiliencePolicy;
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
-use edgesim::{SimConfig, Simulator};
+use edgesim::{Scheduler, SimConfig, Simulator};
 use faults::{FaultInjector, TargetPolicy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use workloads::{BagOfTasks, BenchmarkSuite};
+use workloads::{BagOfTasks, BenchmarkSuite, Workload};
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone)]
@@ -109,17 +109,36 @@ pub struct ExperimentResult {
     pub response_times_s: Vec<f64>,
 }
 
-/// Runs `policy` under `config` and collects the §V metrics.
+/// Runs `policy` under `config` and collects the §V metrics, sampling
+/// arrivals from the configured suite and placing tasks with the default
+/// [`LeastLoadScheduler`]. See [`run_experiment_full`] for the general
+/// entry point the scenario engine uses (replayed workloads, alternative
+/// schedulers).
 pub fn run_experiment(
     policy: &mut dyn ResiliencePolicy,
     config: &ExperimentConfig,
 ) -> ExperimentResult {
-    let mut sim = Simulator::new(config.sim.clone());
     let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, config.seed ^ 0x5754);
+    let mut scheduler = LeastLoadScheduler::new();
+    run_experiment_full(policy, config, &mut workload, &mut scheduler)
+}
+
+/// The general experimental loop: any arrival process, any underlying
+/// scheduler. `config.suite` / `config.arrival_rate` are ignored here —
+/// the workload supplies arrivals. Metric normalisation uses
+/// [`Normalizer::for_federation`], which equals the historical default
+/// for every LEI span ≤ 4 (so all pre-scenario results are bit-identical)
+/// and widens the task-pressure scale for >16-host federations.
+pub fn run_experiment_full(
+    policy: &mut dyn ResiliencePolicy,
+    config: &ExperimentConfig,
+    workload: &mut dyn Workload,
+    scheduler: &mut dyn Scheduler,
+) -> ExperimentResult {
+    let mut sim = Simulator::new(config.sim.clone());
     let mut injector =
         FaultInjector::new(config.fault_rate, config.fault_target, config.seed ^ 0x4654);
-    let mut scheduler = LeastLoadScheduler::new();
-    let norm = Normalizer::default();
+    let norm = Normalizer::for_federation(config.sim.specs.len(), config.sim.n_brokers);
 
     // Initial snapshot before anything runs.
     let mut snapshot = SystemState::capture(
@@ -157,7 +176,7 @@ pub fn run_experiment(
         // --- Fault injection + the interval itself.
         injector.inject(t, &mut sim);
         let arrivals = workload.sample_interval(t);
-        let report = sim.step(arrivals, &mut scheduler);
+        let report = sim.step(arrivals, scheduler);
         broker_failures += report.failed_brokers.len();
 
         snapshot = SystemState::capture(

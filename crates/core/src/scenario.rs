@@ -1,0 +1,419 @@
+//! Named scenarios: one registry entry = workload source (synthetic suite
+//! or recorded trace) × federation size × fault intensity × underlying
+//! scheduler.
+//!
+//! The paper evaluates every policy on exactly one shape — AIoTBench on
+//! the 16-host testbed with λ_f = 0.5 broker faults over the least-load
+//! scheduler. The scenario engine turns each of those four choices into
+//! an axis, so resilience claims can be probed on workloads and scales
+//! CAROL was never tuned for: trace replays, 32/64/128-host federations,
+//! fault storms, and load-blind round-robin placement.
+//!
+//! [`run_scenarios`] fans a scenario list out over the
+//! [`par`] thread pool exactly like
+//! [`run_seeds`](crate::runner::run_seeds): every scenario owns its RNG
+//! streams and policy instance, so results are bit-identical to serial
+//! execution in any thread configuration (`tests/determinism.rs` gates
+//! this for a 64-host replay scenario).
+
+use crate::policy::ResiliencePolicy;
+use crate::runner::{run_experiment_full, ExperimentConfig, ExperimentResult};
+use edgesim::scheduler::{LeastLoadScheduler, RoundRobinScheduler};
+use edgesim::{Scheduler, SimConfig};
+use faults::TargetPolicy;
+use workloads::replay::{record_suite, ReplayWorkload, TraceEvent};
+use workloads::{BagOfTasks, BenchmarkSuite, Workload};
+
+/// Where a scenario's arrivals come from.
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// Sample a synthetic suite at the given Poisson rate per interval.
+    Suite {
+        /// Benchmark suite to draw tasks from.
+        suite: BenchmarkSuite,
+        /// Poisson arrival rate per interval, federation-wide.
+        rate: f64,
+    },
+    /// Replay recorded trace events (see [`workloads::replay`]).
+    Replay {
+        /// The trace to replay, interval-sorted.
+        events: Vec<TraceEvent>,
+    },
+}
+
+/// The underlying task scheduler a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// GOBI-style least-projected-load placement (the paper's setting).
+    LeastLoad,
+    /// Load-blind round-robin rotation per LEI.
+    RoundRobin,
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::LeastLoad => Box::new(LeastLoadScheduler::new()),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+        }
+    }
+}
+
+/// A fully specified, reproducible experiment shape.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Registry name (or a caller-chosen label for ad-hoc scenarios).
+    pub name: String,
+    /// Arrival process.
+    pub workload: WorkloadSource,
+    /// Federation size.
+    pub n_hosts: usize,
+    /// LEI / broker count.
+    pub n_brokers: usize,
+    /// Scheduling intervals to run.
+    pub intervals: usize,
+    /// Poisson fault rate per interval (λ_f; the paper uses 0.5).
+    pub fault_rate: f64,
+    /// Who the injector attacks.
+    pub fault_target: TargetPolicy,
+    /// Underlying task scheduler.
+    pub scheduler: SchedulerKind,
+    /// Master seed for the simulator, workload and injector streams.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The §V paper shape as a scenario: AIoTBench, 16 hosts / 4 LEIs,
+    /// λ_f = 0.5 broker faults, least-load scheduling.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            name: "paper-16".into(),
+            workload: WorkloadSource::Suite {
+                suite: BenchmarkSuite::AIoTBench,
+                rate: 7.2,
+            },
+            n_hosts: 16,
+            n_brokers: 4,
+            intervals: 100,
+            fault_rate: 0.5,
+            fault_target: TargetPolicy::BrokersOnly,
+            scheduler: SchedulerKind::LeastLoad,
+            seed,
+        }
+    }
+
+    /// Looks a named scenario up in the registry. `None` for unknown
+    /// names; see [`ScenarioSpec::registry_names`] for the catalogue.
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        // Arrival rates keep the paper's per-host intensity (7.2 / 16 =
+        // 0.45 tasks/host/interval) as the federation grows, so larger
+        // scenarios stress scale rather than merely idling more hosts.
+        let scaled = |n_hosts: usize| 0.45 * n_hosts as f64;
+        let base = |name: &str, suite, n_hosts: usize, n_brokers: usize| ScenarioSpec {
+            name: name.into(),
+            workload: WorkloadSource::Suite {
+                suite,
+                rate: scaled(n_hosts),
+            },
+            n_hosts,
+            n_brokers,
+            intervals: 50,
+            fault_rate: 0.5,
+            fault_target: TargetPolicy::BrokersOnly,
+            scheduler: SchedulerKind::LeastLoad,
+            seed,
+        };
+        match name {
+            "paper-16" => Some(ScenarioSpec::paper(seed)),
+            "aiot-32" => Some(base("aiot-32", BenchmarkSuite::AIoTBench, 32, 8)),
+            "aiot-64" => Some(base("aiot-64", BenchmarkSuite::AIoTBench, 64, 8)),
+            "aiot-128" => Some(base("aiot-128", BenchmarkSuite::AIoTBench, 128, 16)),
+            "defog-32" => Some(base("defog-32", BenchmarkSuite::DeFog, 32, 8)),
+            "storm-64" => Some(ScenarioSpec {
+                fault_rate: 2.0,
+                fault_target: TargetPolicy::AnyHost,
+                ..base("storm-64", BenchmarkSuite::AIoTBench, 64, 8)
+            }),
+            "roundrobin-16" => Some(ScenarioSpec {
+                name: "roundrobin-16".into(),
+                scheduler: SchedulerKind::RoundRobin,
+                ..ScenarioSpec::paper(seed)
+            }),
+            "replay-64" => {
+                // A 64-host federation replaying a DeFog trace recorded at
+                // the same scale: the canonical "new workload × new scale"
+                // scenario of the engine. The trace itself is a seeded
+                // function of `seed`, so the scenario stays a pure
+                // function of its inputs.
+                let events = record_suite(BenchmarkSuite::DeFog, scaled(64), seed ^ 0x7265, 30);
+                Some(ScenarioSpec {
+                    name: "replay-64".into(),
+                    workload: WorkloadSource::Replay { events },
+                    n_hosts: 64,
+                    n_brokers: 8,
+                    intervals: 30,
+                    fault_rate: 0.5,
+                    fault_target: TargetPolicy::BrokersOnly,
+                    scheduler: SchedulerKind::LeastLoad,
+                    seed,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Names of every registered scenario.
+    pub fn registry_names() -> &'static [&'static str] {
+        &[
+            "paper-16",
+            "aiot-32",
+            "aiot-64",
+            "aiot-128",
+            "defog-32",
+            "storm-64",
+            "roundrobin-16",
+            "replay-64",
+        ]
+    }
+
+    /// An ad-hoc replay scenario over caller-supplied trace events.
+    pub fn replay(
+        name: impl Into<String>,
+        events: Vec<TraceEvent>,
+        n_hosts: usize,
+        n_brokers: usize,
+        seed: u64,
+    ) -> Self {
+        let intervals = events.iter().map(|e| e.interval + 1).max().unwrap_or(0);
+        Self {
+            name: name.into(),
+            workload: WorkloadSource::Replay { events },
+            n_hosts,
+            n_brokers,
+            intervals,
+            fault_rate: 0.5,
+            fault_target: TargetPolicy::BrokersOnly,
+            scheduler: SchedulerKind::LeastLoad,
+            seed,
+        }
+    }
+
+    /// The experiment configuration this scenario induces.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        let (suite, rate) = match &self.workload {
+            WorkloadSource::Suite { suite, rate } => (*suite, *rate),
+            // Ignored by `run_experiment_full`; recorded for completeness.
+            WorkloadSource::Replay { .. } => (BenchmarkSuite::DeFog, 0.0),
+        };
+        ExperimentConfig {
+            sim: SimConfig::federation(self.n_hosts, self.n_brokers, self.seed),
+            intervals: self.intervals,
+            suite,
+            arrival_rate: rate,
+            fault_rate: self.fault_rate,
+            fault_target: self.fault_target,
+            seed: self.seed,
+        }
+    }
+
+    /// Builds this scenario's arrival process.
+    pub fn build_workload(&self) -> Box<dyn Workload> {
+        match &self.workload {
+            WorkloadSource::Suite { suite, rate } => {
+                Box::new(BagOfTasks::new(*suite, *rate, self.seed ^ 0x5754))
+            }
+            WorkloadSource::Replay { events } => Box::new(ReplayWorkload::new(events)),
+        }
+    }
+}
+
+/// One scenario's outcome: the standard §V metrics tagged with the
+/// scenario identity.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Federation size the scenario ran at.
+    pub n_hosts: usize,
+    /// The §V metrics.
+    pub result: ExperimentResult,
+}
+
+/// Runs one scenario under `policy`.
+pub fn run_scenario(policy: &mut dyn ResiliencePolicy, spec: &ScenarioSpec) -> ScenarioResult {
+    let config = spec.experiment_config();
+    let mut workload = spec.build_workload();
+    let mut scheduler = spec.scheduler.build();
+    let result = run_experiment_full(policy, &config, workload.as_mut(), scheduler.as_mut());
+    ScenarioResult {
+        scenario: spec.name.clone(),
+        n_hosts: spec.n_hosts,
+        result,
+    }
+}
+
+/// Runs `make_policy(spec)` across scenarios **in parallel** on
+/// [`par::thread_count`] workers (`CAROL_THREADS` overrides; `1` forces
+/// the serial path), mirroring [`crate::runner::run_seeds`]. Every
+/// scenario owns its policy and RNG streams, so the result vector is
+/// bit-identical to serial execution — same order, same bits.
+pub fn run_scenarios<P: ResiliencePolicy>(
+    make_policy: impl Fn(&ScenarioSpec) -> P + Sync,
+    specs: &[ScenarioSpec],
+) -> Vec<ScenarioResult> {
+    run_scenarios_threads(par::thread_count(), make_policy, specs)
+}
+
+/// [`run_scenarios`] with an explicit worker count, for callers (and the
+/// determinism suite) that must pin the parallelism level.
+pub fn run_scenarios_threads<P: ResiliencePolicy>(
+    threads: usize,
+    make_policy: impl Fn(&ScenarioSpec) -> P + Sync,
+    specs: &[ScenarioSpec],
+) -> Vec<ScenarioResult> {
+    par::par_map_threads(threads, specs, |spec| {
+        let mut policy = make_policy(spec);
+        run_scenario(&mut policy, spec)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carol::{Carol, CarolConfig};
+
+    fn tiny(spec: &mut ScenarioSpec, intervals: usize) {
+        spec.intervals = intervals;
+        if let WorkloadSource::Replay { events } = &mut spec.workload {
+            events.retain(|e| e.interval < intervals);
+        }
+    }
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in ScenarioSpec::registry_names() {
+            let spec = ScenarioSpec::named(name, 1).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(&spec.name, name);
+            assert!(spec.n_hosts >= 16);
+            assert!(spec.n_brokers > 0 && spec.n_brokers <= spec.n_hosts);
+            assert!(spec.intervals > 0);
+            // Every scenario must induce a buildable simulator config.
+            let cfg = spec.experiment_config();
+            assert_eq!(cfg.sim.specs.len(), spec.n_hosts);
+        }
+        assert!(ScenarioSpec::named("no-such-scenario", 1).is_none());
+    }
+
+    #[test]
+    fn replay_scenario_covers_its_trace_horizon() {
+        let spec = ScenarioSpec::named("replay-64", 3).unwrap();
+        let WorkloadSource::Replay { events } = &spec.workload else {
+            panic!("replay-64 must carry a trace");
+        };
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.interval < spec.intervals));
+    }
+
+    #[test]
+    fn named_scenarios_are_pure_functions_of_the_seed() {
+        let a = ScenarioSpec::named("replay-64", 9).unwrap();
+        let b = ScenarioSpec::named("replay-64", 9).unwrap();
+        let (WorkloadSource::Replay { events: ea }, WorkloadSource::Replay { events: eb }) =
+            (&a.workload, &b.workload)
+        else {
+            panic!("replay scenarios expected");
+        };
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end_with_carol() {
+        let mut spec = ScenarioSpec::paper(5);
+        tiny(&mut spec, 8);
+        let mut policy = Carol::pretrained(CarolConfig::fast_test(), 5);
+        let out = run_scenario(&mut policy, &spec);
+        assert_eq!(out.scenario, "paper-16");
+        assert_eq!(out.n_hosts, 16);
+        assert!(out.result.total_energy_wh > 0.0);
+        assert!(out.result.completed > 0);
+    }
+
+    #[test]
+    fn scheduler_axis_changes_outcomes() {
+        let run = |kind| {
+            let mut spec = ScenarioSpec::paper(11);
+            spec.scheduler = kind;
+            tiny(&mut spec, 10);
+            let mut policy = baseline();
+            run_scenario(&mut policy, &spec).result
+        };
+        let ll = run(SchedulerKind::LeastLoad);
+        let rr = run(SchedulerKind::RoundRobin);
+        assert!(ll.completed > 0 && rr.completed > 0);
+        assert_ne!(
+            (ll.total_energy_wh.to_bits(), ll.completed),
+            (rr.total_energy_wh.to_bits(), rr.completed),
+            "the scheduler axis must actually change execution"
+        );
+    }
+
+    #[test]
+    fn scenario_fanout_matches_serial() {
+        let specs: Vec<ScenarioSpec> = ["paper-16", "roundrobin-16"]
+            .iter()
+            .map(|n| {
+                let mut s = ScenarioSpec::named(n, 2).unwrap();
+                tiny(&mut s, 6);
+                s
+            })
+            .collect();
+        let make = |_: &ScenarioSpec| baseline();
+        let serial = run_scenarios_threads(1, make, &specs);
+        let parallel = run_scenarios_threads(2, make, &specs);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(
+                a.result.total_energy_wh.to_bits(),
+                b.result.total_energy_wh.to_bits()
+            );
+            assert_eq!(a.result.completed, b.result.completed);
+        }
+    }
+
+    /// A no-repair stand-in so scenario tests don't pay GON pretraining.
+    fn baseline() -> impl ResiliencePolicy {
+        struct Noop;
+        impl ResiliencePolicy for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn repair(
+                &mut self,
+                _sim: &edgesim::Simulator,
+                _snapshot: &edgesim::SystemState,
+            ) -> Option<edgesim::Topology> {
+                None
+            }
+            fn observe(
+                &mut self,
+                _sim: &edgesim::Simulator,
+                _snapshot: &edgesim::SystemState,
+                _report: &edgesim::IntervalReport,
+            ) -> crate::policy::ObserveOutcome {
+                crate::policy::ObserveOutcome { fine_tuned: false }
+            }
+            fn modeled_decision_s(&self) -> f64 {
+                0.0
+            }
+            fn modeled_overhead_s(&self) -> f64 {
+                0.0
+            }
+            fn memory_gb(&self) -> f64 {
+                0.0
+            }
+        }
+        Noop
+    }
+}

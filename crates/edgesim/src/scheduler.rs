@@ -84,6 +84,55 @@ pub trait Scheduler {
     ) -> SchedulingDecision;
 }
 
+/// Shared admission rule: a task fits on `host` when resident RAM plus
+/// already-granted admissions this interval stays under ~95% of physical
+/// memory — containers are never over-committed past that.
+fn ram_fits(
+    host: HostId,
+    task: &Task,
+    specs: &[HostSpec],
+    states: &[HostState],
+    extra_ram: &BTreeMap<HostId, f64>,
+) -> bool {
+    states[host].ram
+        + extra_ram.get(&host).copied().unwrap_or(0.0)
+        + task.spec.ram_mb / specs[host].ram_mb
+        <= 0.95
+}
+
+/// Shared admission-point resolution: the task's admitting broker if it
+/// is still a live broker, otherwise the first live broker (re-homing
+/// after broker death), otherwise `None` — total outage, the task stays
+/// pending.
+fn admission_point(task: &Task, topology: &Topology, states: &[HostState]) -> Option<HostId> {
+    let live = |h: HostId| !states[h].failed;
+    if task.admitted_by < topology.len()
+        && matches!(
+            topology.role(task.admitted_by),
+            crate::topology::NodeRole::Broker
+        )
+        && live(task.admitted_by)
+    {
+        return Some(task.admitted_by);
+    }
+    topology.brokers().into_iter().find(|&b| live(b))
+}
+
+/// Shared candidate set: the live workers of the admitting LEI — LEIs
+/// are silos (§III-A) — with the broker itself standing in for an empty
+/// LEI ("act as a worker", §I).
+fn lei_candidates(admit: HostId, topology: &Topology, states: &[HostState]) -> Vec<HostId> {
+    let mut candidates: Vec<HostId> = topology
+        .workers_of(admit)
+        .into_iter()
+        .filter(|&w| !states[w].failed)
+        .collect();
+    if candidates.is_empty() {
+        candidates.push(admit);
+    }
+    candidates
+}
+
 /// GOBI-style least-projected-load scheduler (the simulated stand-in for
 /// the gradient-based surrogate scheduler the testbed runs).
 ///
@@ -129,50 +178,16 @@ impl Scheduler for LeastLoadScheduler {
         // Projected additional load per host from decisions made *this*
         // interval, so a burst of arrivals spreads out.
         let mut extra: BTreeMap<HostId, f64> = BTreeMap::new();
-        // Projected RAM per host for admission control: containers are
-        // never over-committed past ~95% of physical memory; tasks that
-        // don't fit anywhere in the LEI queue at the broker instead.
+        // Projected RAM per host for admission control (see `ram_fits`);
+        // tasks that don't fit anywhere in the LEI queue at the broker.
         let mut extra_ram: BTreeMap<HostId, f64> = BTreeMap::new();
 
-        let live = |h: HostId| !states[h].failed;
-        let fits = |h: HostId, task: &Task, extra_ram: &BTreeMap<HostId, f64>| {
-            states[h].ram
-                + extra_ram.get(&h).copied().unwrap_or(0.0)
-                + task.spec.ram_mb / specs[h].ram_mb
-                <= 0.95
-        };
-
         for task in tasks.iter().filter(|t| t.status == TaskStatus::Pending) {
-            // Re-home the admission point if the admitting broker died.
-            let admit = if task.admitted_by < topology.len()
-                && matches!(
-                    topology.role(task.admitted_by),
-                    crate::topology::NodeRole::Broker
-                )
-                && live(task.admitted_by)
-            {
-                task.admitted_by
-            } else {
-                match topology.brokers().into_iter().find(|&b| live(b)) {
-                    Some(b) => b,
-                    None => continue, // total outage: task stays pending
-                }
+            let Some(admit) = admission_point(task, topology, states) else {
+                continue; // total outage: task stays pending
             };
-
-            // LEIs are silos (§III-A: brokers "delegate processing to one
-            // of the worker nodes within their control") — a hot LEI can
-            // only be relieved by changing the topology, which is the
-            // resilience policy's job, not the scheduler's.
-            let mut candidates: Vec<HostId> = topology
-                .workers_of(admit)
-                .into_iter()
-                .filter(|&w| live(w))
-                .collect();
-            if candidates.is_empty() {
-                // Broker acts as worker for an empty LEI.
-                candidates.push(admit);
-            }
-            candidates.retain(|&h| fits(h, task, &extra_ram));
+            let mut candidates = lei_candidates(admit, topology, states);
+            candidates.retain(|&h| ram_fits(h, task, specs, states, &extra_ram));
             if candidates.is_empty() {
                 continue; // no memory anywhere in the LEI: queue at broker
             }
@@ -192,6 +207,58 @@ impl Scheduler for LeastLoadScheduler {
                 0.6 * cpu_add + 0.4 * task.spec.ram_mb / spec.ram_mb;
             *extra_ram.entry(best).or_insert(0.0) += task.spec.ram_mb / spec.ram_mb;
             decision.assign(task.id, best);
+        }
+        decision
+    }
+}
+
+/// Deterministic round-robin placer: each LEI keeps a rotating cursor
+/// over its live workers and hands pending tasks out in turn, subject to
+/// the same ~95% RAM admission bound as [`LeastLoadScheduler`]. The
+/// contrast scheduler of the scenario engine — load-blind placement shows
+/// how much of a policy's QoS is owed to the underlying scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinScheduler {
+    /// Per-broker rotation cursor, persisted across intervals so the
+    /// rotation does not restart at worker 0 every interval.
+    cursors: BTreeMap<HostId, usize>,
+}
+
+impl RoundRobinScheduler {
+    /// Creates the scheduler with all cursors at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn schedule(
+        &mut self,
+        tasks: &[Task],
+        topology: &Topology,
+        specs: &[HostSpec],
+        states: &[HostState],
+    ) -> SchedulingDecision {
+        let mut decision = SchedulingDecision::new();
+        let mut extra_ram: BTreeMap<HostId, f64> = BTreeMap::new();
+
+        for task in tasks.iter().filter(|t| t.status == TaskStatus::Pending) {
+            let Some(admit) = admission_point(task, topology, states) else {
+                continue; // total outage: task stays pending
+            };
+            let ring = lei_candidates(admit, topology, states);
+            let cursor = self.cursors.entry(admit).or_insert(0);
+            // Probe at most one full rotation for a host with RAM headroom.
+            let placed = (0..ring.len()).find_map(|probe| {
+                let host = ring[(*cursor + probe) % ring.len()];
+                ram_fits(host, task, specs, states, &extra_ram).then_some((host, probe))
+            });
+            let Some((host, probe)) = placed else {
+                continue; // no memory anywhere in the LEI: queue at broker
+            };
+            *cursor = (*cursor + probe + 1) % ring.len();
+            *extra_ram.entry(host).or_insert(0.0) += task.spec.ram_mb / specs[host].ram_mb;
+            decision.assign(task.id, host);
         }
         decision
     }
@@ -290,6 +357,69 @@ mod tests {
         let d = sched.schedule(&tasks, &topo, &specs, &states);
         let hosts: std::collections::BTreeSet<_> = d.iter().map(|(_, h)| h).collect();
         assert_eq!(hosts.len(), 3, "burst should spread: {d:?}");
+    }
+
+    #[test]
+    fn round_robin_rotates_through_lei_workers() {
+        let (topo, specs, states) = setup();
+        let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 0)).collect();
+        let mut sched = RoundRobinScheduler::new();
+        let d = sched.schedule(&tasks, &topo, &specs, &states);
+        assert_eq!(d.len(), 6);
+        let workers = topo.workers_of(0);
+        // Six tasks over three workers: each worker gets exactly two,
+        // in rotation order.
+        for (i, (_, h)) in d.iter().enumerate() {
+            assert_eq!(h, workers[i % workers.len()], "task {i} off-rotation");
+        }
+    }
+
+    #[test]
+    fn round_robin_cursor_persists_across_intervals() {
+        let (topo, specs, states) = setup();
+        let mut sched = RoundRobinScheduler::new();
+        let d1 = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        let d2 = sched.schedule(&[mk_task(1, 0)], &topo, &specs, &states);
+        assert_ne!(
+            d1.host_of(0),
+            d2.host_of(1),
+            "second interval must continue the rotation, not restart it"
+        );
+    }
+
+    #[test]
+    fn round_robin_skips_failed_workers_and_falls_back_to_broker() {
+        let (topo, specs, mut states) = setup();
+        for w in topo.workers_of(0) {
+            states[w].failed = true;
+        }
+        let mut sched = RoundRobinScheduler::new();
+        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        assert_eq!(d.host_of(0), Some(0));
+    }
+
+    #[test]
+    fn round_robin_respects_ram_admission() {
+        let (topo, specs, mut states) = setup();
+        // Saturate every host in LEI 0 (workers and broker).
+        for h in topo.lei(0) {
+            states[h].ram = 0.94;
+        }
+        let mut sched = RoundRobinScheduler::new();
+        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        assert!(d.is_empty(), "over-committed LEI must queue the task");
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let (topo, specs, states) = setup();
+        let tasks: Vec<Task> = (0..5).map(|i| mk_task(i, 1)).collect();
+        let mut a = RoundRobinScheduler::new();
+        let mut b = RoundRobinScheduler::new();
+        assert_eq!(
+            a.schedule(&tasks, &topo, &specs, &states),
+            b.schedule(&tasks, &topo, &specs, &states)
+        );
     }
 
     #[test]

@@ -107,6 +107,24 @@ impl SimConfig {
             broker_span: 5,
         }
     }
+
+    /// A federation of arbitrary size with the testbed's hardware mix
+    /// (alternating 8 GB / 4 GB Pi boards) and overhead constants —
+    /// `federation(16, 4, s)` is hardware-equivalent to [`SimConfig::testbed`]
+    /// up to host ordering. This is the constructor the >16-host scenario
+    /// sweeps (32/64/128 hosts) build on; every component downstream
+    /// (topology, GON encoders, normalizer) is host-count-agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < n_brokers ≤ n_hosts`.
+    pub fn federation(n_hosts: usize, n_brokers: usize, seed: u64) -> Self {
+        assert!(
+            n_brokers > 0 && n_brokers <= n_hosts,
+            "need 0 < n_brokers ({n_brokers}) ≤ n_hosts ({n_hosts})"
+        );
+        Self::small(n_hosts, n_brokers, seed)
+    }
 }
 
 /// Everything that happened in one interval, for policies and harnesses.
@@ -757,6 +775,40 @@ mod tests {
 
     fn sim() -> Simulator {
         Simulator::new(SimConfig::small(8, 2, 42))
+    }
+
+    #[test]
+    fn federation_config_scales_to_128_hosts() {
+        for (n_hosts, n_brokers) in [(32, 8), (64, 8), (128, 16)] {
+            let mut s = Simulator::new(SimConfig::federation(n_hosts, n_brokers, 7));
+            assert_eq!(s.specs().len(), n_hosts);
+            assert_eq!(s.topology().brokers().len(), n_brokers);
+            s.topology().validate().unwrap();
+            let mut sched = LeastLoadScheduler::new();
+            let arrivals: Vec<TaskSpec> = (0..n_hosts / 4).map(|_| quick_spec(50_000.0)).collect();
+            let r = s.step(arrivals, &mut sched);
+            assert!(r.energy_wh > 0.0);
+            assert!(
+                !r.completed.is_empty(),
+                "{n_hosts}-host federation completed nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn federation_16_4_matches_testbed_hardware_envelope() {
+        let fed = SimConfig::federation(16, 4, 0);
+        let testbed = SimConfig::testbed(0);
+        assert_eq!(fed.specs.len(), testbed.specs.len());
+        assert_eq!(fed.n_brokers, testbed.n_brokers);
+        let ram = |specs: &[HostSpec]| specs.iter().map(|s| s.ram_mb).sum::<f64>();
+        assert_eq!(ram(&fed.specs), ram(&testbed.specs));
+    }
+
+    #[test]
+    #[should_panic(expected = "n_brokers")]
+    fn federation_rejects_zero_brokers() {
+        SimConfig::federation(32, 0, 0);
     }
 
     #[test]

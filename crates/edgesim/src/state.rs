@@ -101,6 +101,24 @@ impl Default for Normalizer {
     }
 }
 
+impl Normalizer {
+    /// Reference scales for an `n_hosts`-host federation organised into
+    /// `n_brokers` LEIs. All per-host scales are size-invariant (the
+    /// encoding feeds shared per-host encoders), but the task-pressure
+    /// full scale grows with the LEI span: pending backlog concentrates
+    /// at brokers, so a broker managing a 16-worker LEI legitimately sees
+    /// queues that would saturate the 4-worker default. For span ≤ 4
+    /// (the 16-host testbed, 4 LEIs) this is exactly [`Normalizer::default`],
+    /// so existing runs are bit-identical.
+    pub fn for_federation(n_hosts: usize, n_brokers: usize) -> Self {
+        let span = n_hosts.max(1).div_ceil(n_brokers.max(1));
+        Self {
+            max_tasks: (2.0 * span as f64).max(8.0),
+            ..Self::default()
+        }
+    }
+}
+
 impl SystemState {
     /// Builds the snapshot from simulator components.
     pub fn capture(
@@ -476,6 +494,54 @@ mod tests {
             slo_after > slo_before,
             "single-broker federation must show contention: {slo_before} → {slo_after}"
         );
+    }
+
+    #[test]
+    fn federation_normalizer_matches_default_at_testbed_span() {
+        // Bit-identical contract for all historical configurations (span ≤ 4).
+        for (n, b) in [(16, 4), (8, 2), (4, 2)] {
+            let norm = Normalizer::for_federation(n, b);
+            let d = Normalizer::default();
+            assert_eq!(norm.max_tasks, d.max_tasks, "({n},{b})");
+            assert_eq!(norm.max_energy_wh, d.max_energy_wh);
+        }
+    }
+
+    #[test]
+    fn federation_normalizer_widens_task_scale_with_lei_span() {
+        let n64 = Normalizer::for_federation(64, 8); // span 8
+        assert_eq!(n64.max_tasks, 16.0);
+        let n128 = Normalizer::for_federation(128, 8); // span 16
+        assert_eq!(n128.max_tasks, 32.0);
+        // Per-host scales stay size-invariant.
+        assert_eq!(n128.max_energy_wh, Normalizer::default().max_energy_wh);
+        assert_eq!(n128.max_deadline_s, Normalizer::default().max_deadline_s);
+    }
+
+    #[test]
+    fn capture_handles_128_host_snapshots() {
+        let n = 128;
+        let topo = Topology::balanced(n, 16).unwrap();
+        let specs: Vec<HostSpec> = (0..n).map(HostSpec::rpi4gb).collect();
+        let states = vec![HostState::default(); n];
+        let s = SystemState::capture(
+            &topo,
+            &specs,
+            &states,
+            &[],
+            &SchedulingDecision::new(),
+            &Normalizer::for_federation(n, 16),
+        );
+        assert_eq!(s.n_hosts(), n);
+        assert_eq!(s.neighbors.len(), n);
+        let (qe, qs) = s.qos_components();
+        assert!(qe.is_finite() && qs.is_finite());
+        // Projection onto a mutated topology must also scale.
+        let mut cand = topo.clone();
+        let w = cand.workers()[0];
+        cand.promote(w).unwrap();
+        let s2 = s.with_topology(&cand);
+        assert_eq!(s2.n_hosts(), n);
     }
 
     #[test]

@@ -18,13 +18,27 @@
 #![warn(missing_docs)]
 
 pub mod profiles;
+pub mod replay;
 pub mod trace;
 
 pub use profiles::{AppProfile, BenchmarkSuite};
+pub use replay::{ReplayWorkload, TraceError, TraceEvent};
 
 use edgesim::TaskSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// An arrival process: anything that can say which tasks enter the
+/// federation at each scheduling interval. Implemented by the synthetic
+/// [`BagOfTasks`] sampler and by [`replay::ReplayWorkload`], so the
+/// experiment runner and trace generator are agnostic to whether a run is
+/// sampled or replayed.
+pub trait Workload {
+    /// Tasks arriving during `interval`. Implementations must be
+    /// deterministic functions of their construction state and the call
+    /// sequence (the replay contract of `tests/determinism.rs`).
+    fn sample_interval(&mut self, interval: usize) -> Vec<TaskSpec>;
+}
 
 /// Poisson bag-of-tasks arrival process over a benchmark suite.
 ///
@@ -77,6 +91,12 @@ impl BagOfTasks {
                 app.sample(&mut self.rng)
             })
             .collect()
+    }
+}
+
+impl Workload for BagOfTasks {
+    fn sample_interval(&mut self, interval: usize) -> Vec<TaskSpec> {
+        BagOfTasks::sample_interval(self, interval)
     }
 }
 

@@ -1,0 +1,572 @@
+//! Trace-replay workloads: a versioned JSONL cluster-trace schema and a
+//! [`ReplayWorkload`] that drives the simulator from recorded arrivals
+//! instead of a synthetic sampler.
+//!
+//! The paper only exercises CAROL on its two synthetic suites
+//! (DeFog/AIoTBench); this module opens the workload axis to *recorded*
+//! traces — exported from a synthetic run ([`record_suite`]) or written
+//! by hand from real cluster logs — so resilience claims can be probed on
+//! arrival patterns the policies were never tuned for.
+//!
+//! # Trace format
+//!
+//! A trace is JSON-Lines text: a header record followed by one
+//! [`TraceEvent`] per line, sorted by interval:
+//!
+//! ```text
+//! {"schema":"carol-trace","version":1}
+//! {"interval":0,"app":"yolo","arrivals":1,"cpu_ms":231250,"mem_mb":1485.2,"net_kb":58163.2,"deadline_ms":300000}
+//! {"interval":2,"app":"aeneas","arrivals":2,"cpu_ms":60500,"mem_mb":402.8,"net_kb":15052.8,"deadline_ms":130000}
+//! ```
+//!
+//! Resource columns use cluster-log units — milliseconds of CPU on the
+//! reference Pi 4B core set, megabytes of RAM, kilobytes of network
+//! traffic, milliseconds of deadline — and convert to simulator units
+//! losslessly (the CPU and network factors are powers of two, so
+//! `TaskSpec` → event → `TaskSpec` is bit-exact for those columns). The
+//! schema deliberately carries **no disk column**, mirroring public
+//! cluster traces (Azure/Alibaba logs record CPU/memory/network only);
+//! replayed tasks run disk-free, which perturbs the host `disk`/`io_wait`
+//! metrics but none of the completion-relevant accounting.
+//!
+//! The loader is strict: a malformed line, a negative or non-finite
+//! resource value, a zero-arrival event or an interval that goes
+//! backwards is a typed [`TraceError`], never a silently-skipped record.
+
+use crate::Workload;
+use edgesim::TaskSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Schema identifier carried by the trace header line.
+pub const TRACE_SCHEMA: &str = "carol-trace";
+
+/// Current trace schema version, written by [`export_jsonl`].
+pub const TRACE_VERSION: u32 = 1;
+
+/// CPU work units (simulator MIPS-equivalents) per millisecond of CPU
+/// time on the reference Pi 4B core set (4000 units/s). A power-of-two
+/// factor, so the work ↔ milliseconds conversion is bit-exact.
+pub const WORK_UNITS_PER_CPU_MS: f64 = 4.0;
+
+/// One arrival record of a cluster trace: at `interval`, `arrivals`
+/// tasks of application `app` enter the federation, each with the given
+/// per-task resource demands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Scheduling interval (0-based) at which the tasks arrive.
+    pub interval: usize,
+    /// Application name, e.g. `"yolo"`.
+    pub app: String,
+    /// Number of identical tasks this event contributes (≥ 1).
+    pub arrivals: usize,
+    /// Per-task CPU demand in milliseconds on the reference Pi core set.
+    pub cpu_ms: f64,
+    /// Per-task resident memory, MB.
+    pub mem_mb: f64,
+    /// Per-task network traffic (input + output), KB.
+    pub net_kb: f64,
+    /// Per-task soft SLO deadline, milliseconds.
+    pub deadline_ms: f64,
+}
+
+impl TraceEvent {
+    /// Records one concrete task as a single-arrival event.
+    pub fn from_spec(interval: usize, spec: &TaskSpec) -> Self {
+        Self {
+            interval,
+            app: spec.app.clone(),
+            arrivals: 1,
+            cpu_ms: spec.cpu_work / WORK_UNITS_PER_CPU_MS,
+            mem_mb: spec.ram_mb,
+            net_kb: spec.net_mb * 1024.0,
+            deadline_ms: spec.deadline_s * 1000.0,
+        }
+    }
+
+    /// The per-task [`TaskSpec`] this event describes. The schema has no
+    /// disk column, so replayed tasks carry `disk_mb = 0`.
+    pub fn to_spec(&self) -> TaskSpec {
+        TaskSpec {
+            app: self.app.clone(),
+            cpu_work: self.cpu_ms * WORK_UNITS_PER_CPU_MS,
+            ram_mb: self.mem_mb,
+            disk_mb: 0.0,
+            net_mb: self.net_kb / 1024.0,
+            deadline_s: self.deadline_ms / 1000.0,
+        }
+    }
+
+    /// Validates one event's fields; `line` is the 1-based JSONL line
+    /// number reported in errors.
+    fn validate(&self, line: usize) -> Result<(), TraceError> {
+        if self.app.is_empty() {
+            return Err(TraceError::EmptyApp { line });
+        }
+        if self.arrivals == 0 {
+            return Err(TraceError::ZeroArrivals { line });
+        }
+        for (field, value) in [
+            ("cpu_ms", self.cpu_ms),
+            ("mem_mb", self.mem_mb),
+            ("net_kb", self.net_kb),
+            ("deadline_ms", self.deadline_ms),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(TraceError::NegativeField { line, field });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised by [`load_jsonl`]. Each variant carries the 1-based line
+/// number of the offending record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The first line is missing or is not a `carol-trace` header.
+    Header {
+        /// What was found instead of the header.
+        message: String,
+    },
+    /// The header names a schema version this loader does not implement.
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// A line is not a valid JSON `TraceEvent` record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Parser/decoder message.
+        message: String,
+    },
+    /// A resource field is negative or non-finite.
+    NegativeField {
+        /// 1-based line number.
+        line: usize,
+        /// Offending field name.
+        field: &'static str,
+    },
+    /// An event's interval precedes the previous event's interval.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+        /// Interval of the offending event.
+        interval: usize,
+        /// Interval of the preceding event.
+        previous: usize,
+    },
+    /// An event contributes zero arrivals.
+    ZeroArrivals {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An event has an empty application name.
+    EmptyApp {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Header { message } => {
+                write!(f, "line 1 is not a {TRACE_SCHEMA} header: {message}")
+            }
+            TraceError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported trace version {found} (loader speaks {TRACE_VERSION})"
+                )
+            }
+            TraceError::Malformed { line, message } => {
+                write!(f, "line {line}: malformed trace event: {message}")
+            }
+            TraceError::NegativeField { line, field } => {
+                write!(f, "line {line}: field `{field}` is negative or non-finite")
+            }
+            TraceError::OutOfOrder {
+                line,
+                interval,
+                previous,
+            } => write!(
+                f,
+                "line {line}: interval {interval} precedes previous interval {previous}"
+            ),
+            TraceError::ZeroArrivals { line } => {
+                write!(f, "line {line}: event contributes zero arrivals")
+            }
+            TraceError::EmptyApp { line } => {
+                write!(f, "line {line}: event has an empty app name")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The header record of a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TraceHeader {
+    schema: String,
+    version: u32,
+}
+
+/// Serialises `events` as versioned JSONL (header line + one compact
+/// JSON record per event). Inverse of [`load_jsonl`]: the round trip is
+/// bit-identical, including every `f64` bit pattern.
+pub fn export_jsonl(events: &[TraceEvent]) -> String {
+    let header = TraceHeader {
+        schema: TRACE_SCHEMA.to_string(),
+        version: TRACE_VERSION,
+    };
+    let mut out = serde_json::to_string(&header).expect("header serialises");
+    out.push('\n');
+    for event in events {
+        out.push_str(&serde_json::to_string(event).expect("event serialises"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses and validates a versioned JSONL trace. Blank lines are
+/// permitted (and skipped) anywhere after the header; everything else
+/// must be a valid, in-order [`TraceEvent`].
+pub fn load_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut lines = text.lines().enumerate();
+    let header_line = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or_else(|| TraceError::Header {
+            message: "empty input".to_string(),
+        })?;
+    let header: TraceHeader =
+        serde_json::from_str(header_line.1).map_err(|e| TraceError::Header {
+            message: e.to_string(),
+        })?;
+    if header.schema != TRACE_SCHEMA {
+        return Err(TraceError::Header {
+            message: format!("schema is `{}`", header.schema),
+        });
+    }
+    if header.version != TRACE_VERSION {
+        return Err(TraceError::Version {
+            found: header.version,
+        });
+    }
+
+    let mut events = Vec::new();
+    let mut previous: Option<usize> = None;
+    for (idx, raw) in lines {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = idx + 1; // 1-based for humans
+        let event: TraceEvent = serde_json::from_str(raw).map_err(|e| TraceError::Malformed {
+            line,
+            message: e.to_string(),
+        })?;
+        event.validate(line)?;
+        if let Some(prev) = previous {
+            if event.interval < prev {
+                return Err(TraceError::OutOfOrder {
+                    line,
+                    interval: event.interval,
+                    previous: prev,
+                });
+            }
+        }
+        previous = Some(event.interval);
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// A workload that replays a recorded trace: interval `t` yields exactly
+/// the tasks the trace recorded for `t` (expanded to `arrivals` copies
+/// per event, in trace order), and nothing after the trace ends.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::replay::{record_suite, ReplayWorkload};
+/// use workloads::{BenchmarkSuite, Workload};
+/// let events = record_suite(BenchmarkSuite::DeFog, 2.0, 7, 5);
+/// let mut replay = ReplayWorkload::new(&events);
+/// let n: usize = (0..5).map(|t| replay.sample_interval(t).len()).sum();
+/// assert_eq!(n, events.iter().map(|e| e.arrivals).sum::<usize>());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplayWorkload {
+    /// Arrivals per interval, dense from interval 0 through the last
+    /// recorded interval.
+    intervals: Vec<Vec<TaskSpec>>,
+}
+
+impl ReplayWorkload {
+    /// Builds the replay schedule from (interval-sorted) events.
+    pub fn new(events: &[TraceEvent]) -> Self {
+        let len = events.iter().map(|e| e.interval + 1).max().unwrap_or(0);
+        let mut intervals = vec![Vec::new(); len];
+        for event in events {
+            let spec = event.to_spec();
+            intervals[event.interval].extend(std::iter::repeat_n(spec, event.arrivals));
+        }
+        Self { intervals }
+    }
+
+    /// Number of intervals the trace covers (last interval + 1).
+    pub fn horizon(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total tasks the full replay will inject.
+    pub fn total_tasks(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+}
+
+impl Workload for ReplayWorkload {
+    fn sample_interval(&mut self, interval: usize) -> Vec<TaskSpec> {
+        self.intervals.get(interval).cloned().unwrap_or_default()
+    }
+}
+
+/// Pass-through wrapper that records every sampled task as a
+/// single-arrival [`TraceEvent`] while forwarding the untouched specs to
+/// the caller — the exporter used by
+/// [`generate_trace_recorded`](crate::trace::generate_trace_recorded) so
+/// a run and its trace come from one arrival stream.
+pub struct RecordingWorkload<'a> {
+    inner: &'a mut dyn Workload,
+    events: Vec<TraceEvent>,
+}
+
+impl fmt::Debug for RecordingWorkload<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RecordingWorkload({} events)", self.events.len())
+    }
+}
+
+impl<'a> RecordingWorkload<'a> {
+    /// Wraps `inner`, recording everything it samples.
+    pub fn new(inner: &'a mut dyn Workload) -> Self {
+        Self {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// The events recorded so far, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl Workload for RecordingWorkload<'_> {
+    fn sample_interval(&mut self, interval: usize) -> Vec<TaskSpec> {
+        let specs = self.inner.sample_interval(interval);
+        for spec in &specs {
+            self.events.push(TraceEvent::from_spec(interval, spec));
+        }
+        specs
+    }
+}
+
+/// Records `intervals` intervals of a [`BagOfTasks`](crate::BagOfTasks)
+/// run over `suite` as trace events, one single-arrival event per task —
+/// the exporter half of the synthetic → trace round trip.
+pub fn record_suite(
+    suite: crate::BenchmarkSuite,
+    rate: f64,
+    seed: u64,
+    intervals: usize,
+) -> Vec<TraceEvent> {
+    let mut bag = crate::BagOfTasks::new(suite, rate, seed);
+    record_workload(&mut bag, intervals)
+}
+
+/// Records `intervals` intervals of any workload as trace events.
+pub fn record_workload(workload: &mut dyn Workload, intervals: usize) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for t in 0..intervals {
+        for spec in workload.sample_interval(t) {
+            events.push(TraceEvent::from_spec(t, &spec));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkSuite;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        record_suite(BenchmarkSuite::DeFog, 2.0, 11, 8)
+    }
+
+    #[test]
+    fn export_load_round_trips_bit_identically() {
+        let events = sample_events();
+        assert!(!events.is_empty());
+        let text = export_jsonl(&events);
+        let back = load_jsonl(&text).unwrap();
+        assert_eq!(events.len(), back.len());
+        for (a, b) in events.iter().zip(&back) {
+            assert_eq!(a.interval, b.interval);
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.arrivals, b.arrivals);
+            assert_eq!(a.cpu_ms.to_bits(), b.cpu_ms.to_bits());
+            assert_eq!(a.mem_mb.to_bits(), b.mem_mb.to_bits());
+            assert_eq!(a.net_kb.to_bits(), b.net_kb.to_bits());
+            assert_eq!(a.deadline_ms.to_bits(), b.deadline_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn spec_conversion_is_bit_exact_for_power_of_two_columns() {
+        let mut bag = crate::BagOfTasks::new(BenchmarkSuite::AIoTBench, 4.0, 3);
+        for t in 0..10 {
+            for spec in crate::Workload::sample_interval(&mut bag, t) {
+                let back = TraceEvent::from_spec(t, &spec).to_spec();
+                assert_eq!(spec.cpu_work.to_bits(), back.cpu_work.to_bits());
+                assert_eq!(spec.ram_mb.to_bits(), back.ram_mb.to_bits());
+                assert_eq!(spec.net_mb.to_bits(), back.net_mb.to_bits());
+                assert_eq!(spec.app, back.app);
+                // Deadlines are whole milliseconds in both suites.
+                assert_eq!(spec.deadline_s.to_bits(), back.deadline_s.to_bits());
+                assert_eq!(back.disk_mb, 0.0, "schema carries no disk column");
+            }
+        }
+    }
+
+    #[test]
+    fn loader_requires_header() {
+        let err = load_jsonl("").unwrap_err();
+        assert!(matches!(err, TraceError::Header { .. }), "{err}");
+        let err = load_jsonl("{\"interval\":0}").unwrap_err();
+        assert!(matches!(err, TraceError::Header { .. }), "{err}");
+    }
+
+    #[test]
+    fn loader_rejects_future_versions() {
+        let err = load_jsonl("{\"schema\":\"carol-trace\",\"version\":99}\n").unwrap_err();
+        assert_eq!(err, TraceError::Version { found: 99 });
+    }
+
+    #[test]
+    fn loader_rejects_malformed_lines_with_line_numbers() {
+        let mut text = export_jsonl(&sample_events()[..2]);
+        text.push_str("not json at all\n");
+        let err = load_jsonl(&text).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Malformed { line: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn loader_rejects_negative_and_nonfinite_fields() {
+        let mut event = sample_events()[0].clone();
+        event.cpu_ms = -1.0;
+        let err = load_jsonl(&export_jsonl(&[event.clone()])).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::NegativeField {
+                line: 2,
+                field: "cpu_ms"
+            }
+        );
+        event.cpu_ms = 1.0;
+        event.net_kb = f64::NAN;
+        let err = load_jsonl(&export_jsonl(&[event])).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::NegativeField {
+                line: 2,
+                field: "net_kb"
+            }
+        );
+    }
+
+    #[test]
+    fn loader_rejects_out_of_order_intervals() {
+        let events = sample_events();
+        let mut shuffled = vec![events[events.len() - 1].clone(), events[0].clone()];
+        shuffled[0].interval = 5;
+        shuffled[1].interval = 2;
+        let err = load_jsonl(&export_jsonl(&shuffled)).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::OutOfOrder {
+                line: 3,
+                interval: 2,
+                previous: 5
+            }
+        );
+    }
+
+    #[test]
+    fn loader_rejects_zero_arrivals_and_empty_apps() {
+        let mut event = sample_events()[0].clone();
+        event.arrivals = 0;
+        let err = load_jsonl(&export_jsonl(&[event.clone()])).unwrap_err();
+        assert_eq!(err, TraceError::ZeroArrivals { line: 2 });
+        event.arrivals = 1;
+        event.app.clear();
+        let err = load_jsonl(&export_jsonl(&[event])).unwrap_err();
+        assert_eq!(err, TraceError::EmptyApp { line: 2 });
+    }
+
+    #[test]
+    fn loader_skips_blank_lines() {
+        let events = sample_events();
+        let text = export_jsonl(&events).replace('\n', "\n\n");
+        assert_eq!(load_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn replay_expands_multi_arrival_events() {
+        let event = TraceEvent {
+            interval: 3,
+            app: "burst".into(),
+            arrivals: 4,
+            cpu_ms: 1000.0,
+            mem_mb: 128.0,
+            net_kb: 1024.0,
+            deadline_ms: 60_000.0,
+        };
+        let mut replay = ReplayWorkload::new(&[event]);
+        assert_eq!(replay.horizon(), 4);
+        assert_eq!(replay.total_tasks(), 4);
+        assert!(replay.sample_interval(0).is_empty());
+        let burst = replay.sample_interval(3);
+        assert_eq!(burst.len(), 4);
+        assert!(burst.iter().all(|s| s.app == "burst" && s.net_mb == 1.0));
+        assert!(replay.sample_interval(4).is_empty(), "past the horizon");
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_arrival_stream() {
+        let events = record_suite(BenchmarkSuite::AIoTBench, 3.0, 9, 12);
+        let mut bag = crate::BagOfTasks::new(BenchmarkSuite::AIoTBench, 3.0, 9);
+        let mut replay = ReplayWorkload::new(&events);
+        for t in 0..12 {
+            let original = crate::Workload::sample_interval(&mut bag, t);
+            let replayed = replay.sample_interval(t);
+            assert_eq!(original.len(), replayed.len(), "interval {t}");
+            for (a, b) in original.iter().zip(&replayed) {
+                assert_eq!(a.app, b.app);
+                assert_eq!(a.cpu_work.to_bits(), b.cpu_work.to_bits());
+            }
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //! *normal* (fault-free) execution. [`generate_trace`] reproduces that
 //! procedure on the simulator.
 
-use crate::{BagOfTasks, BenchmarkSuite};
+use crate::replay::{RecordingWorkload, TraceEvent};
+use crate::{BagOfTasks, BenchmarkSuite, Workload};
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
 use edgesim::{SimConfig, Simulator, Topology};
@@ -42,8 +43,23 @@ impl Default for TraceConfig {
 
 /// Applies one random, validity-preserving topology mutation: promote a
 /// worker, demote an empty broker, or reassign a worker across LEIs.
+///
+/// Each draw picks one of the three operations and random operands, and
+/// an attempt fails only when the drawn operation's precondition does not
+/// hold (e.g. demoting when the target broker equals the source, or
+/// reassigning when fewer than two brokers exist). The attempt bound
+/// scales with federation size — `max(16, n_hosts)` — because the failure
+/// probability of a single draw is at most a size-independent constant
+/// (< 3/4 on any valid topology: the promote arm succeeds whenever it
+/// draws a worker, and workers outnumber brokers in every generated
+/// configuration), so the chance of exhausting the bound is ≤ (3/4)^16
+/// ≈ 1% at the old fixed bound and vanishes further as `n` grows.
+/// Exhausting it leaves the topology unchanged, which is valid too — the
+/// guarantee `tests` enforce is *validity after every call*, not that a
+/// mutation always lands.
 pub fn random_topology_mutation(topo: &mut Topology, rng: &mut StdRng) {
-    for _attempt in 0..16 {
+    let attempts = topo.len().max(16);
+    for _attempt in 0..attempts {
         match rng.gen_range(0..3u8) {
             0 => {
                 let workers = topo.workers();
@@ -92,11 +108,41 @@ pub fn random_topology_mutation(topo: &mut Topology, rng: &mut StdRng) {
 /// distribution of *normal* execution so that deviations at test time
 /// depress its confidence score.
 pub fn generate_trace(config: &TraceConfig, sim_config: SimConfig) -> Vec<SystemState> {
-    let mut sim = Simulator::new(sim_config);
     let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, config.seed ^ 0x57_4C);
+    generate_trace_from(&mut workload, config, sim_config)
+}
+
+/// [`generate_trace`] with the recorded arrival stream attached: the
+/// returned [`TraceEvent`]s round-trip through the JSONL schema
+/// ([`crate::replay::export_jsonl`] / [`crate::replay::load_jsonl`]) and,
+/// replayed via [`generate_trace_from`], reproduce this run's states.
+pub fn generate_trace_recorded(
+    config: &TraceConfig,
+    sim_config: SimConfig,
+) -> (Vec<SystemState>, Vec<TraceEvent>) {
+    let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, config.seed ^ 0x57_4C);
+    let mut recorder = RecordingWorkload::new(&mut workload);
+    let states = generate_trace_from(&mut recorder, config, sim_config);
+    (states, recorder.into_events())
+}
+
+/// The §IV-D loop over an arbitrary arrival process: `config.suite` and
+/// `config.arrival_rate` are ignored (the workload supplies arrivals);
+/// topology mutation still follows `config.topology_period` and
+/// `config.seed`, so a replayed trace visits the same topology sequence
+/// as the run it was recorded from.
+pub fn generate_trace_from(
+    workload: &mut dyn Workload,
+    config: &TraceConfig,
+    sim_config: SimConfig,
+) -> Vec<SystemState> {
+    // Same normalisation the experiment runner applies at this federation
+    // size (identical to the default for every LEI span ≤ 4), so GON
+    // training traces and runtime snapshots share one feature scale.
+    let norm = Normalizer::for_federation(sim_config.specs.len(), sim_config.n_brokers);
+    let mut sim = Simulator::new(sim_config);
     let mut scheduler = LeastLoadScheduler::new();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x54_4F);
-    let norm = Normalizer::default();
 
     let mut states = Vec::with_capacity(config.intervals);
     for t in 0..config.intervals {
@@ -174,6 +220,68 @@ mod tests {
         for _ in 0..500 {
             random_topology_mutation(&mut topo, &mut rng);
             topo.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mutation_never_invalidates_128_host_federations() {
+        // Regression for the old fixed 16-attempt bound: on large
+        // federations every mutation must still leave a valid topology,
+        // and the walk must keep actually mutating (not silently stall
+        // once the shape drifts away from balanced).
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut topo = Topology::balanced(128, 16).unwrap();
+        let mut changed = 0usize;
+        for i in 0..10_000 {
+            let before = topo.signature();
+            random_topology_mutation(&mut topo, &mut rng);
+            topo.validate()
+                .unwrap_or_else(|e| panic!("mutation {i} broke the topology: {e}"));
+            if topo.signature() != before {
+                changed += 1;
+            }
+        }
+        assert!(
+            changed > 9_000,
+            "mutations should land nearly always, landed {changed}/10000"
+        );
+    }
+
+    #[test]
+    fn recorded_trace_replays_to_the_same_states() {
+        let cfg = TraceConfig {
+            intervals: 24,
+            topology_period: 6,
+            arrival_rate: 2.0,
+            suite: BenchmarkSuite::DeFog,
+            seed: 13,
+        };
+        let (original, events) = generate_trace_recorded(&cfg, SimConfig::small(8, 2, 13));
+        assert_eq!(original.len(), 24);
+        assert!(!events.is_empty());
+
+        // Round-trip the events through the JSONL schema, then replay.
+        let text = crate::replay::export_jsonl(&events);
+        let loaded = crate::replay::load_jsonl(&text).unwrap();
+        let mut replay = crate::replay::ReplayWorkload::new(&loaded);
+        let replayed = generate_trace_from(&mut replay, &cfg, SimConfig::small(8, 2, 13));
+
+        assert_eq!(original.len(), replayed.len());
+        for (t, (a, b)) in original.iter().zip(&replayed).enumerate() {
+            assert_eq!(a.topology, b.topology, "interval {t}: topology diverged");
+            // The schema carries no disk column, so the disk (2) and
+            // io_wait (5) metric columns may differ; everything else —
+            // including the CPU, energy and SLO columns the QoS objective
+            // reads — must replay bit-exactly.
+            for (h, (ra, rb)) in a.metrics.iter().zip(&b.metrics).enumerate() {
+                for col in [0usize, 1, 3, 4, 6, 7, 8, 9] {
+                    assert_eq!(
+                        ra[col].to_bits(),
+                        rb[col].to_bits(),
+                        "interval {t}, host {h}, metric column {col}"
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,82 @@
+//! Trace replay end to end: record a synthetic run as a JSONL cluster
+//! trace, write it to disk, load it back, and drive CAROL from the
+//! replayed trace — then compare against the live sampler.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use carol::carol::{Carol, CarolConfig};
+use carol::scenario::{run_scenario, ScenarioSpec, SchedulerKind, WorkloadSource};
+use faults::TargetPolicy;
+use workloads::replay::{export_jsonl, load_jsonl, record_suite};
+use workloads::BenchmarkSuite;
+
+fn main() {
+    let seed = 42;
+    let intervals = 12;
+    let rate = 7.2;
+
+    // 1. Record: sample the AIoTBench bag-of-tasks and export every
+    //    arrival as a single-event line of the versioned JSONL schema.
+    let events = record_suite(BenchmarkSuite::AIoTBench, rate, seed ^ 0x5754, intervals);
+    let jsonl = export_jsonl(&events);
+    let path = std::env::temp_dir().join("carol_trace_replay_example.jsonl");
+    std::fs::write(&path, &jsonl).expect("trace written");
+    println!(
+        "recorded {} tasks over {} intervals → {} ({} bytes)",
+        events.len(),
+        intervals,
+        path.display(),
+        jsonl.len()
+    );
+
+    // 2. Load: the strict loader validates schema version, field signs
+    //    and interval ordering before anything reaches the simulator.
+    let text = std::fs::read_to_string(&path).expect("trace read");
+    let loaded = load_jsonl(&text).expect("trace validates");
+    println!("loaded {} events back (schema v1, validated)", loaded.len());
+
+    // 3. Replay vs live: the same 16-host federation, fault stream and
+    //    policy, once driven by the sampler and once by the trace.
+    let base = ScenarioSpec {
+        name: "live-16".into(),
+        workload: WorkloadSource::Suite {
+            suite: BenchmarkSuite::AIoTBench,
+            rate,
+        },
+        n_hosts: 16,
+        n_brokers: 4,
+        intervals,
+        fault_rate: 1.5,
+        fault_target: TargetPolicy::BrokersOnly,
+        scheduler: SchedulerKind::LeastLoad,
+        seed,
+    };
+    let replayed = ScenarioSpec {
+        name: "replay-16".into(),
+        workload: WorkloadSource::Replay { events: loaded },
+        ..base.clone()
+    };
+
+    for spec in [&base, &replayed] {
+        let mut policy = Carol::pretrained(CarolConfig::fast_test(), seed);
+        let out = run_scenario(&mut policy, spec);
+        println!(
+            "{:<10} completed {:>3}, energy {:>7.1} Wh, mean response {:>6.1} s, \
+             SLO violations {:>5.1} %, repairs {}",
+            out.scenario,
+            out.result.completed,
+            out.result.total_energy_wh,
+            out.result.mean_response_s,
+            100.0 * out.result.slo_violation_rate,
+            out.result.decision_events,
+        );
+    }
+    println!(
+        "\nthe replayed run faces the sampler's exact arrival stream — \
+         completed counts match, and the trace file can now be edited,\n\
+         truncated or swapped for a real cluster log to probe workloads \
+         the paper never tested."
+    );
+}

@@ -1,12 +1,14 @@
 //! Property-based integration tests (proptest): invariants that must hold
-//! for arbitrary topology-mutation sequences, workload draws and fault
-//! patterns.
+//! for arbitrary topology-mutation sequences, workload draws, fault
+//! patterns and recorded traces.
 
 use carol::nodeshift::{broker_bounds, mutations, neighborhood};
+use carol::runner::{run_experiment, run_experiment_full, ExperimentConfig};
 use carol::tabu::{search, TabuConfig};
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::{FaultLoad, NodeRole, SimConfig, Simulator, TaskStatus, Topology};
 use proptest::prelude::*;
+use workloads::replay::{export_jsonl, load_jsonl, record_suite, ReplayWorkload, TraceError};
 use workloads::{BagOfTasks, BenchmarkSuite};
 
 proptest! {
@@ -295,6 +297,111 @@ proptest! {
                 y
             );
         }
+    }
+
+    /// JSONL trace export → load reproduces every event bit-identically,
+    /// for arbitrary recorded suites, rates and horizons (the archive
+    /// contract of the replay subsystem).
+    #[test]
+    fn trace_export_load_round_trips_bit_identically(
+        seed in 0u64..1_000,
+        rate in 0.2f64..6.0,
+        intervals in 1usize..16,
+        aiot in 0u8..2,
+    ) {
+        let suite = if aiot == 1 { BenchmarkSuite::AIoTBench } else { BenchmarkSuite::DeFog };
+        let events = record_suite(suite, rate, seed, intervals);
+        let loaded = load_jsonl(&export_jsonl(&events));
+        prop_assert!(loaded.is_ok(), "loader rejected its own export: {:?}", loaded.err());
+        let loaded = loaded.unwrap();
+        prop_assert_eq!(events.len(), loaded.len());
+        for (a, b) in events.iter().zip(&loaded) {
+            prop_assert_eq!(a.interval, b.interval);
+            prop_assert_eq!(&a.app, &b.app);
+            prop_assert_eq!(a.arrivals, b.arrivals);
+            prop_assert_eq!(a.cpu_ms.to_bits(), b.cpu_ms.to_bits());
+            prop_assert_eq!(a.mem_mb.to_bits(), b.mem_mb.to_bits());
+            prop_assert_eq!(a.net_kb.to_bits(), b.net_kb.to_bits());
+            prop_assert_eq!(a.deadline_ms.to_bits(), b.deadline_ms.to_bits());
+        }
+    }
+
+    /// Corrupting any resource column of any event to a negative value is
+    /// rejected with `NegativeField` naming exactly that column.
+    #[test]
+    fn loader_rejects_negative_fields_with_the_right_variant(
+        seed in 0u64..500,
+        victim_frac in 0.0f64..1.0,
+        column in 0usize..4,
+        magnitude in 0.1f64..1.0e6,
+    ) {
+        let mut events = record_suite(BenchmarkSuite::DeFog, 3.0, seed, 6);
+        prop_assume!(!events.is_empty());
+        let victim = ((events.len() - 1) as f64 * victim_frac) as usize;
+        let expected_field = ["cpu_ms", "mem_mb", "net_kb", "deadline_ms"][column];
+        {
+            let e = &mut events[victim];
+            *[&mut e.cpu_ms, &mut e.mem_mb, &mut e.net_kb, &mut e.deadline_ms][column] =
+                -magnitude;
+        }
+        match load_jsonl(&export_jsonl(&events)) {
+            Err(TraceError::NegativeField { line, field }) => {
+                prop_assert_eq!(field, expected_field);
+                // Header occupies line 1; events start at line 2.
+                prop_assert_eq!(line, victim + 2);
+            }
+            other => prop_assert!(false, "expected NegativeField, got {:?}", other),
+        }
+    }
+
+    /// Any event whose interval precedes its predecessor's is rejected
+    /// with `OutOfOrder` carrying both intervals.
+    #[test]
+    fn loader_rejects_out_of_order_events(
+        seed in 0u64..500,
+        jump in 1usize..50,
+    ) {
+        let mut events = record_suite(BenchmarkSuite::AIoTBench, 4.0, seed, 8);
+        prop_assume!(events.len() >= 2);
+        let last = events.len() - 1;
+        // Push the predecessor strictly past its successor, whatever the
+        // recorded gap between them was.
+        events[last - 1].interval = events[last].interval + jump;
+        let expected_prev = events[last - 1].interval;
+        match load_jsonl(&export_jsonl(&events)) {
+            Err(TraceError::OutOfOrder { interval, previous, .. }) => {
+                prop_assert_eq!(previous, expected_prev);
+                prop_assert!(interval < previous);
+            }
+            other => prop_assert!(false, "expected OutOfOrder, got {:?}", other),
+        }
+    }
+
+    /// A replayed export of a synthetic run reproduces the original run's
+    /// completed-task count — under the full experiment loop, fault
+    /// injection included (the fault stream is a function of the config
+    /// seed, so both runs face identical attacks).
+    #[test]
+    fn replay_reproduces_completed_task_count(seed in 0u64..12) {
+        let config = ExperimentConfig {
+            intervals: 12,
+            ..ExperimentConfig::small(seed)
+        };
+        let mut original_policy = baselines::Lbos::new(seed);
+        let original = run_experiment(&mut original_policy, &config);
+
+        // Export the exact arrival stream the original sampled (same
+        // derived workload seed), round-trip it through JSONL, replay.
+        let events = record_suite(config.suite, config.arrival_rate, config.seed ^ 0x5754, 12);
+        let loaded = load_jsonl(&export_jsonl(&events)).unwrap();
+        let mut replay = ReplayWorkload::new(&loaded);
+        let mut sched = LeastLoadScheduler::new();
+        let mut replay_policy = baselines::Lbos::new(seed);
+        let replayed = run_experiment_full(&mut replay_policy, &config, &mut replay, &mut sched);
+
+        prop_assert_eq!(original.completed, replayed.completed);
+        prop_assert_eq!(original.broker_failures, replayed.broker_failures);
+        prop_assert_eq!(original.response_times_s.len(), replayed.response_times_s.len());
     }
 
     /// Transposition inverts itself and distributes over products as

@@ -10,8 +10,14 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its inputs via the panic
-//!   message (the case seed is printed), but is not minimised.
+//! * **Minimal shrinking.** When a case fails, the runner greedily
+//!   simplifies the inputs — numeric values are halved toward the range
+//!   start and decremented, `Vec`s are prefix-shrunk and then shrunk
+//!   element-wise — re-running the body until no candidate still fails,
+//!   and reports the minimal counterexample in the panic message. There
+//!   are no shrink *trees* (no backtracking across components), and the
+//!   loop is capped at [`SHRINK_BUDGET`] re-runs. Generated values must
+//!   be `Clone + Debug` for this, which every strategy here satisfies.
 //! * **Deterministic cases.** Case `i` of every test draws from a fixed
 //!   seed derived from `i`, so failures reproduce exactly across runs —
 //!   which the tier-1 gate prefers over randomised exploration.
@@ -62,21 +68,52 @@ pub mod strategy {
     use rand::Rng;
 
     /// Value-generation recipe (the proptest trait of the same name,
-    /// reduced to direct sampling — no shrink trees).
+    /// reduced to direct sampling plus a flat candidate-list shrinker —
+    /// no shrink trees).
     pub trait Strategy {
         /// Type of the generated values.
         type Value;
 
         /// Draws one value.
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, simplest first. Every
+        /// candidate must be strictly "smaller" than `value` (closer to
+        /// the range start, shorter, or element-wise smaller) so the
+        /// shrink loop terminates. The default shrinks nothing.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
-    macro_rules! impl_range_strategy {
+    // Integer shrink candidates toward the range start: the start itself,
+    // the midpoint (binary descent, overflow-safe via lo/2 + v/2), and
+    // the decrement. Floats drop the decrement — epsilon steps would
+    // never terminate — and keep start + midpoint only.
+    macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let (lo, v) = (self.start, *value);
+                    let mut out = Vec::new();
+                    if v <= lo {
+                        return out;
+                    }
+                    out.push(lo);
+                    let mid = lo / 2 + v / 2;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                    let dec = v - 1;
+                    if dec > lo && dec != mid {
+                        out.push(dec);
+                    }
+                    out
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -84,11 +121,50 @@ pub mod strategy {
                 fn generate(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    (*self.start()..*self.end()).shrink(value)
+                }
             }
         )*};
     }
 
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let (lo, v) = (self.start, *value);
+                    let mut out = Vec::new();
+                    // NaN compares Greater with nothing: shrinks to nothing.
+                    if v.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater) {
+                        return out;
+                    }
+                    out.push(lo);
+                    let mid = lo / 2.0 + v / 2.0;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                    out
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    (*self.start()..*self.end()).shrink(value)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
 
     /// `Just(v)`: always generates a clone of `v`.
     #[derive(Debug, Clone)]
@@ -100,6 +176,96 @@ pub mod strategy {
             self.0.clone()
         }
     }
+
+    /// Strategy tuples, as assembled by the [`proptest!`](crate::proptest)
+    /// macro: one flat shrink step over the whole argument tuple, trying
+    /// each component's candidates with the other components held fixed.
+    pub trait TupleStrategy {
+        /// The tuple of generated values.
+        type Values: Clone;
+
+        /// Candidate simplifications of `values`, each differing from
+        /// `values` in exactly one component.
+        fn shrink_one(&self, values: &Self::Values) -> Vec<Self::Values>;
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> TupleStrategy for ($($s,)+)
+            where
+                $($s::Value: Clone,)+
+            {
+                type Values = ($($s::Value,)+);
+                fn shrink_one(&self, values: &Self::Values) -> Vec<Self::Values> {
+                    let mut out: Vec<Self::Values> = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&values.$idx) {
+                            let mut next = values.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+/// Maximum body re-runs the shrink loop may spend minimising one failure.
+pub const SHRINK_BUDGET: usize = 1024;
+
+/// Identity helper pinning a test-body closure's parameter type to the
+/// value tuple of a strategy tuple, so the [`proptest!`] macro's closure
+/// can call methods on the generated values without type annotations.
+pub fn constrain_runner<S, F>(_strategies: &S, run: F) -> F
+where
+    S: strategy::TupleStrategy,
+    F: Fn(&S::Values) -> Result<(), TestCaseError>,
+{
+    run
+}
+
+/// Greedy shrink loop: repeatedly adopts the first candidate that still
+/// fails, until no candidate fails (a local minimum) or the budget is
+/// spent. Returns the minimal values, their failure message, and the
+/// number of successful shrink steps. Candidates whose run passes or is
+/// rejected by `prop_assume!` are discarded.
+pub fn shrink_failure<S: strategy::TupleStrategy>(
+    strategies: &S,
+    initial: S::Values,
+    initial_msg: String,
+    mut run: impl FnMut(&S::Values) -> Result<(), TestCaseError>,
+) -> (S::Values, String, usize) {
+    let mut best = initial;
+    let mut best_msg = initial_msg;
+    let mut steps = 0usize;
+    let mut budget = SHRINK_BUDGET;
+    'outer: loop {
+        for cand in strategies.shrink_one(&best) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(msg)) = run(&cand) {
+                best = cand;
+                best_msg = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate fails: minimal under this shrinker
+    }
+    (best, best_msg, steps)
 }
 
 /// Collection strategies (`proptest::collection::vec`).
@@ -157,7 +323,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
@@ -167,6 +336,33 @@ pub mod collection {
                 rng.gen_range(self.size.lo..self.size.hi)
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Prefix shrinks first (minimum-length prefix, half-length
+        /// prefix, drop-last), then element-wise shrinks of each position
+        /// via the element strategy.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let lo = self.size.lo;
+            let len = value.len();
+            if len > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo + (len - lo) / 2;
+                if half > lo && half < len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 > lo && len - 1 != lo + (len - lo) / 2 {
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            for (i, item) in value.iter().enumerate() {
+                for cand in self.element.shrink(item) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -203,22 +399,38 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
+            let __strats = ($( $strat, )+);
+            // Re-runnable body over a borrowed value tuple, for the
+            // shrink loop.
+            let __run = $crate::constrain_runner(&__strats, |__vals| {
+                let ($($arg,)+) = ::core::clone::Clone::clone(__vals);
+                (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
             for __case in 0..__cfg.cases as u64 {
                 // Fixed per-case seed: failures reproduce across runs.
                 let mut __rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
                     0x5eed_0000_0000_0000u64 ^ (__case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
                 );
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                let __outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
-                    $body
-                    ::core::result::Result::Ok(())
-                })();
-                if let Err($crate::TestCaseError::Fail(__msg)) = __outcome {
+                // One generate call per argument, in declaration order,
+                // preserving the historical per-case RNG stream.
+                let __vals = {
+                    let ($(ref $arg,)+) = __strats;
+                    ($( $crate::strategy::Strategy::generate($arg, &mut __rng), )+)
+                };
+                if let Err($crate::TestCaseError::Fail(__msg)) = __run(&__vals) {
+                    let (__min, __min_msg, __steps) =
+                        $crate::shrink_failure(&__strats, __vals, __msg, &__run);
                     panic!(
-                        "property `{}` failed at case {}: {}",
+                        "property `{}` failed at case {}: {}\n\
+                         minimal counterexample (after {} shrink steps): {:?}",
                         stringify!($name),
                         __case,
-                        __msg
+                        __min_msg,
+                        __steps,
+                        __min
                     );
                 }
             }
@@ -340,5 +552,113 @@ mod tests {
             .unwrap();
         assert!(msg.contains("always_fails"), "message: {msg}");
         assert!(msg.contains("case"), "message: {msg}");
+        // x > 1000 never holds, so shrinking must drive x to the range
+        // start and report it as the minimal counterexample.
+        assert!(msg.contains("minimal counterexample"), "message: {msg}");
+        assert!(msg.contains("(0,)"), "message: {msg}");
+    }
+
+    #[test]
+    fn numeric_failures_shrink_to_the_boundary() {
+        // Fails for x ≥ 17: the minimal counterexample is exactly 17,
+        // reached by binary descent + decrement from whatever the RNG drew.
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(64))]
+                #[allow(unused)]
+                fn fails_above_threshold(x in 0u64..1_000_000) {
+                    prop_assert!(x < 17, "x = {}", x);
+                }
+            }
+            fails_above_threshold();
+        });
+        let msg = *caught
+            .expect_err("must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("(17,)"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn vec_failures_prefix_shrink_to_minimal_length() {
+        // Fails whenever the vector has ≥ 3 elements; prefix shrinking
+        // must cut it to exactly 3, and element shrinking must zero them.
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(32))]
+                #[allow(unused)]
+                fn fails_on_long_vecs(v in collection::vec(0u32..100, 0..20)) {
+                    prop_assert!(v.len() < 3, "len = {}", v.len());
+                }
+            }
+            fails_on_long_vecs();
+        });
+        let msg = *caught
+            .expect_err("must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("([0, 0, 0],)"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn shrinking_holds_passing_components_fixed() {
+        // Two arguments, only the second can fail: the first must shrink
+        // to its own minimum independently while the second settles on
+        // the boundary value.
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+                #[allow(unused)]
+                fn two_args(a in 5usize..50, b in 0i32..1000) {
+                    prop_assert!(b < 10, "b = {}", b);
+                }
+            }
+            two_args();
+        });
+        let msg = *caught
+            .expect_err("must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("(5, 10)"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        use crate::strategy::Strategy;
+        let s = 3usize..1000;
+        for v in [4usize, 17, 999] {
+            for cand in s.shrink(&v) {
+                assert!(cand < v, "candidate {cand} not smaller than {v}");
+                assert!(cand >= 3, "candidate {cand} escaped the range");
+            }
+        }
+        assert!(s.shrink(&3).is_empty(), "range start shrinks no further");
+        let f = -1.0f64..1.0;
+        for cand in f.shrink(&0.5) {
+            assert!((-1.0..0.5).contains(&cand));
+        }
+    }
+
+    #[test]
+    fn shrink_failure_reaches_a_local_minimum() {
+        use crate::strategy::TupleStrategy;
+        let strats = (0u32..1_000_000,);
+        let run = |vals: &(u32,)| -> Result<(), TestCaseError> {
+            if vals.0 >= 123 {
+                Err(TestCaseError::Fail(format!("{} too big", vals.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = crate::shrink_failure(&strats, (999_983,), "seed".into(), run);
+        assert_eq!(min, (123,));
+        assert!(steps > 0);
+        assert!(msg.contains("123"));
+        // Already minimal: no candidate of (123,) still fails… except the
+        // shrinker stops exactly there.
+        assert!(strats
+            .shrink_one(&(123,))
+            .into_iter()
+            .all(|c| run(&c).is_ok() || c.0 >= 123));
     }
 }
