@@ -7,13 +7,15 @@
 //! Set `BENCH_JSON=<path>` to also write `{name, median_ns, iters}`
 //! records as a JSON array (CI archives this as `BENCH_PR.json`).
 
+use carol::carol::{Carol, CarolConfig};
 use carol::nodeshift::{mutations, neighborhood};
 use carol::pot::PotDetector;
 use carol::tabu::{self, TabuConfig};
+use carol::ResiliencePolicy;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
-use edgesim::{SchedulingDecision, SimConfig, Simulator, Topology};
+use edgesim::{FaultLoad, SchedulingDecision, SimConfig, Simulator, Topology};
 use gon::{GonConfig, GonModel};
 use nn::Matrix;
 
@@ -90,9 +92,130 @@ fn bench_topology(c: &mut Criterion) {
                     list_size: 100,
                     max_iters: 4,
                 },
-                |t| t.brokers().len() as f64,
+                tabu::from_fn(|t: &Topology| t.brokers().len() as f64),
             );
             black_box(r.best_score)
+        })
+    });
+}
+
+/// One broker failure in an `n_hosts`-host federation plus a CAROL policy
+/// ready to repair it. `batch_eval` selects the batched surrogate engine
+/// or the pre-batching one-candidate-at-a-time reference path — the
+/// serial-vs-batched median ratio is the headline number CI archives as
+/// `REPAIR_PR.json`.
+fn repair_fixture(
+    n_hosts: usize,
+    n_brokers: usize,
+    batch_eval: bool,
+) -> (Simulator, SystemState, Carol) {
+    let mut sim = Simulator::new(SimConfig::federation(n_hosts, n_brokers, 3));
+    let mut sched = LeastLoadScheduler::new();
+    let broker = sim.topology().brokers()[0];
+    sim.inject_fault(
+        broker,
+        FaultLoad {
+            cpu: 1.0,
+            ..Default::default()
+        },
+    );
+    let report = sim.step(Vec::new(), &mut sched);
+    assert!(report.failed_brokers.contains(&broker));
+    let snapshot = SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &report.decision,
+        &Normalizer::for_federation(n_hosts, n_brokers),
+    );
+    let config = CarolConfig {
+        gon: GonConfig {
+            hidden: 16,
+            head_layers: 2,
+            gat_dim: 8,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps: 2,
+            gen_tol: 1e-7,
+            seed: 3,
+        },
+        tabu: TabuConfig {
+            list_size: 20,
+            max_iters: 1,
+        },
+        batch_eval,
+        ..CarolConfig::fast_test()
+    };
+    let policy = Carol::from_model(GonModel::new(config.gon.clone()), config, 3);
+    (sim, snapshot, policy)
+}
+
+fn bench_repair(c: &mut Criterion) {
+    // The full repair path — random node-shift, tabu over the node-shift
+    // move set, GON generation per candidate — at the two federation
+    // sizes the determinism suite gates. `_serial` is the pre-batching
+    // baseline; `_batched` is the production engine (stacked forwards,
+    // `par` fan-out).
+    for (n_hosts, n_brokers) in [(64usize, 8usize), (128, 16)] {
+        for (engine, batch_eval) in [("serial", false), ("batched", true)] {
+            let (sim, snapshot, mut policy) = repair_fixture(n_hosts, n_brokers, batch_eval);
+            c.bench_function(&format!("repair_{n_hosts}_{engine}"), |b| {
+                b.iter(|| {
+                    let repaired = policy
+                        .repair(black_box(&sim), black_box(&snapshot))
+                        .expect("failure must produce a repair");
+                    black_box(repaired)
+                })
+            });
+        }
+    }
+}
+
+fn bench_gon_batch(c: &mut Criterion) {
+    // The surrogate engine's inner loop in isolation: scoring one
+    // 16-candidate batch at 64 hosts, batched vs mapped-serial.
+    let sim = Simulator::new(SimConfig::federation(64, 8, 5));
+    let snapshot = SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &SchedulingDecision::new(),
+        &Normalizer::for_federation(64, 8),
+    );
+    let candidates: Vec<SystemState> = mutations(sim.topology(), &[])
+        .into_iter()
+        .take(16)
+        .map(|t| snapshot.with_topology(&t))
+        .collect();
+    let mut model = GonModel::new(GonConfig {
+        hidden: 16,
+        head_layers: 2,
+        gat_dim: 8,
+        gat_att: 4,
+        gen_lr: 5e-3,
+        gen_steps: 2,
+        gen_tol: 1e-7,
+        seed: 5,
+    });
+    c.bench_function("gon_generate_16x64_serial", |b| {
+        b.iter(|| {
+            let total: f64 = candidates
+                .iter()
+                .map(|s| black_box(model.generate(s)).confidence)
+                .sum();
+            black_box(total)
+        })
+    });
+    c.bench_function("gon_generate_16x64_batched", |b| {
+        b.iter(|| {
+            let total: f64 = model
+                .generate_batch(black_box(&candidates))
+                .iter()
+                .map(|g| g.confidence)
+                .sum();
+            black_box(total)
         })
     });
 }
@@ -129,8 +252,10 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gon,
+    bench_gon_batch,
     bench_matmul,
     bench_topology,
+    bench_repair,
     bench_pot,
     bench_simulator
 );

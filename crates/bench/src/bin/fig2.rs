@@ -5,11 +5,18 @@
 //! ```text
 //! cargo run -p bench --bin fig2 --release            # 1000 intervals
 //! cargo run -p bench --bin fig2 --release -- --fast  # 200 intervals
+//! cargo run -p bench --bin fig2 --release -- --scenario storm-64
 //! ```
+//!
+//! With `--scenario <name>` the confidence trace is recorded under that
+//! registry scenario (workload, federation size, fault intensity and
+//! scheduler all come from the registry entry) instead of the paper's
+//! 16-host AIoTBench shape.
 
 use bench::fig5::fig5_carol_config;
 use carol::carol::Carol;
 use carol::runner::ExperimentConfig;
+use carol::scenario::run_scenario;
 use carol::ResiliencePolicy;
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
@@ -17,10 +24,56 @@ use edgesim::{SimConfig, Simulator};
 use faults::FaultInjector;
 use workloads::BagOfTasks;
 
+fn print_history(policy: &Carol, intervals: usize, label: &str) {
+    println!("# Fig. 2 — confidence scores and POT threshold, {intervals} intervals ({label})");
+    println!(
+        "# fine-tune events (blue bands in the paper): {:?}",
+        policy.fine_tune_intervals
+    );
+    println!("interval\tconfidence\tpot_threshold\tfine_tuned");
+    for (t, (c, z)) in policy
+        .confidence_history
+        .iter()
+        .zip(&policy.threshold_history)
+        .enumerate()
+    {
+        let tuned = policy.fine_tune_intervals.contains(&t) as u8;
+        match z {
+            Some(z) => println!("{t}\t{c:.4}\t{z:.4}\t{tuned}"),
+            None => println!("{t}\t{c:.4}\tNA\t{tuned}"),
+        }
+    }
+
+    let tunes = policy.fine_tune_intervals.len();
+    println!("\n# summary: {tunes} fine-tune events over {intervals} intervals");
+    println!(
+        "# ({} of intervals — the parsimonious trigger of §III-B; an\n\
+         # always-fine-tune policy would have tuned {intervals} times)",
+        format_args!("{:.1}%", 100.0 * tunes as f64 / intervals as f64)
+    );
+}
+
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    let intervals = if fast { 200 } else { 1000 };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
     let seed = 42;
+
+    if let Some(mut spec) = bench::scenario_from_args(&args, seed) {
+        if fast {
+            spec.intervals = spec.intervals.min(25);
+        }
+        eprintln!("[fig2] pretraining CAROL on a DeFog trace…");
+        let mut policy = Carol::pretrained(fig5_carol_config(), seed);
+        eprintln!(
+            "[fig2] running scenario '{}' ({} hosts, {} intervals)…",
+            spec.name, spec.n_hosts, spec.intervals
+        );
+        let _ = run_scenario(&mut policy, &spec);
+        print_history(&policy, spec.intervals, &spec.name);
+        return;
+    }
+
+    let intervals = if fast { 200 } else { 1000 };
 
     eprintln!("[fig2] pretraining CAROL on a DeFog trace…");
     let mut policy = Carol::pretrained(fig5_carol_config(), seed);
@@ -62,30 +115,5 @@ fn main() {
         }
     }
 
-    println!("# Fig. 2 — confidence scores and POT threshold, {intervals} intervals");
-    println!(
-        "# fine-tune events (blue bands in the paper): {:?}",
-        policy.fine_tune_intervals
-    );
-    println!("interval\tconfidence\tpot_threshold\tfine_tuned");
-    for (t, (c, z)) in policy
-        .confidence_history
-        .iter()
-        .zip(&policy.threshold_history)
-        .enumerate()
-    {
-        let tuned = policy.fine_tune_intervals.contains(&t) as u8;
-        match z {
-            Some(z) => println!("{t}\t{c:.4}\t{z:.4}\t{tuned}"),
-            None => println!("{t}\t{c:.4}\tNA\t{tuned}"),
-        }
-    }
-
-    let tunes = policy.fine_tune_intervals.len();
-    println!("\n# summary: {tunes} fine-tune events over {intervals} intervals");
-    println!(
-        "# ({} of intervals — the parsimonious trigger of §III-B; an\n\
-         # always-fine-tune policy would have tuned {intervals} times)",
-        format_args!("{:.1}%", 100.0 * tunes as f64 / intervals as f64)
-    );
+    print_history(&policy, intervals, "paper shape");
 }

@@ -29,12 +29,48 @@ fn rows_for(metric: &str, data: &[PolicyMetrics]) -> Vec<Row> {
 }
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    let config = if fast {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut config = if fast {
         Fig5Config::fast()
     } else {
         Fig5Config::paper()
     };
+    // --scenario <name>: run the whole policy × seed sweep under a
+    // registry scenario's shape (workload suite/rate, federation size,
+    // fault intensity) instead of the paper's 16-host testbed. The sweep
+    // runs through `run_experiment`, which samples a synthetic suite on
+    // the least-load scheduler — scenarios that replay a trace or swap
+    // the scheduler would be silently misrepresented, so they are
+    // rejected up front (use fig2/scale for those: they run the full
+    // scenario engine).
+    if let Some(spec) = bench::scenario_from_args(&args, config.experiment.seed) {
+        use carol::scenario::{SchedulerKind, WorkloadSource};
+        assert!(
+            matches!(spec.workload, WorkloadSource::Suite { .. }),
+            "fig5 --scenario only supports synthetic-suite scenarios \
+             (the sweep has no trace-replay path); '{}' replays a trace — \
+             use `fig2 --scenario` or `scale --scenario` instead",
+            spec.name
+        );
+        assert!(
+            spec.scheduler == SchedulerKind::LeastLoad,
+            "fig5 --scenario only supports least-load scenarios \
+             (the sweep has no scheduler axis); '{}' uses {:?} — \
+             use `fig2 --scenario` or `scale --scenario` instead",
+            spec.name,
+            spec.scheduler
+        );
+        let intervals = config.experiment.intervals.min(spec.intervals);
+        config.experiment = carol::runner::ExperimentConfig {
+            intervals,
+            ..spec.experiment_config()
+        };
+        eprintln!(
+            "[fig5] scenario '{}': {} hosts, fault rate {}",
+            spec.name, spec.n_hosts, spec.fault_rate
+        );
+    }
     eprintln!(
         "[fig5] running {} policies × {} seeds × {} intervals…",
         config.policies.len(),

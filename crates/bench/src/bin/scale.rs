@@ -1,14 +1,20 @@
 //! Host-count scaling sweep binary: CAROL over 16 → 128-host federations
-//! on synthetic and replayed workloads, with per-size QoS + wall-clock.
+//! on synthetic and replayed workloads, with per-size QoS, wall-clock and
+//! an isolated repair-path timing per size.
 //!
 //! ```text
 //! cargo run --release -p bench --bin scale            # full sweep (→ 128 hosts)
 //! cargo run --release -p bench --bin scale -- --fast  # CI sweep (→ 64 hosts)
 //! cargo run --release -p bench --bin scale -- --out scale.json
+//! cargo run --release -p bench --bin scale -- --scenario storm-64
 //! SCALE_JSON=scale.json cargo run --release -p bench --bin scale
 //! ```
+//!
+//! With `--scenario <name>` the sweep collapses to that one registry
+//! scenario (still producing the full per-cell record, repair timing
+//! included).
 
-use bench::scale::{render_table, sweep, to_json, ScaleConfig, SCALE_JSON_ENV};
+use bench::scale::{render_table, run_cell, sweep, to_json, ScaleConfig, SCALE_JSON_ENV};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,19 +25,33 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| std::env::var(SCALE_JSON_ENV).ok().filter(|p| !p.is_empty()));
 
-    let config = if fast {
-        ScaleConfig::fast(0)
+    let points = if let Some(mut spec) = bench::scenario_from_args(&args, 0) {
+        if fast {
+            // Same CI-budget cap as the fig2 scenario path.
+            spec.intervals = spec.intervals.min(25);
+            if let carol::scenario::WorkloadSource::Replay { events } = &mut spec.workload {
+                events.retain(|e| e.interval < 25);
+            }
+        }
+        println!(
+            "scale: single scenario '{}' ({} hosts, {} intervals)",
+            spec.name, spec.n_hosts, spec.intervals
+        );
+        vec![run_cell(&spec, spec.seed)]
     } else {
-        ScaleConfig::full(0)
+        let config = if fast {
+            ScaleConfig::fast(0)
+        } else {
+            ScaleConfig::full(0)
+        };
+        println!(
+            "scale sweep: sizes {:?}, {} intervals each{}",
+            config.sizes,
+            config.intervals,
+            if fast { " (--fast)" } else { "" }
+        );
+        sweep(&config)
     };
-    println!(
-        "scale sweep: sizes {:?}, {} intervals each{}",
-        config.sizes,
-        config.intervals,
-        if fast { " (--fast)" } else { "" }
-    );
-
-    let points = sweep(&config);
     print!("{}", render_table(&points));
 
     if let Some(path) = out_path {

@@ -1,0 +1,67 @@
+//! Shared CLI plumbing for the figure binaries.
+//!
+//! Every figure binary accepts `--scenario <name>`, resolved through the
+//! [`carol::scenario`] registry — the scenario-level CLI the ROADMAP
+//! called for. An unknown name aborts with the catalogue, so
+//! `--scenario help` (or any typo) doubles as discovery.
+
+use carol::scenario::ScenarioSpec;
+
+/// Parses `--scenario <name>` out of `args`, resolving the name through
+/// [`ScenarioSpec::named`] with `seed`. Returns `None` when the flag is
+/// absent.
+///
+/// # Panics
+///
+/// Panics (with the registry catalogue) when the flag is present but the
+/// name is missing or unknown — a CLI usage error, not a runtime
+/// condition.
+pub fn scenario_from_args(args: &[String], seed: u64) -> Option<ScenarioSpec> {
+    let i = args.iter().position(|a| a == "--scenario")?;
+    let name = args.get(i + 1).unwrap_or_else(|| {
+        panic!(
+            "--scenario needs a name; registered scenarios: {:?}",
+            ScenarioSpec::registry_names()
+        )
+    });
+    Some(ScenarioSpec::named(name, seed).unwrap_or_else(|| {
+        panic!(
+            "unknown scenario '{name}'; registered scenarios: {:?}",
+            ScenarioSpec::registry_names()
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        assert!(scenario_from_args(&args(&["--fast"]), 1).is_none());
+    }
+
+    #[test]
+    fn resolves_registry_names() {
+        let spec = scenario_from_args(&args(&["--fast", "--scenario", "storm-64"]), 7).unwrap();
+        assert_eq!(spec.name, "storm-64");
+        assert_eq!(spec.n_hosts, 64);
+        assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_name_aborts_with_catalogue() {
+        scenario_from_args(&args(&["--scenario", "nope"]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scenario needs a name")]
+    fn missing_name_aborts() {
+        scenario_from_args(&args(&["--scenario"]), 1);
+    }
+}

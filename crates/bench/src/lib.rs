@@ -17,9 +17,11 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod fig5;
 pub mod fig6;
 pub mod render;
 pub mod scale;
 
+pub use cli::scenario_from_args;
 pub use render::{render_comparison, Row};

@@ -87,6 +87,16 @@ pub struct ScalePoint {
     pub decision_events: usize,
     /// Wall-clock of the scenario run on this machine, seconds.
     pub wall_s: f64,
+    /// Wall-clock of one isolated repair episode (single broker failure,
+    /// batched tabu over the surrogate) at this federation size, seconds.
+    /// Measured outside the scenario run so the repair path's scaling is
+    /// visible on its own axis.
+    #[serde(default)]
+    pub repair_wall_s: f64,
+    /// Surrogate queries that repair episode issued (neighbourhood size ×
+    /// tabu iterations — the batch volume behind `repair_wall_s`).
+    #[serde(default)]
+    pub repair_queries: usize,
 }
 
 /// A CAROL configuration sized for sweep throughput: the GON stays at
@@ -167,6 +177,68 @@ fn size_scenarios(config: &ScaleConfig, n_hosts: usize, n_brokers: usize) -> Vec
     specs
 }
 
+/// Times one isolated repair episode — a single broker failure resolved
+/// through the batched tabu/surrogate path — at the given federation
+/// size. Returns `(wall_s, surrogate_queries)`.
+pub fn measure_repair(n_hosts: usize, n_brokers: usize, seed: u64) -> (f64, usize) {
+    use carol::ResiliencePolicy;
+    use edgesim::scheduler::LeastLoadScheduler;
+    use edgesim::state::{Normalizer, SystemState};
+    use edgesim::FaultLoad;
+
+    let mut sim = edgesim::Simulator::new(SimConfig::federation(n_hosts, n_brokers, seed));
+    let mut sched = LeastLoadScheduler::new();
+    let broker = sim.topology().brokers()[0];
+    sim.inject_fault(
+        broker,
+        FaultLoad {
+            cpu: 1.0,
+            ..Default::default()
+        },
+    );
+    let report = sim.step(Vec::new(), &mut sched);
+    let snapshot = SystemState::capture(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        sim.tasks(),
+        &report.decision,
+        &Normalizer::for_federation(n_hosts, n_brokers),
+    );
+    let config = sweep_carol_config(seed);
+    let mut policy = Carol::from_model(gon::GonModel::new(config.gon.clone()), config, seed);
+    let start = Instant::now();
+    let repaired = policy.repair(&sim, &snapshot);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(repaired.is_some(), "broker failure must produce a repair");
+    (wall_s, policy.surrogate_queries)
+}
+
+/// Runs one scenario cell — pretrain, run, and the isolated repair
+/// measurement — into a [`ScalePoint`].
+pub fn run_cell(spec: &ScenarioSpec, seed: u64) -> ScalePoint {
+    let mut policy = Carol::pretrained(sweep_carol_config(seed), seed);
+    let start = Instant::now();
+    let out = run_scenario(&mut policy, spec);
+    let wall_s = start.elapsed().as_secs_f64();
+    let (repair_wall_s, repair_queries) = measure_repair(spec.n_hosts, spec.n_brokers, seed);
+    ScalePoint {
+        scenario: out.scenario,
+        n_hosts: spec.n_hosts,
+        n_brokers: spec.n_brokers,
+        intervals: spec.intervals,
+        completed: out.result.completed,
+        energy_wh: out.result.total_energy_wh,
+        mean_response_s: out.result.mean_response_s,
+        slo_violation_rate: out.result.slo_violation_rate,
+        broker_failures: out.result.broker_failures,
+        decision_events: out.result.decision_events,
+        wall_s,
+        repair_wall_s,
+        repair_queries,
+    }
+}
+
 /// Runs the sweep **sequentially** (one scenario at a time, so the
 /// per-size wall-clock is not polluted by sibling runs) and returns one
 /// point per `(scenario, size)` cell.
@@ -174,23 +246,7 @@ pub fn sweep(config: &ScaleConfig) -> Vec<ScalePoint> {
     let mut points = Vec::new();
     for &(n_hosts, n_brokers) in &config.sizes {
         for spec in size_scenarios(config, n_hosts, n_brokers) {
-            let mut policy = Carol::pretrained(sweep_carol_config(config.seed), config.seed);
-            let start = Instant::now();
-            let out = run_scenario(&mut policy, &spec);
-            let wall_s = start.elapsed().as_secs_f64();
-            points.push(ScalePoint {
-                scenario: out.scenario,
-                n_hosts,
-                n_brokers,
-                intervals: spec.intervals,
-                completed: out.result.completed,
-                energy_wh: out.result.total_energy_wh,
-                mean_response_s: out.result.mean_response_s,
-                slo_violation_rate: out.result.slo_violation_rate,
-                broker_failures: out.result.broker_failures,
-                decision_events: out.result.decision_events,
-                wall_s,
-            });
+            points.push(run_cell(&spec, config.seed));
         }
     }
     points
@@ -205,14 +261,14 @@ pub fn to_json(points: &[ScalePoint]) -> String {
 pub fn render_table(points: &[ScalePoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}\n",
-        "scenario", "hosts", "done", "energy_wh", "resp_s", "slo", "repairs", "wall_s"
+        "{:<14}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}{:>12}\n",
+        "scenario", "hosts", "done", "energy_wh", "resp_s", "slo", "repairs", "wall_s", "repair_ms"
     ));
-    out.push_str(&"-".repeat(86));
+    out.push_str(&"-".repeat(98));
     out.push('\n');
     for p in points {
         out.push_str(&format!(
-            "{:<14}{:>8}{:>10}{:>12.1}{:>12.1}{:>10.3}{:>10}{:>10.2}\n",
+            "{:<14}{:>8}{:>10}{:>12.1}{:>12.1}{:>10.3}{:>10}{:>10.2}{:>12.1}\n",
             p.scenario,
             p.n_hosts,
             p.completed,
@@ -220,7 +276,8 @@ pub fn render_table(points: &[ScalePoint]) -> String {
             p.mean_response_s,
             p.slo_violation_rate,
             p.decision_events,
-            p.wall_s
+            p.wall_s,
+            p.repair_wall_s * 1e3
         ));
     }
     out
@@ -244,6 +301,12 @@ mod tests {
             assert!(p.energy_wh > 0.0, "{}: no energy", p.scenario);
             assert!(p.wall_s > 0.0);
             assert_eq!(p.intervals, 4);
+            assert!(p.repair_wall_s > 0.0, "{}: repair not priced", p.scenario);
+            assert!(
+                p.repair_queries > p.n_hosts,
+                "{}: repair must batch-score a real neighbourhood",
+                p.scenario
+            );
         }
         // Energy grows with federation size — more hosts draw more power.
         assert!(points[2].energy_wh > points[0].energy_wh);

@@ -59,6 +59,15 @@ pub struct CarolConfig {
     pub pretrain_intervals: usize,
     /// Simulator configuration used to generate the pre-training trace.
     pub pretrain_sim: SimConfig,
+    /// Score repair candidates through the batched surrogate engine
+    /// (stacked network forwards, fanned out on [`par`]). `false` keeps
+    /// the pre-batching one-candidate-at-a-time reference path; both are
+    /// bit-identical (gated by `tests/determinism.rs`).
+    pub batch_eval: bool,
+    /// Worker threads for batched candidate evaluation. `None` uses
+    /// [`par::thread_count`] (the `CAROL_THREADS` override); tests pin
+    /// explicit counts here instead of mutating the environment.
+    pub eval_threads: Option<usize>,
 }
 
 impl Default for CarolConfig {
@@ -73,6 +82,8 @@ impl Default for CarolConfig {
             offline: TrainConfig::default(),
             pretrain_intervals: 120,
             pretrain_sim: SimConfig::testbed(0),
+            batch_eval: true,
+            eval_threads: None,
         }
     }
 }
@@ -285,6 +296,109 @@ impl Carol {
         self.objective(base, candidate)
     }
 
+    /// Candidates per stacked network forward. Small enough that chunks
+    /// outnumber workers for parallel balance, large enough that the
+    /// blocked matmul kernel amortises (16 candidates × 128 hosts = a
+    /// 2048-row activation block per layer).
+    const SCORE_BATCH: usize = 16;
+
+    /// Batched surrogate objective Ω(G) over a candidate neighbourhood —
+    /// the engine behind every tabu iteration.
+    ///
+    /// Candidates are chunked into fixed-size batches, each batch runs as
+    /// one stacked network forward (and, for the GON, one batched eq.-1
+    /// ascent), and the chunks fan out over [`par::par_map_threads`]
+    /// worker threads that each score on their own model replica. Chunk
+    /// boundaries are a pure function of the candidate list, results are
+    /// written to input-index slots, and the modeled decision-time costs
+    /// are charged in candidate order afterwards — so the returned scores
+    /// *and* every accumulator on `self` are bit-identical to calling the
+    /// serial [`Carol::objective_public`] per candidate, at any thread
+    /// count. With `batch_eval` off this simply runs the serial reference
+    /// path.
+    pub fn objective_batch(&mut self, base: &SystemState, candidates: &[Topology]) -> Vec<f64> {
+        if !self.config.batch_eval {
+            return candidates.iter().map(|t| self.objective(base, t)).collect();
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.config.eval_threads.unwrap_or_else(par::thread_count);
+        let chunks: Vec<&[Topology]> = candidates.chunks(Self::SCORE_BATCH).collect();
+        let (alpha, beta) = (self.config.alpha, self.config.beta);
+
+        // Per-candidate (objective-without-transition, modeled decision
+        // cost), computed in parallel; bookkeeping is replayed serially
+        // below so the f64 accumulation order matches the serial path.
+        let scored: Vec<Vec<(f64, f64)>> = match self.config.variant {
+            CarolVariant::Gon => {
+                let gon = &self.gon;
+                let depth_factor = self.config.gon.head_layers.max(1) as f64 / 3.0;
+                par::par_map_threads(threads, &chunks, |chunk| {
+                    let mut model = gon.clone();
+                    let probes: Vec<SystemState> =
+                        chunk.iter().map(|t| base.with_topology(t)).collect();
+                    let generated = model.generate_batch(&probes);
+                    probes
+                        .iter()
+                        .zip(generated)
+                        .map(|(probe, gen)| {
+                            let mut refined = probe.clone();
+                            refined.set_metrics_flat(&gen.metrics_flat);
+                            let (qe, qs) = refined.qos_components();
+                            // 0.08 ms per ascent iteration at the
+                            // reference depth, as in the serial path.
+                            let cost = 8.0e-5 * depth_factor * gen.iterations as f64;
+                            (alpha * qe + beta * qs, cost)
+                        })
+                        .collect()
+                })
+            }
+            CarolVariant::Gan => {
+                let gan = self.gan.as_ref().expect("GAN variant carries a GAN");
+                par::par_map_threads(threads, &chunks, |chunk| {
+                    let mut model = gan.clone();
+                    let probes: Vec<SystemState> =
+                        chunk.iter().map(|t| base.with_topology(t)).collect();
+                    model
+                        .predict_qos_batch(&probes, alpha, beta, 17)
+                        .into_iter()
+                        .map(|q| (q, 0.00045))
+                        .collect()
+                })
+            }
+            CarolVariant::TraditionalSurrogate => {
+                let ff = self.ff.as_ref().expect("FF variant carries a regressor");
+                par::par_map_threads(threads, &chunks, |chunk| {
+                    let mut model = ff.clone();
+                    let probes: Vec<SystemState> =
+                        chunk.iter().map(|t| base.with_topology(t)).collect();
+                    model
+                        .predict_qos_batch(&probes)
+                        .into_iter()
+                        .map(|q| (q, 0.0002))
+                        .collect()
+                })
+            }
+        };
+
+        let mut out = Vec::with_capacity(candidates.len());
+        for ((objective, cost), candidate) in scored.into_iter().flatten().zip(candidates) {
+            self.surrogate_queries += 1;
+            self.modeled_decision_s += cost;
+            out.push(Self::transition_cost(&base.topology, candidate) + objective);
+        }
+        out
+    }
+
+    /// A [`tabu::BatchObjective`] view of this policy's surrogate, scoring
+    /// candidates against `base`. This is what the repair path hands to
+    /// [`tabu::search`]; extensions like
+    /// [`crate::proactive::ProactiveCarol`] use it the same way.
+    pub fn batch_objective<'a>(&'a mut self, base: &'a SystemState) -> CarolObjective<'a> {
+        CarolObjective { carol: self, base }
+    }
+
     /// Confidence score of the current state under the surrogate.
     fn confidence(&mut self, snapshot: &SystemState) -> f64 {
         match self.config.variant {
@@ -298,6 +412,20 @@ impl Carol {
             // deficiency of the "traditional surrogate" ablation.
             CarolVariant::TraditionalSurrogate => 1.0,
         }
+    }
+}
+
+/// Borrowed view of a [`Carol`] as a batched tabu objective: candidates
+/// are scored against a fixed `base` snapshot through
+/// [`Carol::objective_batch`].
+pub struct CarolObjective<'a> {
+    carol: &'a mut Carol,
+    base: &'a SystemState,
+}
+
+impl tabu::BatchObjective for CarolObjective<'_> {
+    fn score_batch(&mut self, candidates: &[Topology]) -> Vec<f64> {
+        self.carol.objective_batch(self.base, candidates)
     }
 }
 
@@ -332,10 +460,12 @@ impl ResiliencePolicy for Carol {
             }
             // Algorithm 2 line 7: random node-shift seeds the search …
             topo = random_shift(&topo, b, &banned, &mut self.rng);
-            // … line 8: tabu search over Ω(G; D, S, O).
+            // … line 8: tabu search over Ω(G; D, S, O), each iteration
+            // scoring the whole neighbourhood through the batched
+            // surrogate engine.
             let base = snapshot.clone();
             let tabu_cfg = self.config.tabu.clone();
-            let result = tabu::search(topo, &banned, &tabu_cfg, |g| self.objective(&base, g));
+            let result = tabu::search(topo, &banned, &tabu_cfg, self.batch_objective(&base));
             topo = result.best;
         }
         Some(topo)
@@ -524,6 +654,60 @@ mod tests {
         assert!(conf.fine_tune_count() <= always.fine_tune_count());
         assert_eq!(conf.confidence_history.len(), intervals);
         assert_eq!(conf.threshold_history.len(), intervals);
+    }
+
+    /// The batched objective — at any thread count — must agree with the
+    /// serial reference path bit-for-bit, on scores *and* on the policy's
+    /// bookkeeping accumulators, for every surrogate variant.
+    #[test]
+    fn objective_batch_is_bit_identical_to_serial_for_every_variant() {
+        for variant in [
+            CarolVariant::Gon,
+            CarolVariant::Gan,
+            CarolVariant::TraditionalSurrogate,
+        ] {
+            let mk = |threads: usize| {
+                Carol::pretrained(
+                    CarolConfig {
+                        variant,
+                        eval_threads: Some(threads),
+                        ..CarolConfig::fast_test()
+                    },
+                    9,
+                )
+            };
+            let mut serial = mk(1);
+            let mut batched_1 = mk(1);
+            let mut batched_4 = mk(4);
+
+            let mut sim = Simulator::new(SimConfig::small(12, 3, 9));
+            let mut sched = LeastLoadScheduler::new();
+            let report = sim.step(Vec::new(), &mut sched);
+            let base = capture(&sim, &report.decision);
+            let candidates = crate::nodeshift::mutations(sim.topology(), &[]);
+            assert!(candidates.len() > 4, "need a real neighbourhood");
+
+            let want: Vec<f64> = candidates
+                .iter()
+                .map(|t| serial.objective_public(&base, t))
+                .collect();
+            for (label, policy) in [("1 thread", &mut batched_1), ("4 threads", &mut batched_4)] {
+                let got = policy.objective_batch(&base, &candidates);
+                for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{variant:?}/{label}: candidate {i} diverged ({a} vs {b})"
+                    );
+                }
+                assert_eq!(policy.surrogate_queries, serial.surrogate_queries);
+                assert_eq!(
+                    policy.modeled_decision_s.to_bits(),
+                    serial.modeled_decision_s.to_bits(),
+                    "{variant:?}/{label}: modeled decision time diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -83,9 +83,12 @@ impl ProactiveCarol {
         let base = snapshot.clone();
         let inner = &mut self.inner;
         let current_score = inner.objective_public(&base, &current);
-        let result = tabu::search(current.clone(), &banned, &tabu_cfg, |g| {
-            inner.objective_public(&base, g)
-        });
+        let result = tabu::search(
+            current.clone(),
+            &banned,
+            &tabu_cfg,
+            inner.batch_objective(&base),
+        );
         if result.best != current && result.best_score < current_score - self.min_gain {
             self.preventive_changes += 1;
             Some(result.best)

@@ -5,10 +5,55 @@
 //! node-shift move set ([`crate::nodeshift::mutations`]), always moving to
 //! the best non-tabu neighbour, while a FIFO tabu list of topology
 //! signatures (size `L = 100` in the paper, Fig. 6c) prevents cycling.
+//!
+//! The search is **batch-first**: each iteration enumerates the whole
+//! neighbourhood up front and hands it to a [`BatchObjective`] in one
+//! call, so surrogate-backed objectives can stack candidates into batched
+//! network forwards and fan them out over worker threads. Candidate order
+//! is fixed (the enumeration order of [`mutations`]) and scores come back
+//! index-slotted, so selection — tie-breaking toward the earlier
+//! neighbour, aspiration against the global best — is identical to
+//! scoring one candidate at a time, and a deterministic batch objective
+//! yields bit-identical results to the serial path.
 
 use crate::nodeshift::mutations;
 use edgesim::{HostId, Topology};
 use std::collections::VecDeque;
+
+/// An objective that scores candidate topologies in batches.
+///
+/// `score_batch` must return exactly one score per candidate, in input
+/// order, and must behave as a pure function of each candidate (the
+/// batched/parallel scorers keep this by construction: stacked network
+/// forwards are row-independent and results are written to input-index
+/// slots). Lower is better.
+pub trait BatchObjective {
+    /// Scores every candidate, in order.
+    fn score_batch(&mut self, candidates: &[Topology]) -> Vec<f64>;
+}
+
+impl<T: BatchObjective + ?Sized> BatchObjective for &mut T {
+    fn score_batch(&mut self, candidates: &[Topology]) -> Vec<f64> {
+        (**self).score_batch(candidates)
+    }
+}
+
+/// Adapter that lifts a serial `FnMut(&Topology) -> f64` objective into a
+/// [`BatchObjective`] by mapping it over the batch in candidate order —
+/// the pre-batching reference path, and the convenient form for tests and
+/// cheap closures.
+pub struct FnObjective<F>(pub F);
+
+impl<F: FnMut(&Topology) -> f64> BatchObjective for FnObjective<F> {
+    fn score_batch(&mut self, candidates: &[Topology]) -> Vec<f64> {
+        candidates.iter().map(|t| (self.0)(t)).collect()
+    }
+}
+
+/// Wraps a serial closure objective for [`search`].
+pub fn from_fn<F: FnMut(&Topology) -> f64>(f: F) -> FnObjective<F> {
+    FnObjective(f)
+}
 
 /// Tabu-search configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,58 +88,64 @@ pub struct TabuResult {
 /// node-shift moves, never promoting hosts in `banned`.
 ///
 /// `objective` is `Ω(G; D, S, O)` in the paper: the surrogate-predicted
-/// QoS of candidate `G`. The search is deterministic: ties break toward
-/// the earlier-enumerated neighbour.
+/// QoS of candidate `G`. Each iteration enumerates the full node-shift
+/// neighbourhood and scores it with **one** `score_batch` call. The
+/// search is deterministic: ties break toward the earlier-enumerated
+/// neighbour, and a tabu move is only admitted when it beats the global
+/// best (aspiration criterion). Serial closures plug in via [`from_fn`].
 pub fn search(
     start: Topology,
     banned: &[HostId],
     config: &TabuConfig,
-    mut objective: impl FnMut(&Topology) -> f64,
+    mut objective: impl BatchObjective,
 ) -> TabuResult {
-    let mut evaluations = 0usize;
-    let mut score = |t: &Topology, n: &mut usize| {
-        *n += 1;
-        objective(t)
-    };
-
+    let mut evaluations = 1usize;
+    let start_scores = objective.score_batch(std::slice::from_ref(&start));
+    assert_eq!(
+        start_scores.len(),
+        1,
+        "objective must score every candidate"
+    );
     let mut best = start.clone();
-    let mut best_score = score(&best, &mut evaluations);
+    let mut best_score = start_scores[0];
     let mut current = start;
-    #[allow(unused_assignments)]
-    let mut current_score = best_score;
 
     let mut tabu: VecDeque<Vec<usize>> = VecDeque::with_capacity(config.list_size + 1);
     tabu.push_back(current.signature());
 
     for _ in 0..config.max_iters {
-        let neighbors = mutations(&current, banned);
-        let mut chosen: Option<(Topology, f64)> = None;
-        for cand in neighbors {
-            let sig = cand.signature();
-            let is_tabu = tabu.contains(&sig);
-            let s = score(&cand, &mut evaluations);
+        let mut neighbors = mutations(&current, banned);
+        let scores = objective.score_batch(&neighbors);
+        assert_eq!(
+            scores.len(),
+            neighbors.len(),
+            "objective must score every candidate"
+        );
+        evaluations += neighbors.len();
+
+        let mut chosen: Option<(usize, f64)> = None;
+        for (i, (cand, &s)) in neighbors.iter().zip(&scores).enumerate() {
             // Aspiration criterion: a tabu move is allowed if it beats the
             // global best.
-            if is_tabu && s >= best_score {
+            if tabu.contains(&cand.signature()) && s >= best_score {
                 continue;
             }
-            match &chosen {
-                Some((_, cs)) if s >= *cs => {}
-                _ => chosen = Some((cand, s)),
+            match chosen {
+                Some((_, cs)) if s >= cs => {}
+                _ => chosen = Some((i, s)),
             }
         }
-        let Some((next, next_score)) = chosen else {
+        let Some((idx, next_score)) = chosen else {
             break; // whole neighbourhood tabu and non-aspiring
         };
-        current = next;
-        current_score = next_score;
+        current = neighbors.swap_remove(idx);
         if tabu.len() >= config.list_size {
             tabu.pop_front();
         }
         tabu.push_back(current.signature());
-        if current_score < best_score {
+        if next_score < best_score {
             best = current.clone();
-            best_score = current_score;
+            best_score = next_score;
         }
     }
 
@@ -135,7 +186,7 @@ mod tests {
                 list_size: 50,
                 max_iters: 10,
             },
-            broker_count_objective(3),
+            from_fn(broker_count_objective(3)),
         );
         assert_eq!(result.best.brokers().len(), 3, "best={:?}", result.best);
         result.best.validate().unwrap();
@@ -150,7 +201,7 @@ mod tests {
                 start.clone(),
                 &[],
                 &TabuConfig::default(),
-                broker_count_objective(4),
+                from_fn(broker_count_objective(4)),
             )
         };
         let a = run();
@@ -168,7 +219,7 @@ mod tests {
             start,
             &banned,
             &TabuConfig::default(),
-            broker_count_objective(5),
+            from_fn(broker_count_objective(5)),
         );
         for &h in &banned {
             assert!(
@@ -183,7 +234,7 @@ mod tests {
         let start = Topology::balanced(9, 3).unwrap();
         let mut obj = broker_count_objective(2);
         let start_score = obj(&start);
-        let result = search(start, &[], &TabuConfig::default(), obj);
+        let result = search(start, &[], &TabuConfig::default(), from_fn(obj));
         assert!(result.best_score <= start_score);
     }
 
@@ -197,7 +248,7 @@ mod tests {
                 list_size: 1,
                 max_iters: 20,
             },
-            broker_count_objective(3),
+            from_fn(broker_count_objective(3)),
         );
         result.best.validate().unwrap();
     }
@@ -213,7 +264,7 @@ mod tests {
                 list_size: 2,
                 max_iters: 12,
             },
-            broker_count_objective(5),
+            from_fn(broker_count_objective(5)),
         );
         let large = search(
             start,
@@ -222,8 +273,116 @@ mod tests {
                 list_size: 200,
                 max_iters: 12,
             },
-            broker_count_objective(5),
+            from_fn(broker_count_objective(5)),
         );
         assert!(large.best_score <= small.best_score + 1e-9);
+    }
+
+    /// A batch objective that mirrors a serial closure while recording the
+    /// batch sizes it was handed.
+    struct Recording<F> {
+        f: F,
+        batch_sizes: Vec<usize>,
+    }
+
+    impl<F: FnMut(&Topology) -> f64> BatchObjective for Recording<F> {
+        fn score_batch(&mut self, candidates: &[Topology]) -> Vec<f64> {
+            self.batch_sizes.push(candidates.len());
+            candidates.iter().map(|t| (self.f)(t)).collect()
+        }
+    }
+
+    #[test]
+    fn batch_objective_matches_serial_closure_bitwise() {
+        let start = Topology::balanced(12, 3).unwrap();
+        let config = TabuConfig {
+            list_size: 30,
+            max_iters: 6,
+        };
+        let serial = search(
+            start.clone(),
+            &[],
+            &config,
+            from_fn(broker_count_objective(4)),
+        );
+        let mut recording = Recording {
+            f: broker_count_objective(4),
+            batch_sizes: Vec::new(),
+        };
+        let batched = search(start, &[], &config, &mut recording);
+        assert_eq!(serial.best, batched.best);
+        assert_eq!(serial.best_score.to_bits(), batched.best_score.to_bits());
+        assert_eq!(serial.evaluations, batched.evaluations);
+        // The search must actually batch: one call for the start, then one
+        // whole-neighbourhood call per iteration.
+        assert_eq!(recording.batch_sizes[0], 1);
+        assert!(recording.batch_sizes.iter().skip(1).all(|&n| n > 1));
+        assert_eq!(
+            recording.batch_sizes.iter().sum::<usize>(),
+            batched.evaluations
+        );
+    }
+
+    /// Aspiration criterion: a tabu move is accepted iff it beats the
+    /// global best. Scripted scores drive the search back to the (tabu)
+    /// start topology: when the revisit scores below the global best it
+    /// must be taken; when it merely beats the other neighbours it must be
+    /// skipped.
+    #[test]
+    fn aspiration_admits_tabu_moves_only_when_beating_global_best() {
+        // 8 hosts / 2 brokers: iteration 1 promotes a worker (3 brokers),
+        // iteration 2 can demote it straight back — the tabu revisit.
+        let start = Topology::balanced(8, 2).unwrap();
+        let start_sig = start.signature();
+        // The neighbour the first iteration will pick (score 5.0).
+        let step_one = mutations(&start, &[])[0].clone();
+        let step_one_sig = step_one.signature();
+        let config = TabuConfig {
+            list_size: 50,
+            max_iters: 2,
+        };
+
+        let run = |revisit_score: f64| {
+            let mut seen_start = false;
+            let (start_sig, step_one_sig) = (start_sig.clone(), step_one_sig.clone());
+            search(
+                start.clone(),
+                &[],
+                &config,
+                from_fn(move |t: &Topology| {
+                    let sig = t.signature();
+                    if sig == start_sig {
+                        if seen_start {
+                            return revisit_score; // the tabu revisit
+                        }
+                        seen_start = true;
+                        10.0 // the start's own score; global best = 5.0 after iter 1
+                    } else if sig == step_one_sig {
+                        5.0
+                    } else {
+                        8.0
+                    }
+                }),
+            )
+        };
+
+        // Revisit scores 1.0 < global best 5.0: aspiration admits it.
+        let aspiring = run(1.0);
+        assert_eq!(
+            aspiring.best.signature(),
+            start_sig,
+            "a tabu move beating the global best must be accepted"
+        );
+        assert_eq!(aspiring.best_score, 1.0);
+
+        // Revisit scores 6.0: better than every non-tabu neighbour (8.0)
+        // but not better than the global best — it must stay blocked.
+        let blocked = run(6.0);
+        assert_ne!(
+            blocked.best.signature(),
+            start_sig,
+            "a tabu move not beating the global best must stay tabu"
+        );
+        assert_eq!(blocked.best_score, 5.0);
     }
 }

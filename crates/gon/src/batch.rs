@@ -1,0 +1,134 @@
+//! Batch-first surrogate scoring.
+//!
+//! Tabu search evaluates whole candidate neighbourhoods at once, so every
+//! surrogate CAROL can run on — the GON discriminator and both §V-D
+//! ablation comparators — exposes its scalar scoring function in batched
+//! form behind one trait. The contract is strict: `score_batch` must be
+//! **bit-identical** to mapping the surrogate's serial scorer over the
+//! batch, so swapping the batched engine in (or fanning batches out over
+//! worker threads holding model clones) can never change a repair
+//! decision. `tests/properties.rs` property-tests this for every
+//! implementor, including batch sizes 0 and 1.
+
+use crate::model::GonModel;
+use crate::surrogates::{FeedForwardSurrogate, GanSurrogate};
+use edgesim::state::SystemState;
+
+/// A surrogate model that can score a batch of candidate states in one
+/// call.
+///
+/// The "score" is whatever scalar the surrogate's serial API exposes:
+/// the discriminator likelihood `D(M, S, G)` for the GON and the GAN,
+/// and the predicted QoS objective for the feed-forward regressor (which
+/// has no likelihood output — the defining deficiency of that ablation).
+pub trait SurrogateBatch {
+    /// Scores every state, in order. Must be bit-identical to mapping the
+    /// surrogate's serial scorer, and must return one score per input
+    /// (empty in, empty out).
+    fn score_batch(&mut self, states: &[SystemState]) -> Vec<f64>;
+}
+
+impl SurrogateBatch for GonModel {
+    fn score_batch(&mut self, states: &[SystemState]) -> Vec<f64> {
+        GonModel::score_batch(self, states)
+    }
+}
+
+impl SurrogateBatch for GanSurrogate {
+    fn score_batch(&mut self, states: &[SystemState]) -> Vec<f64> {
+        GanSurrogate::score_batch(self, states)
+    }
+}
+
+impl SurrogateBatch for FeedForwardSurrogate {
+    fn score_batch(&mut self, states: &[SystemState]) -> Vec<f64> {
+        FeedForwardSurrogate::predict_qos_batch(self, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgesim::scheduler::SchedulingDecision;
+    use edgesim::state::Normalizer;
+    use edgesim::{HostSpec, HostState, Topology};
+
+    fn state(n_hosts: usize, n_brokers: usize, load: f64) -> SystemState {
+        let topo = Topology::balanced(n_hosts, n_brokers).unwrap();
+        let specs: Vec<HostSpec> = (0..n_hosts).map(HostSpec::rpi4gb).collect();
+        let mut states = vec![HostState::default(); n_hosts];
+        for (i, st) in states.iter_mut().enumerate() {
+            st.cpu = (load + 0.03 * i as f64).min(1.0);
+            st.ram = (load * 0.7).min(1.0);
+            st.energy_wh = 0.25 * load;
+        }
+        SystemState::capture(
+            &topo,
+            &specs,
+            &states,
+            &[],
+            &SchedulingDecision::new(),
+            &Normalizer::default(),
+        )
+    }
+
+    fn batch() -> Vec<SystemState> {
+        vec![state(6, 2, 0.2), state(6, 2, 0.7), state(9, 3, 0.5)]
+    }
+
+    /// Every implementor agrees bit-for-bit with its serial sibling.
+    #[test]
+    fn trait_impls_match_serial_scorers_bitwise() {
+        let states = batch();
+
+        let mut gon = GonModel::new(crate::GonConfig {
+            hidden: 10,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 1e-3,
+            gen_steps: 4,
+            gen_tol: 1e-7,
+            seed: 5,
+        });
+        let serial: Vec<f64> = states.iter().map(|s| gon.score(s)).collect();
+        let batched = SurrogateBatch::score_batch(&mut gon, &states);
+        assert_eq!(serial.len(), batched.len());
+        for (a, b) in serial.iter().zip(&batched) {
+            assert_eq!(a.to_bits(), b.to_bits(), "GON trait scorer diverged");
+        }
+
+        let mut gan = GanSurrogate::new(12, 6, 9);
+        let serial: Vec<f64> = states.iter().map(|s| gan.score(s)).collect();
+        let batched = SurrogateBatch::score_batch(&mut gan, &states);
+        for (a, b) in serial.iter().zip(&batched) {
+            assert_eq!(a.to_bits(), b.to_bits(), "GAN trait scorer diverged");
+        }
+
+        let mut ff = FeedForwardSurrogate::new(12, 9);
+        let serial: Vec<f64> = states.iter().map(|s| ff.predict_qos(s)).collect();
+        let batched = SurrogateBatch::score_batch(&mut ff, &states);
+        for (a, b) in serial.iter().zip(&batched) {
+            assert_eq!(a.to_bits(), b.to_bits(), "FF trait scorer diverged");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_empty() {
+        let mut gon = GonModel::new(crate::GonConfig {
+            hidden: 8,
+            head_layers: 1,
+            gat_dim: 4,
+            gat_att: 2,
+            gen_lr: 1e-3,
+            gen_steps: 2,
+            gen_tol: 1e-7,
+            seed: 1,
+        });
+        assert!(SurrogateBatch::score_batch(&mut gon, &[]).is_empty());
+        let mut gan = GanSurrogate::new(8, 4, 2);
+        assert!(SurrogateBatch::score_batch(&mut gan, &[]).is_empty());
+        let mut ff = FeedForwardSurrogate::new(8, 3);
+        assert!(SurrogateBatch::score_batch(&mut ff, &[]).is_empty());
+    }
+}

@@ -89,7 +89,17 @@ pub struct Generated {
     pub iterations: usize,
 }
 
+/// A candidate batch stacked for the network: `[M | S]` rows, graph rows,
+/// offset adjacency (the disjoint union of the candidate graphs), and the
+/// `(row offset, host count)` segment of each candidate.
+type StackedBatch = (Matrix, Matrix, Vec<Vec<usize>>, Vec<(usize, usize)>);
+
 /// The composite discriminator of Fig. 3.
+///
+/// The model is `Clone`: batched candidate evaluation hands each worker
+/// thread its own replica (parameters are frozen during scoring, so
+/// replicas produce bit-identical results to the original).
+#[derive(Clone)]
 pub struct GonModel {
     config: GonConfig,
     ms_encoder: Sequential,
@@ -308,6 +318,256 @@ impl GonModel {
         let (q_energy, q_slo) = probe.qos_components();
         (alpha * q_energy + beta * q_slo, generated.confidence)
     }
+
+    // --- Batched evaluation -------------------------------------------
+    //
+    // Tabu search scores whole candidate neighbourhoods at once, so the
+    // batch entry points below stack every candidate's per-host rows into
+    // one matrix: each network layer then runs one blocked matmul per
+    // *batch* instead of per candidate, and the GAT sees the disjoint
+    // union of the candidate graphs (neighbour indices offset per
+    // candidate), which it evaluates block-by-block bit-identically to
+    // separate forwards. Everything here is bit-identical to mapping the
+    // serial sibling over the batch — `tests/properties.rs` and the
+    // determinism suite gate that contract.
+
+    /// Stacks per-host rows of all states into `(ms_input, graph_input,
+    /// offset neighbour lists, (offset, n_hosts) per state)`.
+    fn stacked_inputs(states: &[&SystemState]) -> StackedBatch {
+        let total: usize = states.iter().map(|s| s.n_hosts()).sum();
+        let mut x = Matrix::zeros(total, METRIC_DIM + SCHED_DIM);
+        let mut g = Matrix::zeros(total, GRAPH_DIM);
+        let mut neighbors = Vec::with_capacity(total);
+        let mut segments = Vec::with_capacity(states.len());
+        let mut offset = 0;
+        for s in states {
+            let n = s.n_hosts();
+            for h in 0..n {
+                x.row_mut(offset + h)[..METRIC_DIM].copy_from_slice(&s.metrics[h]);
+                x.row_mut(offset + h)[METRIC_DIM..].copy_from_slice(&s.schedule[h]);
+                g.row_mut(offset + h).copy_from_slice(&s.graph_features[h]);
+                neighbors.push(s.neighbors[h].iter().map(|&j| j + offset).collect());
+            }
+            segments.push((offset, n));
+            offset += n;
+        }
+        (x, g, neighbors, segments)
+    }
+
+    /// Per-segment mean-pool, mirroring the serial
+    /// `sum_rows().scale(1.0 / n)` chain exactly: ascending-row
+    /// accumulation per column, then one multiply by the precomputed
+    /// reciprocal — so each pooled row is bit-identical to the serial
+    /// forward's.
+    fn pool_segments(m: &Matrix, segments: &[(usize, usize)]) -> Matrix {
+        let mut out = Matrix::zeros(segments.len(), m.cols());
+        for (b, &(offset, n)) in segments.iter().enumerate() {
+            for r in offset..offset + n {
+                for c in 0..m.cols() {
+                    out[(b, c)] += m[(r, c)];
+                }
+            }
+            let inv = 1.0 / n as f64;
+            for c in 0..m.cols() {
+                out[(b, c)] *= inv;
+            }
+        }
+        out
+    }
+
+    /// Batched forward over state refs; returns the `B × 1` score column
+    /// and the row segments (needed by the batched backward).
+    fn forward_batch_internal(&mut self, states: &[&SystemState]) -> (Matrix, Vec<(usize, usize)>) {
+        let (x, gfeat, neighbors, segments) = Self::stacked_inputs(states);
+        let e = self.ms_encoder.forward(&x); // [Σn × hidden]
+        let e_ms = Self::pool_segments(&e, &segments); // [B × hidden]
+        let eg = self.gat.forward(&gfeat, &neighbors); // [Σn × gat_dim]
+        let e_g = Self::pool_segments(&eg, &segments);
+        let z = self.head.forward(&e_ms.hcat(&e_g)); // [B × 1]
+        (z, segments)
+    }
+
+    /// Batched [`GonModel::score`]: `D(M, S, G)` for every state, one
+    /// stacked forward. Bit-identical to mapping `score` over the batch.
+    pub fn score_batch(&mut self, states: &[SystemState]) -> Vec<f64> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let refs: Vec<&SystemState> = states.iter().collect();
+        self.forward_batch_internal(&refs).0.into_vec()
+    }
+
+    /// Input-metric gradient of the batched score: one `grad_scores` entry
+    /// per segment (`dL/dD` for that candidate), returning the stacked
+    /// `Σn × METRIC_DIM` gradient. Parameter gradients are left untouched
+    /// — the generation loop discards them anyway, which is what lets
+    /// this path skip the `Wᵀ`-rebuild and grad-accumulation work the
+    /// serial [`GonModel::backward`] pays per candidate.
+    fn backward_metrics_batch(
+        &mut self,
+        segments: &[(usize, usize)],
+        grad_scores: &[f64],
+    ) -> Matrix {
+        debug_assert_eq!(segments.len(), grad_scores.len());
+        let g = Matrix::from_vec(grad_scores.len(), 1, grad_scores.to_vec());
+        let g_head = self.head.backward_input(&g); // [B × hidden + gat_dim]
+        let (g_ms_pooled, _g_g_pooled) = g_head.hsplit(self.config.hidden);
+
+        // Mean-pool backward: each host row of candidate b gets grad / n.
+        let total: usize = segments.iter().map(|&(_, n)| n).sum();
+        let mut g_ms = Matrix::zeros(total, self.config.hidden);
+        for (b, &(offset, n)) in segments.iter().enumerate() {
+            let nf = n as f64;
+            for h in 0..n {
+                for c in 0..self.config.hidden {
+                    g_ms[(offset + h, c)] = g_ms_pooled[(b, c)] / nf;
+                }
+            }
+        }
+        // The GAT branch is skipped entirely: its backward contributes
+        // nothing to the metric gradient (graph features are a separate
+        // input), matching the serial path where its output is discarded.
+        let dx = self.ms_encoder.backward_input(&g_ms);
+        let (d_metrics, _d_sched) = dx.hsplit(METRIC_DIM);
+        d_metrics
+    }
+
+    /// Batched [`GonModel::generate`]: runs every candidate's eq.-1 ascent
+    /// in lock-step, with per-candidate convergence. Candidates that
+    /// overshoot or plateau drop out of the ascent (their recorded best is
+    /// frozen); the rest keep ascending on stacked matrices. Bit-identical
+    /// to mapping `generate` over the batch: per-candidate trajectories
+    /// are row-independent through every layer.
+    ///
+    /// Two structural savings over the serial loop, both bit-neutral:
+    /// the graph branch (GAT + pool) sees only graph features and
+    /// adjacency — constant across eq.-1 steps — so its pooled embedding
+    /// is computed **once per batch** instead of once per step per
+    /// candidate; and the stacked `[M | S]` input is built once, with
+    /// only the metric columns rewritten between steps.
+    pub fn generate_batch(&mut self, states: &[SystemState]) -> Vec<Generated> {
+        let b = states.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let refs: Vec<&SystemState> = states.iter().collect();
+        let (mut x, gfeat, neighbors, segments) = Self::stacked_inputs(&refs);
+        let eg = self.gat.forward(&gfeat, &neighbors);
+        let e_g = Self::pool_segments(&eg, &segments); // constant across steps
+
+        let mut flats: Vec<Vec<f64>> = states.iter().map(|s| s.metrics_flat()).collect();
+        let mut outs: Vec<Generated> = flats
+            .iter()
+            .map(|f| Generated {
+                metrics_flat: f.clone(),
+                confidence: f64::NEG_INFINITY,
+                iterations: 0,
+            })
+            .collect();
+        let mut prev = vec![f64::NEG_INFINITY; b];
+        let mut active = vec![true; b];
+        let mut n_active = b;
+        // Step-size-invariant tolerance, exactly as in `generate`.
+        let tol = self.config.gen_tol * (self.config.gen_lr / 1e-3).max(1e-6);
+
+        for it in 0..self.config.gen_steps {
+            if n_active == 0 {
+                break;
+            }
+            // Forward: stopped candidates' rows ride along unused — they
+            // cannot perturb active rows (row independence), and one
+            // rectangular matmul beats re-stacking the batch every step.
+            let e = self.ms_encoder.forward(&x);
+            let e_ms = Self::pool_segments(&e, &segments);
+            let scores = self.head.forward(&e_ms.hcat(&e_g)); // [B × 1]
+
+            let mut grads = vec![0.0; b];
+            for i in 0..b {
+                if !active[i] {
+                    continue;
+                }
+                let score = scores[(i, 0)];
+                if score > outs[i].confidence {
+                    outs[i].confidence = score;
+                    outs[i].metrics_flat = flats[i].clone();
+                }
+                outs[i].iterations = it + 1;
+                // Same stop conditions as the serial loop: overshoot
+                // first, then plateau.
+                let overshoot = score < prev[i];
+                let plateaued = it > 0 && score - prev[i] < tol;
+                if overshoot || plateaued {
+                    active[i] = false;
+                    n_active -= 1;
+                } else {
+                    prev[i] = score;
+                    // ∇_M log D = (1/D) ∇_M D; stopped rows keep a zero
+                    // grad, so their d_metrics rows are never applied.
+                    grads[i] = 1.0 / score.max(1e-9);
+                }
+            }
+            if n_active == 0 {
+                break; // every remaining candidate stopped this step
+            }
+            let d_metrics = self.backward_metrics_batch(&segments, &grads);
+            for i in 0..b {
+                if !active[i] {
+                    continue;
+                }
+                let (offset, n) = segments[i];
+                let flat = &mut flats[i];
+                for h in 0..n {
+                    for c in 0..METRIC_DIM {
+                        let d = d_metrics[(offset + h, c)] * self.config.gen_lr;
+                        let v = &mut flat[h * METRIC_DIM + c];
+                        *v = (*v + d).clamp(0.0, 1.0);
+                    }
+                    // Refresh the metric columns of the stacked input.
+                    x.row_mut(offset + h)[..METRIC_DIM]
+                        .copy_from_slice(&flat[h * METRIC_DIM..(h + 1) * METRIC_DIM]);
+                }
+            }
+        }
+
+        // gen_steps == 0: score the untouched warm start, as `generate`
+        // does in its fallback.
+        if outs.iter().any(|o| o.confidence == f64::NEG_INFINITY) {
+            let e = self.ms_encoder.forward(&x);
+            let e_ms = Self::pool_segments(&e, &segments);
+            let scores = self.head.forward(&e_ms.hcat(&e_g));
+            for (i, out) in outs.iter_mut().enumerate() {
+                if out.confidence == f64::NEG_INFINITY {
+                    out.confidence = scores[(i, 0)];
+                }
+            }
+        }
+        // Leave the model in the same visible state as `generate`:
+        // parameter gradients zeroed.
+        self.zero_grad();
+        outs
+    }
+
+    /// Batched [`GonModel::predict_qos`] over candidate states: generates
+    /// `M*` for the whole batch, substitutes it per candidate, and reads
+    /// the objective columns. Bit-identical to mapping `predict_qos`.
+    pub fn predict_qos_batch(
+        &mut self,
+        states: &[SystemState],
+        alpha: f64,
+        beta: f64,
+    ) -> Vec<(f64, f64)> {
+        let generated = self.generate_batch(states);
+        states
+            .iter()
+            .zip(generated)
+            .map(|(state, gen)| {
+                let mut probe = state.clone();
+                probe.set_metrics_flat(&gen.metrics_flat);
+                let (q_energy, q_slo) = probe.qos_components();
+                (alpha * q_energy + beta * q_slo, gen.confidence)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +687,108 @@ mod tests {
         let (q_mix, conf) = model.predict_qos(&state, 0.5, 0.5);
         assert!((q_mix - 0.5 * (q_energy_only + q_slo_only)).abs() < 1e-6);
         assert!((0.0..=1.0).contains(&conf));
+    }
+
+    fn mixed_batch() -> Vec<SystemState> {
+        vec![
+            test_state(8, 2, 0.1),
+            test_state(8, 2, 0.55),
+            test_state(4, 2, 0.9),
+            test_state(6, 2, 0.35),
+        ]
+    }
+
+    #[test]
+    fn score_batch_is_bit_identical_to_mapped_score() {
+        let mut model = GonModel::new(small_config());
+        let states = mixed_batch();
+        let serial: Vec<f64> = states.iter().map(|s| model.score(s)).collect();
+        let batched = model.score_batch(&states);
+        assert_eq!(batched.len(), states.len());
+        for (i, (a, b)) in serial.iter().zip(&batched).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "candidate {i} diverged");
+        }
+        // Degenerate batch sizes.
+        assert!(model.score_batch(&[]).is_empty());
+        let one = model.score_batch(&states[..1]);
+        assert_eq!(one[0].to_bits(), serial[0].to_bits());
+    }
+
+    #[test]
+    fn generate_batch_is_bit_identical_to_mapped_generate() {
+        // gen_lr large enough that candidates overshoot/plateau at
+        // *different* steps — the per-candidate convergence masks must
+        // reproduce every serial trajectory exactly.
+        let mut model = GonModel::new(small_config());
+        let states = mixed_batch();
+        let serial: Vec<Generated> = states.iter().map(|s| model.generate(s)).collect();
+        let batched = model.generate_batch(&states);
+        assert_eq!(batched.len(), serial.len());
+        for (i, (a, b)) in serial.iter().zip(&batched).enumerate() {
+            assert_eq!(
+                a.confidence.to_bits(),
+                b.confidence.to_bits(),
+                "candidate {i}: confidence diverged ({} vs {})",
+                a.confidence,
+                b.confidence
+            );
+            assert_eq!(a.iterations, b.iterations, "candidate {i}: iterations");
+            assert_eq!(a.metrics_flat.len(), b.metrics_flat.len());
+            for (x, y) in a.metrics_flat.iter().zip(&b.metrics_flat) {
+                assert_eq!(x.to_bits(), y.to_bits(), "candidate {i}: metrics diverged");
+            }
+        }
+        // Parameter gradients end zeroed, as after serial `generate`.
+        for p in model.params_mut() {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        }
+    }
+
+    #[test]
+    fn generate_batch_zero_steps_matches_serial_fallback() {
+        let config = GonConfig {
+            gen_steps: 0,
+            ..small_config()
+        };
+        let mut model = GonModel::new(config);
+        let states = mixed_batch();
+        let serial: Vec<Generated> = states.iter().map(|s| model.generate(s)).collect();
+        let batched = model.generate_batch(&states);
+        for (a, b) in serial.iter().zip(&batched) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+            assert_eq!(a.metrics_flat, b.metrics_flat);
+        }
+    }
+
+    #[test]
+    fn predict_qos_batch_matches_mapped_predict_qos() {
+        let mut model = GonModel::new(small_config());
+        let states = mixed_batch();
+        let serial: Vec<(f64, f64)> = states
+            .iter()
+            .map(|s| model.predict_qos(s, 0.5, 0.5))
+            .collect();
+        let batched = model.predict_qos_batch(&states, 0.5, 0.5);
+        for ((aq, ac), (bq, bc)) in serial.iter().zip(&batched) {
+            assert_eq!(aq.to_bits(), bq.to_bits(), "objective diverged");
+            assert_eq!(ac.to_bits(), bc.to_bits(), "confidence diverged");
+        }
+    }
+
+    #[test]
+    fn cloned_model_scores_bit_identically() {
+        let mut model = GonModel::new(small_config());
+        let mut replica = model.clone();
+        assert_eq!(replica.param_count(), model.param_count());
+        let state = test_state(8, 2, 0.5);
+        assert_eq!(
+            model.score(&state).to_bits(),
+            replica.score(&state).to_bits()
+        );
+        let a = model.generate(&state);
+        let b = replica.generate(&state);
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        assert_eq!(a.metrics_flat, b.metrics_flat);
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn pooled_input(state: &SystemState) -> Matrix {
 }
 
 /// Traditional feed-forward QoS surrogate ("With Traditional Surrogate").
+#[derive(Clone)]
 pub struct FeedForwardSurrogate {
     net: Sequential,
     adam: Adam,
@@ -73,6 +74,22 @@ impl FeedForwardSurrogate {
         self.net.forward(&pooled_input(state))[(0, 0)]
     }
 
+    /// Batched [`FeedForwardSurrogate::predict_qos`]: pooled rows stacked
+    /// into one matrix, one forward for the whole candidate batch.
+    /// Bit-identical to mapping the serial call (row independence of
+    /// every layer).
+    pub fn predict_qos_batch(&mut self, states: &[SystemState]) -> Vec<f64> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let mut x = Matrix::zeros(states.len(), METRIC_DIM + SCHED_DIM + GRAPH_DIM);
+        for (r, state) in states.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(pooled_input(state).data());
+        }
+        let y = self.net.forward(&x);
+        (0..states.len()).map(|r| y[(r, 0)]).collect()
+    }
+
     /// One supervised regression step against the observed objective.
     pub fn train_step(&mut self, state: &SystemState, target_qos: f64) -> f64 {
         let x = pooled_input(state);
@@ -93,6 +110,7 @@ impl FeedForwardSurrogate {
 /// Traditional GAN surrogate ("With GAN"): a generator maps
 /// `(noise, S, G)` to predicted metrics in one shot; a discriminator
 /// scores tuples like the GON does.
+#[derive(Clone)]
 pub struct GanSurrogate {
     generator: Sequential,
     discriminator: Sequential,
@@ -219,6 +237,116 @@ impl GanSurrogate {
         probe.set_metrics_flat(&m);
         let (qe, qs) = probe.qos_components();
         alpha * qe + beta * qs
+    }
+
+    /// Batched [`GanSurrogate::generate`]: one generator forward over the
+    /// stacked per-host rows of every candidate. Each candidate draws its
+    /// noise from a fresh `Initializer::new(seed)` exactly as the serial
+    /// call does, so the output is bit-identical to mapping `generate`.
+    pub fn generate_batch(&mut self, states: &[SystemState], seed: u64) -> Vec<Vec<f64>> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = states.iter().map(|s| s.n_hosts()).sum();
+        let width = self.noise_dim + SCHED_DIM + GRAPH_DIM;
+        let mut x = Matrix::zeros(total, width);
+        let mut offset = 0;
+        for state in states {
+            let mut init = Initializer::new(seed);
+            for h in 0..state.n_hosts() {
+                let noise = init.uniform(1, self.noise_dim, 0.0, 1.0);
+                let row = x.row_mut(offset + h);
+                row[..self.noise_dim].copy_from_slice(noise.data());
+                row[self.noise_dim..self.noise_dim + SCHED_DIM].copy_from_slice(&state.schedule[h]);
+                row[self.noise_dim + SCHED_DIM..].copy_from_slice(&state.graph_features[h]);
+            }
+            offset += state.n_hosts();
+        }
+        let y = self.generator.forward(&x); // [Σn × METRIC_DIM]
+        let mut out = Vec::with_capacity(states.len());
+        let mut offset = 0;
+        for state in states {
+            let n = state.n_hosts();
+            out.push(y.data()[offset * METRIC_DIM..(offset + n) * METRIC_DIM].to_vec());
+            offset += n;
+        }
+        out
+    }
+
+    /// Batched [`GanSurrogate::predict_qos`] — bit-identical to mapping
+    /// the serial call over the candidates.
+    pub fn predict_qos_batch(
+        &mut self,
+        states: &[SystemState],
+        alpha: f64,
+        beta: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let generated = self.generate_batch(states, seed);
+        states
+            .iter()
+            .zip(generated)
+            .map(|(state, m)| {
+                let mut probe = state.clone();
+                probe.set_metrics_flat(&m);
+                let (qe, qs) = probe.qos_components();
+                alpha * qe + beta * qs
+            })
+            .collect()
+    }
+
+    /// Batched [`GanSurrogate::score`]: the candidate graphs run through
+    /// the GAT as one disjoint union (block-diagonal adjacency), pooled
+    /// per candidate with the serial accumulation chain, and the
+    /// discriminator scores all rows in one forward. Bit-identical to
+    /// mapping `score`.
+    pub fn score_batch(&mut self, states: &[SystemState]) -> Vec<f64> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = states.iter().map(|s| s.n_hosts()).sum();
+        let mut gfeat = Matrix::zeros(total, GRAPH_DIM);
+        let mut neighbors = Vec::with_capacity(total);
+        let mut offset = 0;
+        for state in states {
+            for h in 0..state.n_hosts() {
+                gfeat
+                    .row_mut(offset + h)
+                    .copy_from_slice(&state.graph_features[h]);
+                neighbors.push(state.neighbors[h].iter().map(|&j| j + offset).collect());
+            }
+            offset += state.n_hosts();
+        }
+        let emb = self.gat.forward(&gfeat, &neighbors);
+
+        let mut x = Matrix::zeros(states.len(), METRIC_DIM + SCHED_DIM + self.gat_dim);
+        let mut offset = 0;
+        for (r, state) in states.iter().enumerate() {
+            let n = state.n_hosts().max(1) as f64;
+            let row = x.row_mut(r);
+            for h in 0..state.n_hosts() {
+                for (i, v) in state.metrics[h].iter().enumerate() {
+                    row[i] += v / n;
+                }
+                for (i, v) in state.schedule[h].iter().enumerate() {
+                    row[METRIC_DIM + i] += v / n;
+                }
+            }
+            // Mirror `emb.sum_rows().scale(1.0 / n)` over this segment.
+            let pooled = &mut row[METRIC_DIM + SCHED_DIM..];
+            for h in 0..state.n_hosts() {
+                for (c, p) in pooled.iter_mut().enumerate() {
+                    *p += emb[(offset + h, c)];
+                }
+            }
+            let inv = 1.0 / n;
+            for p in pooled.iter_mut() {
+                *p *= inv;
+            }
+            offset += state.n_hosts();
+        }
+        let z = self.discriminator.forward(&x);
+        (0..states.len()).map(|r| z[(r, 0)]).collect()
     }
 
     /// One adversarial training round on a real state. The generator

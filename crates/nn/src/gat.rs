@@ -89,6 +89,13 @@ impl GraphAttention {
     ///
     /// Nodes with empty neighbour lists produce zero embeddings.
     ///
+    /// Because attention only ever mixes a node with its listed
+    /// neighbours, a *disjoint union* of graphs (feature rows stacked,
+    /// neighbour indices offset per graph) evaluates every component
+    /// bit-identically to separate forwards — the contract the batched
+    /// candidate scorer (`gon`'s `score_batch`) is built on, and what
+    /// turns B candidate topologies into one blocked matmul per layer.
+    ///
     /// # Panics
     ///
     /// Panics if `neighbors.len() != features.rows()`, if
@@ -340,6 +347,54 @@ mod tests {
                 max_abs_diff(&analytic[which], &numeric) < 1e-6,
                 "parameter {which} gradient mismatch"
             );
+        }
+    }
+
+    #[test]
+    fn disjoint_union_is_bit_identical_to_separate_forwards() {
+        // Stack three differently-sized ring graphs into one block-
+        // diagonal batch; every component's embedding rows must match the
+        // per-graph forward bit-for-bit (the batched-candidate contract).
+        let mut init = Initializer::new(31);
+        let mut gat = GraphAttention::new(3, 5, 4, &mut init);
+        let sizes = [3usize, 4, 6];
+        let feats: Vec<Matrix> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Initializer::new(40 + i as u64).normal(n, 3, 0.9))
+            .collect();
+
+        let total: usize = sizes.iter().sum();
+        let mut stacked = Matrix::zeros(total, 3);
+        let mut neighbors = Vec::with_capacity(total);
+        let mut offset = 0;
+        for (f, &n) in feats.iter().zip(&sizes) {
+            for r in 0..n {
+                stacked.row_mut(offset + r).copy_from_slice(f.row(r));
+            }
+            for mut nbrs in ring_neighbors(n) {
+                for j in &mut nbrs {
+                    *j += offset;
+                }
+                neighbors.push(nbrs);
+            }
+            offset += n;
+        }
+
+        let batched = gat.forward(&stacked, &neighbors);
+        let mut offset = 0;
+        for (f, &n) in feats.iter().zip(&sizes) {
+            let single = gat.forward(f, &ring_neighbors(n));
+            for r in 0..n {
+                for (a, b) in batched.row(offset + r).iter().zip(single.row(r)) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "component of {n} nodes diverged at row {r}"
+                    );
+                }
+            }
+            offset += n;
         }
     }
 

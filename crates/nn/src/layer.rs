@@ -54,6 +54,12 @@ impl Param {
 /// gradient of the loss with respect to the layer output and returns the
 /// gradient with respect to the layer *input* (this input gradient is what
 /// the GON generation loop ascends) while accumulating parameter gradients.
+///
+/// Every `forward` is batch-first: the input rows are independent samples
+/// (candidate metric rows in the GON repair path), and each output row is
+/// bit-identical to running that row through a single-row `forward` — the
+/// matmul kernel accumulates every output element over ascending `k`
+/// regardless of how many rows share the call.
 pub trait Layer {
     /// Computes the layer output for `input` and caches activations.
     fn forward(&mut self, input: &Matrix) -> Matrix;
@@ -66,6 +72,19 @@ pub trait Layer {
     /// Implementations may panic if called before `forward`.
     fn backward(&mut self, grad_output: &Matrix) -> Matrix;
 
+    /// Like [`Layer::backward`], but returns *only* the input gradient,
+    /// leaving parameter gradients untouched. The GON generation loop
+    /// (eq. 1) ascends the input and discards parameter gradients, so this
+    /// is its hot path. The returned matrix is bit-identical to what
+    /// `backward` returns.
+    ///
+    /// Layers with parameters should override this to skip the
+    /// accumulation work; the default simply delegates to `backward` and
+    /// is only correct for parameter-free layers.
+    fn backward_input(&mut self, grad_output: &Matrix) -> Matrix {
+        self.backward(grad_output)
+    }
+
     /// Mutable access to this layer's parameters (empty for activations).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
@@ -75,6 +94,11 @@ pub trait Layer {
     fn param_count(&self) -> usize {
         0
     }
+
+    /// Clones the layer behind a fresh box — what lets [`Sequential`]
+    /// (and every model built on it) be `Clone`, so batched candidate
+    /// evaluation can hand each worker thread its own model replica.
+    fn clone_boxed(&self) -> Box<dyn Layer + Send + Sync>;
 }
 
 /// Fully connected layer: `Y = X·W + b`.
@@ -84,6 +108,13 @@ pub struct Dense {
     bias: Param,
     #[serde(skip)]
     cached_input: Option<Matrix>,
+    /// Lazily materialised `Wᵀ` for the `dX = dY·Wᵀ` input-gradient
+    /// product. Weights only change through [`Layer::params_mut`], which
+    /// drops this cache, so a whole GON generation run (many backward
+    /// passes, frozen weights) pays for one transpose instead of one per
+    /// step.
+    #[serde(skip)]
+    cached_wt: Option<Matrix>,
 }
 
 impl Dense {
@@ -93,6 +124,7 @@ impl Dense {
             weight: Param::new(init.glorot(in_dim, out_dim)),
             bias: Param::new(Matrix::zeros(1, out_dim)),
             cached_input: None,
+            cached_wt: None,
         }
     }
 
@@ -108,6 +140,7 @@ impl Dense {
             weight: Param::new(weight),
             bias: Param::new(bias),
             cached_input: None,
+            cached_wt: None,
         }
     }
 
@@ -148,12 +181,32 @@ impl Layer for Dense {
         grad_output.matmul_transpose_b(&self.weight.value)
     }
 
+    fn backward_input(&mut self, grad_output: &Matrix) -> Matrix {
+        assert!(
+            self.cached_input.is_some(),
+            "Dense::backward called before forward"
+        );
+        // Explicit-transpose matmul is bit-identical to the fused
+        // `matmul_transpose_b` path `backward` takes (both reduce over
+        // ascending k; see the kernel's determinism contract), so reusing
+        // a cached Wᵀ changes no bits — only the per-call transpose cost.
+        if self.cached_wt.is_none() {
+            self.cached_wt = Some(self.weight.value.transpose());
+        }
+        grad_output.matmul(self.cached_wt.as_ref().expect("just inserted"))
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.cached_wt = None;
         vec![&mut self.weight, &mut self.bias]
     }
 
     fn param_count(&self) -> usize {
         self.weight.len() + self.bias.len()
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Layer + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 
@@ -259,6 +312,10 @@ impl Layer for Activation {
         }
         grad
     }
+
+    fn clone_boxed(&self) -> Box<dyn Layer + Send + Sync> {
+        Box::new(self.clone())
+    }
 }
 
 /// A stack of layers applied in sequence.
@@ -278,7 +335,15 @@ impl Layer for Activation {
 /// ```
 #[derive(Default)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer + Send>>,
+    layers: Vec<Box<dyn Layer + Send + Sync>>,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.iter().map(|l| l.clone_boxed()).collect(),
+        }
+    }
 }
 
 impl std::fmt::Debug for Sequential {
@@ -299,7 +364,7 @@ impl Sequential {
     }
 
     /// Appends a layer.
-    pub fn push(&mut self, layer: impl Layer + Send + 'static) {
+    pub fn push(&mut self, layer: impl Layer + Send + Sync + 'static) {
         self.layers.push(Box::new(layer));
     }
 
@@ -338,6 +403,14 @@ impl Layer for Sequential {
         g
     }
 
+    fn backward_input(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_input(&g);
+        }
+        g
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers
             .iter_mut()
@@ -347,6 +420,10 @@ impl Layer for Sequential {
 
     fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Layer + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 
@@ -459,6 +536,79 @@ mod tests {
         let mut init = Initializer::new(0);
         let mut d = Dense::new(2, 2, &mut init);
         d.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn backward_input_is_bit_identical_and_grad_free() {
+        let mut init = Initializer::new(3);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 9, &mut init)); // 9 rows > the m ≤ 8 fast path
+        net.push(Activation::tanh());
+        net.push(Dense::new(9, 3, &mut init));
+        net.push(Activation::sigmoid());
+        let x = Initializer::new(11).normal(12, 4, 0.9); // multi-row batch
+
+        let y = net.forward(&x);
+        let via_backward = net.backward(&y);
+        let grads: Vec<Matrix> = net.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+        let _ = net.forward(&x);
+        let via_input_only = net.backward_input(&y);
+        for (a, b) in via_backward.data().iter().zip(via_input_only.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "input gradients diverged");
+        }
+        // Parameter gradients must be exactly as `backward` left them —
+        // `backward_input` accumulated nothing.
+        for (p, saved) in net.params_mut().iter().zip(&grads) {
+            assert_eq!(p.grad, *saved, "backward_input touched parameter grads");
+        }
+    }
+
+    #[test]
+    fn cached_wt_is_invalidated_by_params_mut() {
+        let mut init = Initializer::new(4);
+        let mut dense = Dense::new(3, 2, &mut init);
+        let x = Initializer::new(6).normal(10, 3, 1.0);
+        let y = dense.forward(&x);
+        let before = dense.backward_input(&y);
+        // Mutate the weights through the only mutable access path.
+        {
+            let mut params = dense.params_mut();
+            let w = &mut params[0].value;
+            let scaled = w.scale(2.0);
+            *w = scaled;
+        }
+        let _ = dense.forward(&x);
+        let after = dense.backward_input(&y);
+        // A stale Wᵀ cache would reproduce `before` exactly.
+        assert_ne!(before, after, "Wᵀ cache survived a parameter update");
+        let expected = y.matmul_transpose_b(dense.weight());
+        for (a, b) in after.data().iter().zip(expected.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn cloned_sequential_is_independent_and_identical() {
+        let mut init = Initializer::new(8);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, &mut init));
+        net.push(Activation::relu());
+        net.push(Dense::new(5, 1, &mut init));
+        let mut replica = net.clone();
+        assert_eq!(replica.param_count(), net.param_count());
+
+        let x = Initializer::new(2).normal(4, 3, 1.0);
+        let a = net.forward(&x);
+        let b = replica.forward(&x);
+        for (u, v) in a.data().iter().zip(b.data()) {
+            assert_eq!(u.to_bits(), v.to_bits(), "clone diverged on forward");
+        }
+        // Training the replica must not leak into the original.
+        replica.backward(&b);
+        for p in net.params_mut() {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        }
     }
 
     #[test]

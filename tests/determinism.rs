@@ -167,6 +167,113 @@ fn trace_replay_is_bit_identical_across_runs() {
     assert_identical(&first.result, &second.result);
 }
 
+/// The batched repair engine's contract: tabu repair through the batched,
+/// parallel surrogate engine is bit-identical to the pre-batching
+/// one-candidate-at-a-time path — same repaired topology, same surrogate
+/// query count, same modeled decision time — at 64 and 128 hosts, on one
+/// worker and on four. Fixed candidate order and index-slotted batch
+/// results are what make this hold; this test is the tripwire.
+#[test]
+fn batched_tabu_repair_is_bit_identical_to_serial() {
+    use carol::carol::CarolVariant;
+    use carol::ResiliencePolicy;
+    use edgesim::scheduler::LeastLoadScheduler;
+    use edgesim::state::{Normalizer, SystemState};
+    use edgesim::{FaultLoad, SimConfig, Simulator};
+    use gon::GonConfig;
+
+    // Two ascent steps at 64 hosts (exercises the per-candidate
+    // convergence masks); one at 128 (the neighbourhood is ~4× larger —
+    // this keeps the debug-mode test budget sane).
+    let policy_config = |batch_eval: bool, threads: usize, gen_steps: usize| CarolConfig {
+        gon: GonConfig {
+            hidden: 12,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps,
+            gen_tol: 1e-7,
+            seed: 1,
+        },
+        tabu: carol::tabu::TabuConfig {
+            list_size: 20,
+            max_iters: 1,
+        },
+        variant: CarolVariant::Gon,
+        batch_eval,
+        eval_threads: Some(threads),
+        ..CarolConfig::fast_test()
+    };
+
+    for (n_hosts, n_brokers, gen_steps) in [(64usize, 8usize, 2usize), (128, 16, 1)] {
+        // One broker failure in an n-host federation; the repair scores
+        // the full node-shift neighbourhood (thousands of candidates at
+        // 128 hosts).
+        let mut sim = Simulator::new(SimConfig::federation(n_hosts, n_brokers, 5));
+        let mut sched = LeastLoadScheduler::new();
+        let broker = sim.topology().brokers()[0];
+        sim.inject_fault(
+            broker,
+            FaultLoad {
+                cpu: 1.0,
+                ..Default::default()
+            },
+        );
+        let report = sim.step(Vec::new(), &mut sched);
+        assert!(
+            report.failed_brokers.contains(&broker),
+            "{n_hosts} hosts: fault injection must fail broker {broker}"
+        );
+        let snapshot = SystemState::capture(
+            sim.topology(),
+            sim.specs(),
+            sim.host_states(),
+            sim.tasks(),
+            &report.decision,
+            &Normalizer::for_federation(n_hosts, n_brokers),
+        );
+
+        // Same seed ⇒ identical weights and RNG streams in all three
+        // policies; only the evaluation engine differs.
+        let mk = |batch_eval: bool, threads: usize| {
+            let config = policy_config(batch_eval, threads, gen_steps);
+            Carol::from_model(gon::GonModel::new(config.gon.clone()), config, 11)
+        };
+        let mut serial = mk(false, 1);
+        let mut batched_1 = mk(true, 1);
+        let mut batched_4 = mk(true, 4);
+
+        let reference = serial
+            .repair(&sim, &snapshot)
+            .expect("failure must produce a repair");
+        reference.validate().unwrap();
+        assert!(
+            serial.surrogate_queries > n_hosts,
+            "repair must batch-score"
+        );
+
+        for (label, policy) in [("1 thread", &mut batched_1), ("4 threads", &mut batched_4)] {
+            let repaired = policy
+                .repair(&sim, &snapshot)
+                .expect("failure must produce a repair");
+            assert_eq!(
+                repaired, reference,
+                "{n_hosts} hosts / {label}: batched repair chose a different topology"
+            );
+            assert_eq!(
+                policy.surrogate_queries, serial.surrogate_queries,
+                "{n_hosts} hosts / {label}: query counts diverged"
+            );
+            assert_eq!(
+                policy.modeled_decision_s().to_bits(),
+                serial.modeled_decision_s().to_bits(),
+                "{n_hosts} hosts / {label}: modeled decision time diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn same_seed_is_bit_identical_for_seeded_baseline() {
     // A cheaper, Carol-free policy: guards the simulator/workload/fault

@@ -74,6 +74,77 @@ proptest! {
         }
     }
 
+    /// Batched surrogate scoring is bit-identical to mapping the serial
+    /// scorer, for random batch sizes (0 and 1 included), host counts and
+    /// load patterns — the contract the batched repair engine rests on.
+    #[test]
+    fn score_batch_equals_mapped_score_bitwise(
+        batch_size in 0usize..8,
+        n_hosts in 4usize..12,
+        n_brokers in 1usize..4,
+        loads in proptest::collection::vec(0.0f64..1.0, 8),
+        gen_steps in 0usize..4,
+    ) {
+        use edgesim::scheduler::SchedulingDecision;
+        use edgesim::state::{Normalizer, SystemState};
+        use edgesim::{HostSpec, HostState};
+        use gon::{GonConfig, GonModel};
+
+        prop_assume!(n_brokers <= n_hosts / 2);
+        let topo = Topology::balanced(n_hosts, n_brokers).unwrap();
+        let specs: Vec<HostSpec> = (0..n_hosts).map(HostSpec::rpi4gb).collect();
+        let states: Vec<SystemState> = (0..batch_size)
+            .map(|b| {
+                let mut host_states = vec![HostState::default(); n_hosts];
+                for (h, st) in host_states.iter_mut().enumerate() {
+                    let load = loads[(b + h) % loads.len()];
+                    st.cpu = load;
+                    st.ram = (load * 0.8).min(1.0);
+                    st.energy_wh = 0.3 * load;
+                }
+                SystemState::capture(
+                    &topo,
+                    &specs,
+                    &host_states,
+                    &[],
+                    &SchedulingDecision::new(),
+                    &Normalizer::for_federation(n_hosts, n_brokers),
+                )
+            })
+            .collect();
+
+        let mut model = GonModel::new(GonConfig {
+            hidden: 10,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps,
+            gen_tol: 1e-7,
+            seed: 13,
+        });
+
+        // score_batch ≡ mapped score, bit for bit.
+        let serial: Vec<f64> = states.iter().map(|s| model.score(s)).collect();
+        let batched = model.score_batch(&states);
+        prop_assert_eq!(serial.len(), batched.len());
+        for (a, b) in serial.iter().zip(&batched) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // generate_batch ≡ mapped generate (covers the eq.-1 ascent with
+        // per-candidate convergence, including gen_steps == 0).
+        let serial: Vec<gon::Generated> = states.iter().map(|s| model.generate(s)).collect();
+        let batched = model.generate_batch(&states);
+        for (a, b) in serial.iter().zip(&batched) {
+            prop_assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+            prop_assert_eq!(a.iterations, b.iterations);
+            for (x, y) in a.metrics_flat.iter().zip(&b.metrics_flat) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
     /// Tabu search never returns something worse than its start, for any
     /// random (but deterministic) objective.
     #[test]
@@ -99,7 +170,7 @@ proptest! {
             start,
             &[],
             &TabuConfig { list_size: 16, max_iters: 4 },
-            objective,
+            carol::tabu::from_fn(objective),
         );
         prop_assert!(result.best_score <= start_score + 1e-12);
         result.best.validate().unwrap();
