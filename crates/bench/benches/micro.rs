@@ -220,6 +220,60 @@ fn bench_gon_batch(c: &mut Criterion) {
     });
 }
 
+fn bench_train(c: &mut Criterion) {
+    // One offline-training epoch, serial vs batched engine, at the two
+    // shapes CI tracks: the paper's 16-host testbed ("tiny") and a
+    // 64-host federation. The serial/batched median ratio is the
+    // headline number CI archives as `TRAIN_PR.json`; the determinism
+    // suite guarantees the two engines produce bit-identical models, so
+    // the ratio prices pure engine overhead.
+    use gon::{train_offline, TrainConfig};
+    use workloads::trace::{generate_trace, TraceConfig};
+
+    let fixture = |label: &str, n_hosts: usize, n_brokers: usize| {
+        let trace = generate_trace(
+            &TraceConfig {
+                intervals: 12,
+                topology_period: 5,
+                arrival_rate: 0.45 * n_hosts as f64,
+                suite: workloads::BenchmarkSuite::DeFog,
+                seed: 7,
+            },
+            SimConfig::federation(n_hosts, n_brokers, 7),
+        );
+        (label.to_string(), trace)
+    };
+    for (label, trace) in [fixture("tiny", 16, 4), fixture("64", 64, 8)] {
+        for (engine, batch_train) in [("serial", false), ("batched", true)] {
+            let model = GonModel::new(GonConfig {
+                hidden: 16,
+                head_layers: 2,
+                gat_dim: 8,
+                gat_att: 4,
+                gen_lr: 5e-3,
+                gen_steps: 10, // the fig4 training shape — the ascent dominates
+                gen_tol: 1e-7,
+                seed: 9,
+            });
+            let config = TrainConfig {
+                epochs: 1,
+                minibatch: 8,
+                patience: 2,
+                lr: 1e-3,
+                batch_train,
+                train_threads: Some(1), // price the engine, not the thread pool
+                ..Default::default()
+            };
+            c.bench_function(&format!("train_offline_{label}_{engine}"), |b| {
+                b.iter(|| {
+                    let mut m = model.clone();
+                    black_box(train_offline(&mut m, black_box(&trace), &config))
+                })
+            });
+        }
+    }
+}
+
 fn bench_pot(c: &mut Criterion) {
     c.bench_function("pot_observe", |b| {
         let mut pot = PotDetector::carol_defaults();
@@ -256,6 +310,7 @@ criterion_group!(
     bench_matmul,
     bench_topology,
     bench_repair,
+    bench_train,
     bench_pot,
     bench_simulator
 );

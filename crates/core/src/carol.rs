@@ -509,7 +509,13 @@ impl ResiliencePolicy for Carol {
                 if self.gamma.is_empty() {
                     return ObserveOutcome { fine_tuned: false };
                 }
-                gon::training::fine_tune(&mut self.gon, &self.gamma, &mut self.adam, t as u64);
+                gon::training::fine_tune(
+                    &mut self.gon,
+                    &self.gamma,
+                    &mut self.adam,
+                    &self.config.offline,
+                    t as u64,
+                );
             }
             CarolVariant::Gan => {
                 if self.gamma.is_empty() {
@@ -705,6 +711,50 @@ mod tests {
                     policy.modeled_decision_s.to_bits(),
                     serial.modeled_decision_s.to_bits(),
                     "{variant:?}/{label}: modeled decision time diverged"
+                );
+            }
+        }
+    }
+
+    /// The training-engine switch mirrors `batch_eval`: a policy whose
+    /// GON was pretrained (and is fine-tuned) through the batched
+    /// adversarial engine behaves bit-identically to one trained through
+    /// the serial reference engine, at any worker count.
+    #[test]
+    fn batched_training_engine_builds_bit_identical_policies() {
+        let mk = |batch_train: bool, threads: usize| {
+            let mut config = CarolConfig::fast_test();
+            config.offline.batch_train = batch_train;
+            config.offline.train_threads = Some(threads);
+            Carol::pretrained(config, 8)
+        };
+        let run = |mut policy: Carol| {
+            let mut sim = Simulator::new(SimConfig::small(8, 2, 8));
+            let mut sched = LeastLoadScheduler::new();
+            for _ in 0..10 {
+                let report = sim.step(Vec::new(), &mut sched);
+                let snapshot = capture(&sim, &report.decision);
+                policy.observe(&sim, &snapshot, &report);
+            }
+            policy
+        };
+        let serial = run(mk(false, 1));
+        for threads in [1, 4] {
+            let batched = run(mk(true, threads));
+            assert_eq!(
+                batched.fine_tune_intervals, serial.fine_tune_intervals,
+                "{threads} workers: fine-tune triggers diverged"
+            );
+            for (i, (a, b)) in serial
+                .confidence_history
+                .iter()
+                .zip(&batched.confidence_history)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{threads} workers: confidence at interval {i} diverged"
                 );
             }
         }

@@ -4,6 +4,8 @@ use edgesim::state::{SystemState, GRAPH_DIM, METRIC_DIM, SCHED_DIM};
 use nn::init::Initializer;
 use nn::layer::{Activation, Dense, Layer, Param, Sequential};
 use nn::{GraphAttention, Matrix};
+use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Hyperparameters of the GON network.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,8 +258,25 @@ impl GonModel {
     /// Runs the generation loop of eq. 1: starting from the metrics in
     /// `state` (the paper warm-starts from `M_{t-1}`, §III-B), ascends
     /// `log D` over `M` with step size γ until convergence. Returns the
-    /// converged metrics and confidence.
+    /// converged metrics and confidence. Parameter gradients end zeroed.
     pub fn generate(&mut self, state: &SystemState) -> Generated {
+        self.generate_impl(state, false)
+    }
+
+    /// [`GonModel::generate`] with **no parameter-gradient side effects**:
+    /// the ascent takes the input-gradient-only backward and never calls
+    /// `zero_grad`, so gradients accumulated before the call survive it
+    /// bit-for-bit. Outputs are bit-identical to `generate` (the
+    /// input-only backward is bit-identical by [`nn::Layer`] contract).
+    /// This is what adversarial training uses to converge fake samples
+    /// *inside* a minibatch without disturbing the real-sample gradients
+    /// already accumulated (Algorithm 1 lines 3–4), and what
+    /// side-effect-free evaluation is built on.
+    pub fn generate_nograd(&mut self, state: &SystemState) -> Generated {
+        self.generate_impl(state, true)
+    }
+
+    fn generate_impl(&mut self, state: &SystemState, preserve_grads: bool) -> Generated {
         let mut work = state.clone();
         let n = work.n_hosts();
         let mut best = Generated {
@@ -290,8 +309,13 @@ impl GonModel {
             }
             prev_score = score;
             // ∇_M log D = (1/D) ∇_M D; backward with dL/dD = 1/D.
-            self.zero_grad(); // parameter grads from generation are discarded
-            let d_metrics = self.backward(n, 1.0 / score.max(1e-9));
+            let d_metrics = if preserve_grads {
+                // Input-only backward: parameter gradients untouched.
+                self.backward_metrics_batch(&[(0, n)], &[1.0 / score.max(1e-9)])
+            } else {
+                self.zero_grad(); // parameter grads from generation are discarded
+                self.backward(n, 1.0 / score.max(1e-9))
+            };
             let step = d_metrics.scale(self.config.gen_lr);
             let mut flat = work.metrics_flat();
             for (v, d) in flat.iter_mut().zip(step.data()) {
@@ -299,10 +323,14 @@ impl GonModel {
             }
             work.set_metrics_flat(&flat);
         }
-        self.zero_grad();
+        if !preserve_grads {
+            self.zero_grad();
+        }
         if best.confidence == f64::NEG_INFINITY {
             best.confidence = self.forward_internal(&work);
-            self.zero_grad();
+            if !preserve_grads {
+                self.zero_grad();
+            }
         }
         best
     }
@@ -446,6 +474,24 @@ impl GonModel {
     /// candidate; and the stacked `[M | S]` input is built once, with
     /// only the metric columns rewritten between steps.
     pub fn generate_batch(&mut self, states: &[SystemState]) -> Vec<Generated> {
+        self.generate_batch_impl(states, false)
+    }
+
+    /// [`GonModel::generate_batch`] with **no parameter-gradient side
+    /// effects**: identical outputs (the batched ascent already takes the
+    /// input-gradient-only backward), but the final `zero_grad` is
+    /// skipped, so gradients accumulated before the call survive it
+    /// bit-for-bit. Side-effect-free evaluation during training runs on
+    /// this.
+    pub fn generate_batch_nograd(&mut self, states: &[SystemState]) -> Vec<Generated> {
+        self.generate_batch_impl(states, true)
+    }
+
+    fn generate_batch_impl(
+        &mut self,
+        states: &[SystemState],
+        preserve_grads: bool,
+    ) -> Vec<Generated> {
         let b = states.len();
         if b == 0 {
             return Vec::new();
@@ -542,9 +588,151 @@ impl GonModel {
             }
         }
         // Leave the model in the same visible state as `generate`:
-        // parameter gradients zeroed.
-        self.zero_grad();
+        // parameter gradients zeroed (unless the caller asked for the
+        // grad-preserving variant).
+        if !preserve_grads {
+            self.zero_grad();
+        }
         outs
+    }
+
+    /// Batched [`GonModel::backward`] after a batched forward: given one
+    /// `dL/dD` per stacked segment, accumulates parameter gradients **per
+    /// segment, in segment order** (via [`nn::Layer::backward_batch`] and
+    /// the GAT's block-diagonal sibling) and returns the stacked
+    /// `Σn × METRIC_DIM` input-metric gradient. Bit-identical — losses,
+    /// parameter gradients and input gradients — to running `score` +
+    /// `backward` once per segment in order: a single stacked `Xᵀ·dY`
+    /// would chain the f64 reductions across segment boundaries, so the
+    /// parameter accumulation deliberately stays per-segment while every
+    /// row-independent product (forwards, `dY·Wᵀ`) runs stacked.
+    pub fn backward_batch(&mut self, segments: &[(usize, usize)], grad_scores: &[f64]) -> Matrix {
+        debug_assert_eq!(segments.len(), grad_scores.len());
+        let b = segments.len();
+        let g = Matrix::from_vec(b, 1, grad_scores.to_vec());
+        // The head sees one pooled row per segment.
+        let head_segments: Vec<(usize, usize)> = (0..b).map(|i| (i, 1)).collect();
+        let g_head = self.head.backward_batch(&g, &head_segments);
+        let (g_ms_pooled, g_g_pooled) = g_head.hsplit(self.config.hidden);
+
+        // Mean-pool backward: each host row of segment b gets grad / n.
+        let total: usize = segments.iter().map(|&(_, n)| n).sum();
+        let mut g_ms = Matrix::zeros(total, self.config.hidden);
+        let mut g_g = Matrix::zeros(total, self.config.gat_dim);
+        for (b, &(offset, n)) in segments.iter().enumerate() {
+            let nf = n as f64;
+            for h in 0..n {
+                for c in 0..self.config.hidden {
+                    g_ms[(offset + h, c)] = g_ms_pooled[(b, c)] / nf;
+                }
+                for c in 0..self.config.gat_dim {
+                    g_g[(offset + h, c)] = g_g_pooled[(b, c)] / nf;
+                }
+            }
+        }
+
+        let dx = self.ms_encoder.backward_batch(&g_ms, segments);
+        let _dgraph = self.gat.backward_batch(&g_g, segments); // graph features are inputs too
+        let (d_metrics, _d_sched) = dx.hsplit(METRIC_DIM);
+        d_metrics
+    }
+
+    /// Fake-ascent chunk size for [`GonModel::adversarial_step_batch`]:
+    /// matches the repair engine's 16-candidate batches — small enough
+    /// that chunks outnumber workers, large enough that the blocked
+    /// matmul amortises.
+    const TRAIN_GEN_CHUNK: usize = 16;
+
+    /// One batched adversarial update (Algorithm 1 lines 3–6) over a
+    /// whole minibatch: returns the per-sample BCE losses
+    /// (`−log D(real) − log(1 − D(fake))`) and accumulates the summed
+    /// parameter gradients into the model.
+    ///
+    /// Three stages, each batch-first:
+    ///
+    /// 1. **Fake convergence** — every sample's noise-initialised metrics
+    ///    run the configured eq.-1 ascent via the masked batched engine
+    ///    ([`GonModel::generate_batch`]), chunked
+    ///    (fixed 16-sample chunks) and fanned out over
+    ///    [`par::par_map_threads`] worker threads holding model clones.
+    ///    The ascent is parameter-gradient-free, chunk boundaries are a
+    ///    pure function of the minibatch, and results land in input-index
+    ///    slots — so the fakes are bit-identical at any worker count.
+    /// 2. **One stacked discriminator pass** — real and fake states
+    ///    interleave (`[real₀, fake₀, real₁, fake₁, …]`) into a single
+    ///    forward: one blocked matmul per layer for the whole minibatch.
+    /// 3. **One in-order gradient reduction** —
+    ///    [`GonModel::backward_batch`] accumulates each segment's
+    ///    parameter gradients in that interleaved order, which is exactly
+    ///    the real/fake alternation the serial per-sample step produces.
+    ///
+    /// Bit-identity contract: equal to mapping the serial adversarial
+    /// step (`gon::training`) over the minibatch — same losses, same
+    /// accumulated gradients, same RNG stream consumption (noise is drawn
+    /// per sample in minibatch order; the ascent draws nothing).
+    /// `tests/properties.rs` property-tests this for batch sizes
+    /// including 0 and 1.
+    pub fn adversarial_step_batch(
+        &mut self,
+        states: &[&SystemState],
+        rng: &mut StdRng,
+        threads: usize,
+    ) -> Vec<f64> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        const EPS: f64 = 1e-9;
+
+        // Stage 1: noise-initialise every fake in minibatch order (the
+        // serial step's RNG stream), then converge them all through the
+        // batched eq.-1 ascent on per-worker model clones.
+        let mut fakes: Vec<SystemState> = states
+            .iter()
+            .map(|s| {
+                let mut fake = (*s).clone();
+                let noise: Vec<f64> = (0..fake.n_hosts() * METRIC_DIM)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect();
+                fake.set_metrics_flat(&noise);
+                fake
+            })
+            .collect();
+        let chunks: Vec<&[SystemState]> = fakes.chunks(Self::TRAIN_GEN_CHUNK).collect();
+        let this: &Self = self;
+        let generated: Vec<Generated> = par::par_map_threads(threads, &chunks, |chunk| {
+            let mut model = this.clone();
+            model.generate_batch(chunk)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        for (fake, gen) in fakes.iter_mut().zip(&generated) {
+            fake.set_metrics_flat(&gen.metrics_flat);
+        }
+
+        // Stage 2: one stacked forward over [real₀, fake₀, real₁, …].
+        let mut combined: Vec<&SystemState> = Vec::with_capacity(2 * states.len());
+        for (real, fake) in states.iter().zip(&fakes) {
+            combined.push(real);
+            combined.push(fake);
+        }
+        let (scores, segments) = self.forward_batch_internal(&combined);
+
+        // Stage 3: per-segment dL/dD — ascend log D on reals, descend
+        // log(1 − D) on fakes — then one in-order gradient reduction.
+        let mut grads = vec![0.0; combined.len()];
+        let mut losses = Vec::with_capacity(states.len());
+        for b in 0..states.len() {
+            let z_real = scores[(2 * b, 0)].clamp(EPS, 1.0 - EPS);
+            let z_fake = scores[(2 * b + 1, 0)].clamp(EPS, 1.0 - EPS);
+            grads[2 * b] = -1.0 / z_real;
+            grads[2 * b + 1] = 1.0 / (1.0 - z_fake);
+            let loss_real = -z_real.ln();
+            let loss_fake = -(1.0 - z_fake).ln();
+            losses.push(loss_real + loss_fake);
+        }
+        self.backward_batch(&segments, &grads);
+        losses
     }
 
     /// Batched [`GonModel::predict_qos`] over candidate states: generates

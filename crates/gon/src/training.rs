@@ -4,11 +4,28 @@
 //! samples `Z*` act as fakes, dataset tuples act as reals, and the
 //! discriminator ascends `log D(M,S,G) + log(1 − D(Z*,S,G))` (eq. 2).
 //! The paper trains with Adam (lr 1e-4, weight decay 1e-5), minibatch 32,
-//! an 80/20 train/test split, and early stopping — convergence lands
-//! around 30 epochs (Fig. 4).
+//! an 80/20 train/test split, and early stopping on the held-out metric —
+//! convergence lands around 30 epochs (Fig. 4).
+//!
+//! Two engines produce **bit-identical** results (gradients, parameters,
+//! [`EpochStats`]) at any worker count:
+//!
+//! * the serial reference — [`adversarial_step`] mapped over each
+//!   minibatch, one state at a time;
+//! * the batched engine — [`GonModel::adversarial_step_batch`], which
+//!   converges every fake sample through the masked batched eq.-1 ascent
+//!   (chunks fanned out over [`par`] worker threads holding model
+//!   clones), then runs **one** stacked discriminator forward and **one**
+//!   in-order per-segment gradient reduction for the whole minibatch.
+//!
+//! [`TrainConfig::batch_train`] / [`TrainConfig::train_threads`] select
+//! the engine, mirroring the repair path's `CarolConfig::{batch_eval,
+//! eval_threads}`; `tests/determinism.rs` gates the equivalence at
+//! 64-host federations.
 
 use crate::model::GonModel;
 use edgesim::state::SystemState;
+use edgesim::state::METRIC_DIM;
 use nn::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -21,7 +38,10 @@ pub struct TrainConfig {
     pub epochs: usize,
     /// Minibatch size (paper: 32, §IV-E).
     pub minibatch: usize,
-    /// Early-stopping patience in epochs without test-loss improvement.
+    /// Early-stopping patience in epochs without improvement of the
+    /// held-out (test-split) prediction MSE — the §IV-E criterion.
+    /// Training loss keeps falling on an overfitting run; the test metric
+    /// is what stalls, so that is what the patience counter watches.
     pub patience: usize,
     /// Train fraction of the 80/20 split.
     pub train_fraction: f64,
@@ -31,6 +51,16 @@ pub struct TrainConfig {
     pub weight_decay: f64,
     /// Shuffling / noise seed.
     pub seed: u64,
+    /// Run each minibatch through the batched adversarial engine
+    /// ([`GonModel::adversarial_step_batch`]: stacked forwards, batched
+    /// fake ascent, in-order gradient reduction). `false` keeps the
+    /// one-state-at-a-time reference path; both are bit-identical
+    /// (gated by `tests/determinism.rs`).
+    pub batch_train: bool,
+    /// Worker threads for the batched fake-sample ascent. `None` uses
+    /// [`par::thread_count`] (the `CAROL_THREADS` override); tests pin
+    /// explicit counts here instead of mutating the environment.
+    pub train_threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -43,6 +73,8 @@ impl Default for TrainConfig {
             lr: 1e-4,
             weight_decay: 1e-5,
             seed: 11,
+            batch_train: true,
+            train_threads: None,
         }
     }
 }
@@ -60,54 +92,90 @@ pub struct EpochStats {
     pub confidence: f64,
 }
 
-/// One adversarial update on a single state: returns the sample's BCE loss
+/// One adversarial update on a single state — the serial reference the
+/// batched engine is bit-identical to. Returns the sample's BCE loss
 /// contribution and accumulates gradients into the model.
-fn adversarial_step(model: &mut GonModel, state: &SystemState, rng: &mut StdRng) -> f64 {
+///
+/// The fake sample converges first, through the **configured** eq.-1
+/// ascent ([`GonModel::generate_nograd`]): the same `gen_steps`,
+/// `gen_lr` and γ-scaled `gen_tol` stopping rule `generate` applies at
+/// inference time, with no hard-coded iteration count or `gen_lr` floor.
+/// The no-grad ascent leaves previously accumulated parameter gradients
+/// untouched, which is what lets this step be mapped over a minibatch.
+pub fn adversarial_step(model: &mut GonModel, state: &SystemState, rng: &mut StdRng) -> f64 {
     let n = state.n_hosts();
     const EPS: f64 = 1e-9;
 
-    // Real sample: ascend log D(M,S,G) ⇒ descend −log D.
-    let z_real = model.score(state);
-    let zc = z_real.clamp(EPS, 1.0 - EPS);
-    let loss_real = -zc.ln();
-    model.backward(n, -1.0 / zc);
-
     // Fake sample: noise-initialised metrics converged through eq. 1
-    // (Algorithm 1 lines 3–4). `backward_discard` keeps the real-sample
-    // parameter gradients accumulated above intact.
+    // (Algorithm 1 lines 3–4), before any gradient of this sample
+    // accumulates.
     let mut fake = state.clone();
-    let noise: Vec<f64> = (0..n * edgesim::state::METRIC_DIM)
+    let noise: Vec<f64> = (0..n * METRIC_DIM)
         .map(|_| rng.gen_range(0.0..1.0))
         .collect();
     fake.set_metrics_flat(&noise);
-    let gen_lr = model.config().gen_lr.max(1e-3);
-    for _ in 0..8 {
-        let score = model.score(&fake);
-        let d_metrics = model.backward_discard(n, 1.0 / score.max(EPS));
-        let mut flat = fake.metrics_flat();
-        for (v, d) in flat.iter_mut().zip(d_metrics.data()) {
-            *v = (*v + gen_lr * d).clamp(0.0, 1.0);
-        }
-        fake.set_metrics_flat(&flat);
-    }
+    let generated = model.generate_nograd(&fake);
+    fake.set_metrics_flat(&generated.metrics_flat);
+
+    // Real sample: ascend log D(M,S,G) ⇒ descend −log D.
+    let z_real = model.score(state).clamp(EPS, 1.0 - EPS);
+    model.backward(n, -1.0 / z_real);
+
+    // Fake sample: descend −log(1 − D(fake)): dL/dD = 1/(1 − D).
     let z_fake = model.score(&fake).clamp(EPS, 1.0 - EPS);
-    let loss_fake = -(1.0 - z_fake).ln();
-    // Descend −log(1 − D(fake)): dL/dD = 1/(1 − D).
     model.backward(n, 1.0 / (1.0 - z_fake));
 
+    let loss_real = -z_real.ln();
+    let loss_fake = -(1.0 - z_fake).ln();
     loss_real + loss_fake
+}
+
+/// Runs one minibatch through the configured engine, returning per-sample
+/// losses. Both arms are bit-identical (same losses, same accumulated
+/// gradients, same RNG stream) — the batched arm is simply one stacked
+/// pass instead of `states.len()` serial ones.
+fn minibatch_losses(
+    model: &mut GonModel,
+    states: &[&SystemState],
+    rng: &mut StdRng,
+    config: &TrainConfig,
+) -> Vec<f64> {
+    if config.batch_train {
+        let threads = config.train_threads.unwrap_or_else(par::thread_count);
+        model.adversarial_step_batch(states, rng, threads)
+    } else {
+        states
+            .iter()
+            .map(|state| adversarial_step(model, state, rng))
+            .collect()
+    }
 }
 
 /// Evaluates MSE (generated vs. true metrics, warm-started from the true
 /// metrics of the *previous* test state, as §III-B prescribes) and mean
 /// confidence over a slice of states.
+///
+/// Evaluation is **side-effect-free on optimizer state**: generation runs
+/// the no-grad batched ascent ([`GonModel::generate_batch_nograd`]) and
+/// scoring is forward-only, so parameter gradients accumulated before the
+/// call survive it bit-for-bit.
 pub fn evaluate(model: &mut GonModel, states: &[SystemState]) -> (f64, f64) {
+    let (mse, confidence, _windows) = evaluate_detailed(model, states);
+    (mse, confidence)
+}
+
+/// [`evaluate`] plus the count of valid warm-start windows the MSE was
+/// averaged over. A degenerate test split (a single state, or host counts
+/// changing every interval) yields zero windows and an `mse` of `0.0`
+/// that means "unavailable", not "perfect" — `train_offline` uses the
+/// count to fall back to the training loss as its early-stopping metric
+/// in that case instead of treating the sentinel as an unbeatable best.
+fn evaluate_detailed(model: &mut GonModel, states: &[SystemState]) -> (f64, f64, usize) {
     if states.is_empty() {
-        return (0.0, 0.0);
+        return (0.0, 0.0, 0);
     }
-    let mut mse_total = 0.0;
-    let mut conf_total = 0.0;
-    let mut count = 0usize;
+    let mut probes = Vec::new();
+    let mut truths = Vec::new();
     for w in states.windows(2) {
         let (prev, cur) = (&w[0], &w[1]);
         if prev.n_hosts() != cur.n_hosts() {
@@ -115,33 +183,35 @@ pub fn evaluate(model: &mut GonModel, states: &[SystemState]) -> (f64, f64) {
         }
         let mut probe = cur.clone();
         probe.set_metrics_flat(&prev.metrics_flat());
-        let generated = model.generate(&probe);
-        let truth = cur.metrics_flat();
-        let mse: f64 = generated
+        probes.push(probe);
+        truths.push(cur.metrics_flat());
+    }
+    let generated = model.generate_batch_nograd(&probes);
+    let mut mse_total = 0.0;
+    for (gen, truth) in generated.iter().zip(&truths) {
+        let mse: f64 = gen
             .metrics_flat
             .iter()
-            .zip(&truth)
+            .zip(truth)
             .map(|(a, b)| (a - b).powi(2))
             .sum::<f64>()
             / truth.len() as f64;
         mse_total += mse;
-        count += 1;
     }
-    for s in states {
-        conf_total += model.score(s);
-        model.zero_grad();
-    }
-    let mse = if count == 0 {
+    let conf_total: f64 = model.score_batch(states).iter().sum();
+    let mse = if probes.is_empty() {
         0.0
     } else {
-        mse_total / count as f64
+        mse_total / probes.len() as f64
     };
-    (mse, conf_total / states.len() as f64)
+    (mse, conf_total / states.len() as f64, probes.len())
 }
 
 /// Trains the GON offline per Algorithm 1 and returns per-epoch stats
 /// (the Fig. 4 curves). The chronological prefix of the trace becomes the
-/// training split so evaluation respects temporal ordering.
+/// training split so evaluation respects temporal ordering; early
+/// stopping watches the **held-out** prediction MSE (§IV-E), not the
+/// training loss.
 pub fn train_offline(
     model: &mut GonModel,
     dataset: &[SystemState],
@@ -156,7 +226,7 @@ pub fn train_offline(
     let mut adam = Adam::new(config.lr, config.weight_decay);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut stats = Vec::with_capacity(config.epochs);
-    let mut best_loss = f64::INFINITY;
+    let mut best_metric = f64::INFINITY;
     let mut stale = 0usize;
 
     let mut order: Vec<usize> = (0..train.len()).collect();
@@ -165,10 +235,9 @@ pub fn train_offline(
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(config.minibatch.max(1)) {
             model.zero_grad();
-            let mut batch_loss = 0.0;
-            for &i in chunk {
-                batch_loss += adversarial_step(model, &train[i], &mut rng);
-            }
+            let states: Vec<&SystemState> = chunk.iter().map(|&i| &train[i]).collect();
+            let losses = minibatch_losses(model, &states, &mut rng, config);
+            let batch_loss: f64 = losses.iter().sum();
             // Average gradients over the minibatch.
             let scale = 1.0 / chunk.len() as f64;
             for p in model.params_mut() {
@@ -179,7 +248,7 @@ pub fn train_offline(
         }
         epoch_loss /= (train.len() * 2).max(1) as f64; // per-term mean
 
-        let (mse, confidence) = evaluate(model, test);
+        let (mse, confidence, windows) = evaluate_detailed(model, test);
         stats.push(EpochStats {
             epoch,
             loss: epoch_loss,
@@ -187,13 +256,23 @@ pub fn train_offline(
             confidence,
         });
 
-        if epoch_loss + 1e-6 < best_loss {
-            best_loss = epoch_loss;
+        // Early stopping (§IV-E): the patience counter watches the
+        // held-out test-split MSE. Training loss is ignored while that
+        // metric exists — it keeps improving on an overfitting run while
+        // the test metric stalls, which is exactly when training should
+        // stop. Only when the split yields no valid warm-start windows at
+        // all (so the MSE is a 0.0 "unavailable" sentinel, constant by
+        // construction) does the criterion fall back to the training
+        // loss; otherwise the sentinel would halt every such run after
+        // `patience + 1` epochs regardless of convergence.
+        let monitored = if windows > 0 { mse } else { epoch_loss };
+        if monitored + 1e-9 < best_metric {
+            best_metric = monitored;
             stale = 0;
         } else {
             stale += 1;
             if stale >= config.patience {
-                break; // early stopping (§IV-E)
+                break;
             }
         }
     }
@@ -201,9 +280,16 @@ pub fn train_offline(
 }
 
 /// Online fine-tuning on the running dataset Γ (Algorithm 2 line 15):
-/// a handful of adversarial minibatch steps over the freshest data.
-/// Returns the mean loss across the pass.
-pub fn fine_tune(model: &mut GonModel, running: &[SystemState], adam: &mut Adam, seed: u64) -> f64 {
+/// a handful of adversarial minibatch steps over the freshest data,
+/// through the engine `config.batch_train` selects. Returns the mean loss
+/// across the pass.
+pub fn fine_tune(
+    model: &mut GonModel,
+    running: &[SystemState],
+    adam: &mut Adam,
+    config: &TrainConfig,
+    seed: u64,
+) -> f64 {
     if running.is_empty() {
         return 0.0;
     }
@@ -212,10 +298,9 @@ pub fn fine_tune(model: &mut GonModel, running: &[SystemState], adam: &mut Adam,
     // One pass over Γ in minibatches of 8 (Γ is small between triggers).
     for chunk in running.chunks(8) {
         model.zero_grad();
-        let mut batch = 0.0;
-        for state in chunk {
-            batch += adversarial_step(model, state, &mut rng);
-        }
+        let states: Vec<&SystemState> = chunk.iter().collect();
+        let losses = minibatch_losses(model, &states, &mut rng, config);
+        let batch: f64 = losses.iter().sum();
         for p in model.params_mut() {
             p.grad = p.grad.scale(1.0 / chunk.len() as f64);
         }
@@ -232,8 +317,8 @@ mod tests {
     use workloads::trace::{generate_trace, TraceConfig};
     use workloads::BenchmarkSuite;
 
-    fn tiny_model() -> GonModel {
-        GonModel::new(GonConfig {
+    fn tiny_config() -> GonConfig {
+        GonConfig {
             hidden: 12,
             head_layers: 2,
             gat_dim: 6,
@@ -242,20 +327,28 @@ mod tests {
             gen_steps: 6,
             gen_tol: 1e-7,
             seed: 1,
-        })
+        }
     }
 
-    fn tiny_trace(n: usize) -> Vec<SystemState> {
+    fn tiny_model() -> GonModel {
+        GonModel::new(tiny_config())
+    }
+
+    fn trace_with(n: usize, hosts: usize, seed: u64) -> Vec<SystemState> {
         generate_trace(
             &TraceConfig {
                 intervals: n,
                 topology_period: 7,
                 arrival_rate: 1.2,
                 suite: BenchmarkSuite::DeFog,
-                seed: 5,
+                seed,
             },
-            edgesim::SimConfig::small(6, 2, 5),
+            edgesim::SimConfig::small(hosts, 2, seed),
         )
+    }
+
+    fn tiny_trace(n: usize) -> Vec<SystemState> {
+        trace_with(n, 6, 5)
     }
 
     #[test]
@@ -323,23 +416,259 @@ mod tests {
         assert!(stats.len() <= 4, "should stop early, ran {}", stats.len());
     }
 
+    /// The §IV-E regression: early stopping must watch the *held-out*
+    /// metric, not the training loss. On this trace the training loss
+    /// falls **every recorded epoch** — the old training-loss rule would
+    /// have run the full 40-epoch budget — while the test-split MSE
+    /// stalls within a handful of epochs, so the fixed rule exits early,
+    /// and the exit is explained entirely by the trailing `patience`
+    /// epochs failing to improve the best held-out MSE.
+    #[test]
+    fn early_stopping_tracks_test_metric_not_training_loss() {
+        let mut model = tiny_model();
+        let trace = tiny_trace(50);
+        let epochs = 40;
+        let patience = 3;
+        let stats = train_offline(
+            &mut model,
+            &trace,
+            &TrainConfig {
+                epochs,
+                minibatch: 8,
+                patience,
+                lr: 3e-3,
+                ..Default::default()
+            },
+        );
+        assert!(
+            stats.iter().all(|s| s.mse > 0.0),
+            "the test split must yield a real held-out MSE: {stats:?}"
+        );
+        assert!(
+            stats.len() < epochs,
+            "must stop before the epoch budget: {stats:?}"
+        );
+        assert!(
+            stats.windows(2).all(|w| w[1].loss < w[0].loss),
+            "training loss must improve every recorded epoch — otherwise this \
+             trace does not separate the two stopping rules: {stats:?}"
+        );
+        // The stop must be the held-out-MSE rule: none of the trailing
+        // `patience` epochs improved on the best MSE seen before them.
+        let best_before = stats[..stats.len() - patience]
+            .iter()
+            .map(|s| s.mse)
+            .fold(f64::INFINITY, f64::min);
+        for s in &stats[stats.len() - patience..] {
+            assert!(
+                s.mse + 1e-9 >= best_before,
+                "epoch {} improved the held-out MSE — the early exit is unexplained: {stats:?}",
+                s.epoch
+            );
+        }
+    }
+
+    /// A degenerate test split — host counts alternate every interval, so
+    /// no warm-start window is valid and the MSE is a constant 0.0
+    /// "unavailable" sentinel — must *not* abort training after
+    /// `patience + 1` epochs: the criterion falls back to the training
+    /// loss, which keeps improving here, so the full budget runs.
+    #[test]
+    fn early_stopping_falls_back_to_loss_without_test_windows() {
+        let mut model = tiny_model();
+        let mut dataset = trace_with(40, 6, 5);
+        let four = trace_with(5, 4, 9);
+        let six = trace_with(5, 6, 9);
+        for (a, b) in four.into_iter().zip(six) {
+            dataset.push(a);
+            dataset.push(b);
+        }
+        assert_eq!(dataset.len(), 50);
+        let epochs = 6;
+        let stats = train_offline(
+            &mut model,
+            &dataset,
+            &TrainConfig {
+                epochs,
+                minibatch: 8,
+                patience: 2,
+                train_fraction: 0.8, // split at 40: the alternating tail is the test set
+                lr: 3e-3,
+                ..Default::default()
+            },
+        );
+        assert!(
+            stats.iter().all(|s| s.mse == 0.0),
+            "test split must have no valid windows: {stats:?}"
+        );
+        assert_eq!(
+            stats.len(),
+            epochs,
+            "the 0.0 MSE sentinel must not trigger early stopping while the \
+             training loss improves: {stats:?}"
+        );
+    }
+
+    /// The fake-sample ascent must honour the configured `gen_lr` — the
+    /// old code clamped it with `.max(1e-3)`, so any two sub-1e-3 values
+    /// trained identically. With the fix, the γ-dependence of both the
+    /// step size and the scaled tolerance shows up in the trajectory.
+    #[test]
+    fn sub_reference_gen_lr_changes_training_trajectory() {
+        let run = |gen_lr: f64| {
+            let mut model = GonModel::new(GonConfig {
+                gen_lr,
+                ..tiny_config()
+            });
+            let trace = tiny_trace(16);
+            train_offline(
+                &mut model,
+                &trace,
+                &TrainConfig {
+                    epochs: 2,
+                    minibatch: 8,
+                    patience: 4,
+                    lr: 3e-3,
+                    ..Default::default()
+                },
+            );
+            let params: Vec<u64> = model
+                .params_mut()
+                .iter()
+                .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+                .collect();
+            params
+        };
+        assert_ne!(
+            run(4e-4),
+            run(8e-4),
+            "two sub-1e-3 gen_lr values must produce different training trajectories"
+        );
+    }
+
+    /// Evaluation must not disturb optimizer state: gradients accumulated
+    /// before `evaluate` survive it bit-for-bit.
+    #[test]
+    fn evaluate_preserves_accumulated_gradients() {
+        let mut model = tiny_model();
+        let trace = tiny_trace(12);
+        // Accumulate some nonzero gradients mid-minibatch.
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = adversarial_step(&mut model, &trace[0], &mut rng);
+        let before: Vec<Vec<u64>> = model
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g.to_bits()).collect())
+            .collect();
+        assert!(
+            before.iter().flatten().any(|&b| b != 0),
+            "the step must have accumulated gradients"
+        );
+        let _ = evaluate(&mut model, &trace);
+        let after: Vec<Vec<u64>> = model
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g.to_bits()).collect())
+            .collect();
+        assert_eq!(before, after, "evaluate disturbed accumulated gradients");
+    }
+
+    /// The two training engines are bit-identical end to end: same
+    /// per-epoch stats, same final parameters, at 1 and 4 workers. The
+    /// minibatch (24 train states) exceeds the 16-sample fake-ascent
+    /// chunk, so multi-chunk fan-out and reassembly are exercised.
+    #[test]
+    fn batched_train_offline_matches_serial_bitwise() {
+        let trace = tiny_trace(30);
+        let run = |batch_train: bool, threads: usize| {
+            let mut model = tiny_model();
+            let stats = train_offline(
+                &mut model,
+                &trace,
+                &TrainConfig {
+                    epochs: 3,
+                    minibatch: 32,
+                    patience: 3,
+                    lr: 3e-3,
+                    batch_train,
+                    train_threads: Some(threads),
+                    ..Default::default()
+                },
+            );
+            let params: Vec<u64> = model
+                .params_mut()
+                .iter()
+                .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+                .collect();
+            (stats, params)
+        };
+        let (serial_stats, serial_params) = run(false, 1);
+        for (label, threads) in [("1 worker", 1), ("4 workers", 4)] {
+            let (stats, params) = run(true, threads);
+            assert_eq!(stats.len(), serial_stats.len(), "{label}: epoch counts");
+            for (a, b) in serial_stats.iter().zip(&stats) {
+                assert_eq!(a.epoch, b.epoch);
+                assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "{label}: loss diverged");
+                assert_eq!(a.mse.to_bits(), b.mse.to_bits(), "{label}: mse diverged");
+                assert_eq!(
+                    a.confidence.to_bits(),
+                    b.confidence.to_bits(),
+                    "{label}: confidence diverged"
+                );
+            }
+            assert_eq!(params, serial_params, "{label}: final parameters diverged");
+        }
+    }
+
     #[test]
     fn fine_tune_moves_parameters() {
         let mut model = tiny_model();
         let trace = tiny_trace(12);
         let before: Vec<f64> = model.params_mut().iter().map(|p| p.value.norm()).collect();
         let mut adam = Adam::new(1e-3, 0.0);
-        let loss = fine_tune(&mut model, &trace, &mut adam, 3);
+        let loss = fine_tune(&mut model, &trace, &mut adam, &TrainConfig::default(), 3);
         assert!(loss.is_finite() && loss > 0.0);
         let after: Vec<f64> = model.params_mut().iter().map(|p| p.value.norm()).collect();
         assert_ne!(before, after, "fine-tune must update parameters");
+    }
+
+    /// `fine_tune` through the batched engine matches the serial engine
+    /// bit-for-bit — loss and resulting parameters — at 1 and 4 workers.
+    #[test]
+    fn batched_fine_tune_matches_serial_bitwise() {
+        let trace = tiny_trace(12);
+        let run = |batch_train: bool, threads: usize| {
+            let mut model = tiny_model();
+            let mut adam = Adam::new(1e-3, 0.0);
+            let config = TrainConfig {
+                batch_train,
+                train_threads: Some(threads),
+                ..Default::default()
+            };
+            let loss = fine_tune(&mut model, &trace, &mut adam, &config, 3);
+            let params: Vec<u64> = model
+                .params_mut()
+                .iter()
+                .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+                .collect();
+            (loss, params)
+        };
+        let (serial_loss, serial_params) = run(false, 1);
+        for threads in [1, 4] {
+            let (loss, params) = run(true, threads);
+            assert_eq!(loss.to_bits(), serial_loss.to_bits());
+            assert_eq!(params, serial_params);
+        }
     }
 
     #[test]
     fn fine_tune_on_empty_is_noop() {
         let mut model = tiny_model();
         let mut adam = Adam::new(1e-3, 0.0);
-        assert_eq!(fine_tune(&mut model, &[], &mut adam, 0), 0.0);
+        assert_eq!(
+            fine_tune(&mut model, &[], &mut adam, &TrainConfig::default(), 0),
+            0.0
+        );
     }
 
     #[test]

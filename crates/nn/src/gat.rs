@@ -172,11 +172,39 @@ impl GraphAttention {
     ///
     /// Panics if called before [`GraphAttention::forward`].
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let n = self
+            .cache
+            .as_ref()
+            .expect("GraphAttention::backward called before forward")
+            .features
+            .rows();
+        self.backward_batch(grad_output, &[(0, n)])
+    }
+
+    /// Batched [`GraphAttention::backward`] over the disjoint union of
+    /// per-sample graphs (the stacked, offset-adjacency layout
+    /// [`GraphAttention::forward`] documents): accumulates parameter
+    /// gradients **per `(row offset, node count)` segment, in segment
+    /// order**, bit-identical to running `forward` + `backward` once per
+    /// component graph. Attention never crosses segment boundaries, so the
+    /// per-node gradient flows are already block-diagonal; only the four
+    /// parameter-gradient reductions (`W`, `b`, `W_q`, `W_k`) need the
+    /// segment structure to keep the f64 accumulation chains per-sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GraphAttention::forward`].
+    pub fn backward_batch(&mut self, grad_output: &Matrix, segments: &[(usize, usize)]) -> Matrix {
         let cache = self
             .cache
             .as_ref()
             .expect("GraphAttention::backward called before forward");
         let n = cache.features.rows();
+        debug_assert_eq!(
+            segments.iter().map(|&(_, k)| k).sum::<usize>(),
+            n,
+            "segments must tile the stacked node rows"
+        );
         let d_out = self.out_dim();
         let d_att = self.wq.value.cols();
         let scale = 1.0 / (d_att as f64).sqrt();
@@ -224,11 +252,20 @@ impl GraphAttention {
             }
         }
 
-        // Through Q = H·Wq and K = H·Wk. The dX = dY·Wᵀ products use the
-        // fused transposed-B kernel: W is already laid out as the
-        // transpose of what the dot products need.
-        self.wq.grad.add_in_place(&cache.h.transpose().matmul(&d_q));
-        self.wk.grad.add_in_place(&cache.h.transpose().matmul(&d_k));
+        // Through Q = H·Wq and K = H·Wk, one sample segment at a time so
+        // each `Hᵀ·dQ` reduction chain matches the serial per-sample
+        // backward. The dX = dY·Wᵀ products use the fused transposed-B
+        // kernel: W is already laid out as the transpose of what the dot
+        // products need.
+        for &(offset, k) in segments {
+            let hseg = cache.h.row_block(offset, k).transpose();
+            self.wq
+                .grad
+                .add_in_place(&hseg.matmul(&d_q.row_block(offset, k)));
+            self.wk
+                .grad
+                .add_in_place(&hseg.matmul(&d_k.row_block(offset, k)));
+        }
         d_h.add_in_place(&d_q.matmul_transpose_b(&self.wq.value));
         d_h.add_in_place(&d_k.matmul_transpose_b(&self.wk.value));
 
@@ -238,10 +275,12 @@ impl GraphAttention {
             let y = cache.h.data()[i];
             d_hpre.data_mut()[i] *= 1.0 - y * y;
         }
-        self.w
-            .grad
-            .add_in_place(&cache.features.transpose().matmul(&d_hpre));
-        self.b.grad.add_in_place(&d_hpre.sum_rows());
+        for &(offset, k) in segments {
+            let useg = cache.features.row_block(offset, k);
+            let gseg = d_hpre.row_block(offset, k);
+            self.w.grad.add_in_place(&useg.transpose().matmul(&gseg));
+            self.b.grad.add_in_place(&gseg.sum_rows());
+        }
         d_hpre.matmul_transpose_b(&self.w.value)
     }
 }
@@ -395,6 +434,73 @@ mod tests {
                 }
             }
             offset += n;
+        }
+    }
+
+    #[test]
+    fn backward_batch_over_disjoint_union_matches_per_graph_backwards() {
+        // Stack three ring graphs block-diagonally; backward_batch with
+        // per-graph segments must accumulate exactly the parameter
+        // gradients (and input gradients) of three separate
+        // forward+backward passes, bit for bit.
+        let mut init = Initializer::new(37);
+        let mut gat = GraphAttention::new(3, 5, 4, &mut init);
+        let sizes = [2usize, 4, 3];
+        let feats: Vec<Matrix> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Initializer::new(50 + i as u64).normal(n, 3, 0.8))
+            .collect();
+        let grads_out: Vec<Matrix> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Initializer::new(60 + i as u64).normal(n, 5, 0.5))
+            .collect();
+
+        // Serial reference, grads accumulating across graphs in order.
+        let mut serial = gat.clone();
+        let mut serial_dx = Vec::new();
+        for ((f, g), &n) in feats.iter().zip(&grads_out).zip(&sizes) {
+            serial.forward(f, &ring_neighbors(n));
+            serial_dx.push(serial.backward(g));
+        }
+        let serial_grads: Vec<Matrix> =
+            serial.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+        // Stacked disjoint union.
+        let total: usize = sizes.iter().sum();
+        let mut stacked = Matrix::zeros(total, 3);
+        let mut stacked_g = Matrix::zeros(total, 5);
+        let mut neighbors = Vec::with_capacity(total);
+        let mut segments = Vec::new();
+        let mut offset = 0;
+        for ((f, g), &n) in feats.iter().zip(&grads_out).zip(&sizes) {
+            for r in 0..n {
+                stacked.row_mut(offset + r).copy_from_slice(f.row(r));
+                stacked_g.row_mut(offset + r).copy_from_slice(g.row(r));
+            }
+            for mut nbrs in ring_neighbors(n) {
+                for j in &mut nbrs {
+                    *j += offset;
+                }
+                neighbors.push(nbrs);
+            }
+            segments.push((offset, n));
+            offset += n;
+        }
+
+        gat.forward(&stacked, &neighbors);
+        let dx = gat.backward_batch(&stacked_g, &segments);
+        for (&(offset, n), want) in segments.iter().zip(&serial_dx) {
+            let got = dx.row_block(offset, n);
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "GAT input gradient diverged");
+            }
+        }
+        for (p, want) in gat.params_mut().iter().zip(&serial_grads) {
+            for (a, b) in p.grad.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "GAT parameter gradient diverged");
+            }
         }
     }
 

@@ -85,6 +85,28 @@ pub trait Layer {
         self.backward(grad_output)
     }
 
+    /// Batched [`Layer::backward`] over a stacked minibatch whose rows are
+    /// grouped into per-sample `(row offset, row count)` segments:
+    /// accumulates parameter gradients **per segment, in segment order**,
+    /// and returns the full input gradient.
+    ///
+    /// This is the training sibling of [`Layer::backward_input`]: where
+    /// the generation loop skips parameter gradients entirely, adversarial
+    /// training needs them — and needs the accumulation to be
+    /// **bit-identical** to running `forward` + `backward` once per
+    /// sample. A single stacked `Xᵀ·dY` matmul would chain the f64
+    /// reduction across sample boundaries; accumulating one segment at a
+    /// time reproduces the serial per-sample chain exactly. The returned
+    /// input gradient is row-independent and needs no segmentation.
+    ///
+    /// Layers with parameters must override this; the default delegates to
+    /// `backward` and is only correct for parameter-free layers (where
+    /// the segment structure is irrelevant).
+    fn backward_batch(&mut self, grad_output: &Matrix, segments: &[(usize, usize)]) -> Matrix {
+        let _ = segments;
+        self.backward(grad_output)
+    }
+
     /// Mutable access to this layer's parameters (empty for activations).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
@@ -194,6 +216,26 @@ impl Layer for Dense {
             self.cached_wt = Some(self.weight.value.transpose());
         }
         grad_output.matmul(self.cached_wt.as_ref().expect("just inserted"))
+    }
+
+    fn backward_batch(&mut self, grad_output: &Matrix, segments: &[(usize, usize)]) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        // Parameter gradients accumulate one sample segment at a time —
+        // the same `Xᵀ·dY` kernel and `add_in_place` chain the serial
+        // per-sample `backward` produces, in the same order.
+        for &(offset, n) in segments {
+            let iseg = input.row_block(offset, n);
+            let gseg = grad_output.row_block(offset, n);
+            self.weight
+                .grad
+                .add_in_place(&iseg.transpose().matmul(&gseg));
+            self.bias.grad.add_in_place(&gseg.sum_rows());
+        }
+        // dX rows are sample-independent; one fused matmul serves all.
+        grad_output.matmul_transpose_b(&self.weight.value)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -411,6 +453,14 @@ impl Layer for Sequential {
         g
     }
 
+    fn backward_batch(&mut self, grad_output: &Matrix, segments: &[(usize, usize)]) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_batch(&g, segments);
+        }
+        g
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers
             .iter_mut()
@@ -561,6 +611,57 @@ mod tests {
         // `backward_input` accumulated nothing.
         for (p, saved) in net.params_mut().iter().zip(&grads) {
             assert_eq!(p.grad, *saved, "backward_input touched parameter grads");
+        }
+    }
+
+    #[test]
+    fn backward_batch_is_bit_identical_to_per_sample_backwards() {
+        // Three "samples" of different row counts (host blocks), stacked.
+        let mut init = Initializer::new(17);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 7, &mut init));
+        net.push(Activation::tanh());
+        net.push(Dense::new(7, 2, &mut init));
+        net.push(Activation::sigmoid());
+
+        let sizes = [3usize, 1, 5];
+        let total: usize = sizes.iter().sum();
+        let x = Initializer::new(23).normal(total, 4, 0.8);
+        let gy = Initializer::new(29).normal(total, 2, 0.6);
+
+        // Serial reference: forward + backward once per sample, grads
+        // accumulating across samples in order.
+        let mut serial = net.clone();
+        let mut serial_dx = Vec::new();
+        let mut offset = 0;
+        for &n in &sizes {
+            let y = serial.forward(&x.row_block(offset, n));
+            assert_eq!(y.rows(), n);
+            serial_dx.push(serial.backward(&gy.row_block(offset, n)));
+            offset += n;
+        }
+        let serial_grads: Vec<Matrix> =
+            serial.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+        // Batched: one stacked forward, one segment-aware backward.
+        let mut segments = Vec::new();
+        let mut offset = 0;
+        for &n in &sizes {
+            segments.push((offset, n));
+            offset += n;
+        }
+        let _ = net.forward(&x);
+        let dx = net.backward_batch(&gy, &segments);
+        for (&(offset, n), want) in segments.iter().zip(&serial_dx) {
+            let got = dx.row_block(offset, n);
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "input gradient diverged");
+            }
+        }
+        for (p, want) in net.params_mut().iter().zip(&serial_grads) {
+            for (a, b) in p.grad.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parameter gradient diverged");
+            }
         }
     }
 

@@ -363,6 +363,28 @@ impl Matrix {
         out
     }
 
+    /// Copies rows `[offset, offset + n)` into a fresh `n × cols` matrix —
+    /// the per-sample segment view the batched training backward uses to
+    /// accumulate parameter gradients in sample order (row-major layout
+    /// makes this one contiguous memcpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + n > rows()`.
+    pub fn row_block(&self, offset: usize, n: usize) -> Matrix {
+        assert!(
+            offset + n <= self.rows,
+            "row_block [{offset}, {}) out of range for {} rows",
+            offset + n,
+            self.rows
+        );
+        Matrix {
+            rows: n,
+            cols: self.cols,
+            data: self.data[offset * self.cols..(offset + n) * self.cols].to_vec(),
+        }
+    }
+
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix {

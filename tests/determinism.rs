@@ -274,6 +274,98 @@ fn batched_tabu_repair_is_bit_identical_to_serial() {
     }
 }
 
+/// The batched trainer's contract: `train_offline` through the batched
+/// adversarial engine — stacked discriminator passes, `par`-fanned fake
+/// ascent, in-order per-segment gradient reduction — is bit-identical to
+/// the serial one-state-at-a-time reference on 64-host federation states:
+/// same per-epoch `EpochStats`, same final parameters, on one worker and
+/// on four. Interleaved real/fake gradient segments and fixed fake-ascent
+/// chunk boundaries are what make this hold; this test is the tripwire.
+#[test]
+fn batched_training_is_bit_identical_to_serial() {
+    use gon::{train_offline, GonConfig, GonModel, TrainConfig};
+    use workloads::trace::{generate_trace, TraceConfig};
+    use workloads::BenchmarkSuite;
+
+    let trace = generate_trace(
+        &TraceConfig {
+            intervals: 24,
+            topology_period: 5,
+            arrival_rate: 0.45 * 64.0,
+            suite: BenchmarkSuite::DeFog,
+            seed: 3,
+        },
+        edgesim::SimConfig::federation(64, 8, 3),
+    );
+    assert!(trace.iter().all(|s| s.n_hosts() == 64));
+
+    let run = |batch_train: bool, threads: usize| {
+        let mut model = GonModel::new(GonConfig {
+            hidden: 12,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps: 3,
+            gen_tol: 1e-7,
+            seed: 1,
+        });
+        // Minibatch 32 over a 19-state train split: one minibatch spans
+        // two 16-sample fake-ascent chunks, so the multi-chunk `par`
+        // fan-out and in-order reassembly are what this test prices.
+        let stats = train_offline(
+            &mut model,
+            &trace,
+            &TrainConfig {
+                epochs: 2,
+                minibatch: 32,
+                patience: 2,
+                lr: 1e-3,
+                batch_train,
+                train_threads: Some(threads),
+                ..Default::default()
+            },
+        );
+        let params: Vec<u64> = model
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+            .collect();
+        (stats, params)
+    };
+
+    let (serial_stats, serial_params) = run(false, 1);
+    assert_eq!(serial_stats.len(), 2, "both epochs must run");
+    for (label, threads) in [("1 worker", 1), ("4 workers", 4)] {
+        let (stats, params) = run(true, threads);
+        assert_eq!(stats.len(), serial_stats.len(), "{label}: epoch counts");
+        for (a, b) in serial_stats.iter().zip(&stats) {
+            assert_eq!(a.epoch, b.epoch, "{label}: epoch index");
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "{label}: epoch {} loss diverged ({} vs {})",
+                a.epoch,
+                a.loss,
+                b.loss
+            );
+            assert_eq!(
+                a.mse.to_bits(),
+                b.mse.to_bits(),
+                "{label}: epoch {} mse diverged",
+                a.epoch
+            );
+            assert_eq!(
+                a.confidence.to_bits(),
+                b.confidence.to_bits(),
+                "{label}: epoch {} confidence diverged",
+                a.epoch
+            );
+        }
+        assert_eq!(params, serial_params, "{label}: final parameters diverged");
+    }
+}
+
 #[test]
 fn same_seed_is_bit_identical_for_seeded_baseline() {
     // A cheaper, Carol-free policy: guards the simulator/workload/fault

@@ -145,6 +145,94 @@ proptest! {
         }
     }
 
+    /// The batched adversarial training step is bit-identical to mapping
+    /// the serial step over the minibatch — per-sample losses, accumulated
+    /// parameter gradients, and RNG stream consumption — for random batch
+    /// sizes (0 and 1 included), host counts, load patterns and worker
+    /// counts. This is the contract the batched trainer rests on.
+    #[test]
+    fn adversarial_step_batch_equals_mapped_steps_bitwise(
+        // The upper bound crosses the 16-sample fake-ascent chunk size so
+        // multi-chunk fan-out is exercised, not just the 1-chunk path.
+        batch_size in 0usize..20,
+        n_hosts in 4usize..10,
+        n_brokers in 1usize..4,
+        loads in proptest::collection::vec(0.0f64..1.0, 8),
+        gen_steps in 0usize..4,
+        threads in 1usize..4,
+    ) {
+        use edgesim::scheduler::SchedulingDecision;
+        use edgesim::state::{Normalizer, SystemState};
+        use edgesim::{HostSpec, HostState};
+        use gon::{GonConfig, GonModel};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        prop_assume!(n_brokers <= n_hosts / 2);
+        let topo = Topology::balanced(n_hosts, n_brokers).unwrap();
+        let specs: Vec<HostSpec> = (0..n_hosts).map(HostSpec::rpi4gb).collect();
+        let states: Vec<SystemState> = (0..batch_size)
+            .map(|b| {
+                let mut host_states = vec![HostState::default(); n_hosts];
+                for (h, st) in host_states.iter_mut().enumerate() {
+                    let load = loads[(b + h) % loads.len()];
+                    st.cpu = load;
+                    st.ram = (load * 0.8).min(1.0);
+                    st.energy_wh = 0.3 * load;
+                }
+                SystemState::capture(
+                    &topo,
+                    &specs,
+                    &host_states,
+                    &[],
+                    &SchedulingDecision::new(),
+                    &Normalizer::for_federation(n_hosts, n_brokers),
+                )
+            })
+            .collect();
+
+        let mk_model = || GonModel::new(GonConfig {
+            hidden: 10,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps,
+            gen_tol: 1e-7,
+            seed: 13,
+        });
+
+        let mut serial_model = mk_model();
+        let mut serial_rng = StdRng::seed_from_u64(21);
+        let serial_losses: Vec<f64> = states
+            .iter()
+            .map(|s| gon::training::adversarial_step(&mut serial_model, s, &mut serial_rng))
+            .collect();
+        let serial_grads: Vec<Vec<u64>> = serial_model
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g.to_bits()).collect())
+            .collect();
+
+        let mut batched_model = mk_model();
+        let mut batched_rng = StdRng::seed_from_u64(21);
+        let refs: Vec<&SystemState> = states.iter().collect();
+        let batched_losses = batched_model.adversarial_step_batch(&refs, &mut batched_rng, threads);
+        let batched_grads: Vec<Vec<u64>> = batched_model
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g.to_bits()).collect())
+            .collect();
+
+        prop_assert_eq!(serial_losses.len(), batched_losses.len());
+        for (a, b) in serial_losses.iter().zip(&batched_losses) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(serial_grads, batched_grads);
+        // Both engines must have consumed the RNG stream identically.
+        prop_assert_eq!(serial_rng.gen::<u64>(), batched_rng.gen::<u64>());
+    }
+
     /// Tabu search never returns something worse than its start, for any
     /// random (but deterministic) objective.
     #[test]
