@@ -1,0 +1,79 @@
+//! Scenario-fuzzer binary: random search over the scenario axes (scale,
+//! fleet mix, arrival shape, fault model, fault rate, horizon) with a
+//! QoS-cliff oracle, shrinking every hit to a minimal scenario.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fuzz                 # full search (~10 min budget)
+//! cargo run --release -p bench --bin fuzz -- --fast       # CI smoke (55 s budget)
+//! cargo run --release -p bench --bin fuzz -- --budget 120 # explicit budget, seconds
+//! cargo run --release -p bench --bin fuzz -- --cases 16 --seed 3
+//! cargo run --release -p bench --bin fuzz -- --out FUZZ_PR.json
+//! FUZZ_JSON=FUZZ_PR.json cargo run --release -p bench --bin fuzz -- --fast
+//! ```
+//!
+//! The JSON report carries every shrunk cliff as a full serialised
+//! `ScenarioSpec`, so a hit can be replayed verbatim or promoted to a
+//! named `cliff-*` registry scenario.
+
+use bench::fuzz::{run_fuzz, FuzzConfig, FUZZ_JSON_ENV};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let seed = flag_value(&args, "--seed")
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(0);
+    let mut config = if fast {
+        FuzzConfig::fast(seed)
+    } else {
+        FuzzConfig::full(seed)
+    };
+    if let Some(budget) = flag_value(&args, "--budget") {
+        config.budget_s = budget
+            .trim_end_matches('s')
+            .parse()
+            .expect("--budget takes seconds");
+    }
+    if let Some(cases) = flag_value(&args, "--cases") {
+        config.cases = cases.parse().expect("--cases takes a count");
+    }
+    let out_path = flag_value(&args, "--out")
+        .or_else(|| std::env::var(FUZZ_JSON_ENV).ok().filter(|p| !p.is_empty()));
+
+    println!(
+        "fuzz: up to {} cases, {:.0} s budget, seed {} (margin {:.0}%, drop {:.0}%)",
+        config.cases,
+        config.budget_s,
+        config.seed,
+        100.0 * config.margin,
+        100.0 * config.drop,
+    );
+    let report = run_fuzz(&config);
+    println!(
+        "{} cases in {:.1} s: {} cliff(s)",
+        report.cases_run, report.elapsed_s, report.cliffs_found
+    );
+    for cliff in &report.cliffs {
+        println!(
+            "  case {:>3}: {} ({} shrink steps from {} hosts/{} intervals) — {}",
+            cliff.case,
+            cliff.scenario.name,
+            cliff.shrink_steps,
+            cliff.initial_hosts,
+            cliff.initial_intervals,
+            cliff.message,
+        );
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote report to {path}");
+    }
+}

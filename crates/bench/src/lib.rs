@@ -10,6 +10,7 @@
 //! | `fig5` | Fig. 5(a–f) — CAROL vs 7 baselines + 4 ablations on all six metrics |
 //! | `fig6` | Fig. 6(a–c) — sensitivity to learning rate, model memory, tabu list |
 //! | `scale` | Beyond the paper: host-count scaling sweep (16 → 128 hosts, synthetic + replayed traces) |
+//! | `fuzz` | Beyond the paper: scenario fuzzer — QoS-cliff search over the scenario axes with shrinking |
 //!
 //! The library part holds shared experiment plumbing (multi-seed fan-out,
 //! table rendering) plus the fig5/fig6/scale implementations so they are
@@ -20,6 +21,7 @@
 pub mod cli;
 pub mod fig5;
 pub mod fig6;
+pub mod fuzz;
 pub mod render;
 pub mod scale;
 

@@ -15,13 +15,13 @@
 
 use carol::carol::{Carol, CarolConfig};
 use carol::scenario::{run_scenario, ScenarioSpec, SchedulerKind, WorkloadSource};
-use edgesim::SimConfig;
-use faults::TargetPolicy;
+use edgesim::{FleetMix, SimConfig};
+use faults::{FaultModel, TargetPolicy};
 use gon::{GonConfig, TrainConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workloads::replay::record_suite;
-use workloads::BenchmarkSuite;
+use workloads::{ArrivalShape, BenchmarkSuite};
 
 /// Environment variable naming the JSON results file (mirrors the
 /// criterion stub's `BENCH_JSON`).
@@ -38,26 +38,35 @@ pub struct ScaleConfig {
     pub seed: u64,
     /// Also run a replayed-trace scenario per size.
     pub with_replay: bool,
+    /// Named registry scenarios appended after the per-size cells, run
+    /// at their registered size with the horizon capped at `intervals` —
+    /// the scenario-frontier axes (correlated faults, heterogeneous
+    /// fleets, non-stationary arrivals) showing up in the same artifact.
+    pub extra_scenarios: Vec<&'static str>,
 }
 
 impl ScaleConfig {
-    /// The full sweep: 16 → 128 hosts, 30 intervals, replay included.
+    /// The full sweep: 16 → 128 hosts, 30 intervals, replay included,
+    /// plus the cascade and heterogeneous-flash-crowd frontier scenarios.
     pub fn full(seed: u64) -> Self {
         Self {
             sizes: vec![(16, 4), (32, 8), (64, 8), (128, 16)],
             intervals: 30,
             seed,
             with_replay: true,
+            extra_scenarios: vec!["cascade-64", "flashcrowd-hetero-64"],
         }
     }
 
-    /// CI-budget sweep: 16 → 64 hosts, 10 intervals.
+    /// CI-budget sweep: 16 → 64 hosts, 10 intervals, one frontier
+    /// scenario.
     pub fn fast(seed: u64) -> Self {
         Self {
             sizes: vec![(16, 4), (32, 8), (64, 8)],
             intervals: 10,
             seed,
             with_replay: true,
+            extra_scenarios: vec!["cascade-64"],
         }
     }
 }
@@ -147,11 +156,14 @@ fn size_scenarios(config: &ScaleConfig, n_hosts: usize, n_brokers: usize) -> Vec
             suite: BenchmarkSuite::AIoTBench,
             rate,
         },
+        shape: ArrivalShape::Stationary,
         n_hosts,
         n_brokers,
+        fleet: FleetMix::Pi,
         intervals: config.intervals,
         fault_rate: SWEEP_FAULT_RATE,
         fault_target: TargetPolicy::BrokersOnly,
+        fault_model: FaultModel::Iid,
         scheduler: SchedulerKind::LeastLoad,
         seed: config.seed,
     }];
@@ -165,11 +177,14 @@ fn size_scenarios(config: &ScaleConfig, n_hosts: usize, n_brokers: usize) -> Vec
         specs.push(ScenarioSpec {
             name: format!("replay-{n_hosts}"),
             workload: WorkloadSource::Replay { events },
+            shape: ArrivalShape::Stationary,
             n_hosts,
             n_brokers,
+            fleet: FleetMix::Pi,
             intervals: config.intervals,
             fault_rate: SWEEP_FAULT_RATE,
             fault_target: TargetPolicy::BrokersOnly,
+            fault_model: FaultModel::Iid,
             scheduler: SchedulerKind::LeastLoad,
             seed: config.seed,
         });
@@ -249,6 +264,12 @@ pub fn sweep(config: &ScaleConfig) -> Vec<ScalePoint> {
             points.push(run_cell(&spec, config.seed));
         }
     }
+    for name in &config.extra_scenarios {
+        let mut spec = ScenarioSpec::named(name, config.seed)
+            .unwrap_or_else(|| panic!("{name} is not a registered scenario"));
+        spec.intervals = spec.intervals.min(config.intervals);
+        points.push(run_cell(&spec, config.seed));
+    }
     points
 }
 
@@ -294,6 +315,7 @@ mod tests {
             intervals: 4,
             seed: 1,
             with_replay: true,
+            extra_scenarios: Vec::new(),
         };
         let points = sweep(&config);
         assert_eq!(points.len(), 4, "2 sizes × (suite + replay)");
@@ -313,12 +335,31 @@ mod tests {
     }
 
     #[test]
+    fn extra_scenarios_join_the_sweep_with_a_capped_horizon() {
+        let config = ScaleConfig {
+            sizes: Vec::new(),
+            intervals: 3,
+            seed: 1,
+            with_replay: false,
+            extra_scenarios: vec!["cascade-64", "cliff-partition-16"],
+        };
+        let points = sweep(&config);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].scenario, "cascade-64");
+        assert_eq!(points[0].n_hosts, 64);
+        assert_eq!(points[0].intervals, 3, "horizon capped to the sweep's");
+        assert_eq!(points[1].scenario, "cliff-partition-16");
+        assert!(points.iter().all(|p| p.energy_wh > 0.0));
+    }
+
+    #[test]
     fn points_round_trip_through_json() {
         let config = ScaleConfig {
             sizes: vec![(16, 4)],
             intervals: 3,
             seed: 2,
             with_replay: false,
+            extra_scenarios: Vec::new(),
         };
         let points = sweep(&config);
         let json = to_json(&points);

@@ -8,7 +8,7 @@ use crate::policy::ResiliencePolicy;
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
 use edgesim::{Scheduler, SimConfig, Simulator};
-use faults::{FaultInjector, TargetPolicy};
+use faults::{FaultInjector, FaultModel, TargetPolicy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workloads::{BagOfTasks, BenchmarkSuite, Workload};
@@ -24,10 +24,14 @@ pub struct ExperimentConfig {
     pub suite: BenchmarkSuite,
     /// Poisson arrival rate per interval (paper: 1.2).
     pub arrival_rate: f64,
-    /// Poisson fault rate per interval (paper: 0.5).
+    /// Poisson fault rate per interval, federation-wide (paper: 0.5).
     pub fault_rate: f64,
     /// Who gets attacked.
     pub fault_target: TargetPolicy,
+    /// Correlated fault structure layered on the base Poisson stream
+    /// ([`FaultModel::Iid`] reproduces the paper's independent faults
+    /// bit-identically).
+    pub fault_model: FaultModel,
     /// Master seed.
     pub seed: u64,
 }
@@ -45,6 +49,7 @@ impl ExperimentConfig {
             arrival_rate: 7.2,
             fault_rate: 0.5,
             fault_target: TargetPolicy::BrokersOnly,
+            fault_model: FaultModel::Iid,
             seed,
         }
     }
@@ -58,6 +63,7 @@ impl ExperimentConfig {
             arrival_rate: 2.4,
             fault_rate: 0.5,
             fault_target: TargetPolicy::BrokersOnly,
+            fault_model: FaultModel::Iid,
             seed,
         }
     }
@@ -126,9 +132,11 @@ pub fn run_experiment(
 /// The general experimental loop: any arrival process, any underlying
 /// scheduler. `config.suite` / `config.arrival_rate` are ignored here —
 /// the workload supplies arrivals. Metric normalisation uses
-/// [`Normalizer::for_federation`], which equals the historical default
-/// for every LEI span ≤ 4 (so all pre-scenario results are bit-identical)
-/// and widens the task-pressure scale for >16-host federations.
+/// [`Normalizer::for_fleet`], which equals the historical default for
+/// every all-Pi fleet with LEI span ≤ 4 (so all pre-scenario results are
+/// bit-identical), widens the task-pressure scale for >16-host
+/// federations, and widens the energy scale for fleets with server-class
+/// hosts.
 pub fn run_experiment_full(
     policy: &mut dyn ResiliencePolicy,
     config: &ExperimentConfig,
@@ -136,9 +144,13 @@ pub fn run_experiment_full(
     scheduler: &mut dyn Scheduler,
 ) -> ExperimentResult {
     let mut sim = Simulator::new(config.sim.clone());
-    let mut injector =
-        FaultInjector::new(config.fault_rate, config.fault_target, config.seed ^ 0x4654);
-    let norm = Normalizer::for_federation(config.sim.specs.len(), config.sim.n_brokers);
+    let mut injector = FaultInjector::with_model(
+        config.fault_rate,
+        config.fault_target,
+        config.fault_model.clone(),
+        config.seed ^ 0x4654,
+    );
+    let norm = Normalizer::for_fleet(&config.sim.specs, config.sim.n_brokers);
 
     // Initial snapshot before anything runs.
     let mut snapshot = SystemState::capture(

@@ -56,6 +56,38 @@ impl HostSpec {
         }
     }
 
+    /// A server-class edge node (rack-mount Xeon-D class): ~4× a Pi's
+    /// compute with 32 GB RAM, NVMe storage and a 10 Gbps uplink, but a
+    /// server power envelope. Note the GAT graph features clamp RAM at
+    /// 8 GB and CPU at 8000 units ([`crate::state`]), so server nodes
+    /// saturate those feature channels — heterogeneity shows up in the
+    /// simulator's execution and energy, not in wider encoder inputs.
+    pub fn server(index: usize) -> Self {
+        Self {
+            name: format!("server-{index:02}"),
+            cpu_capacity: 16000.0,
+            ram_mb: 32768.0,
+            disk_bw: 400.0,
+            net_bw: 1250.0,
+            power_idle_w: 45.0,
+            power_peak_w: 150.0,
+        }
+    }
+
+    /// An accelerator edge node (Jetson-class SoM): ~2× a Pi's effective
+    /// compute at near-Pi power, 8 GB RAM, eMMC storage, 1 Gbps link.
+    pub fn accelerator(index: usize) -> Self {
+        Self {
+            name: format!("accel-{index:02}"),
+            cpu_capacity: 8000.0,
+            ram_mb: 8192.0,
+            disk_bw: 120.0,
+            net_bw: 125.0,
+            power_idle_w: 5.0,
+            power_peak_w: 20.0,
+        }
+    }
+
     /// The 16-node testbed of §IV-C: eight 4 GB and eight 8 GB boards.
     pub fn testbed16() -> Vec<HostSpec> {
         let mut specs = Vec::with_capacity(16);

@@ -38,7 +38,7 @@ pub mod topology;
 pub use host::{HostId, HostSpec, HostState};
 pub use network::NetworkModel;
 pub use scheduler::{Scheduler, SchedulingDecision};
-pub use sim::{FaultLoad, IntervalReport, SimConfig, Simulator};
+pub use sim::{FaultLoad, FleetMix, IntervalReport, SimConfig, Simulator};
 pub use state::SystemState;
 pub use task::{Task, TaskId, TaskSpec, TaskStatus};
 pub use topology::{NodeRole, Topology, TopologyError};

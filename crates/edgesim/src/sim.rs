@@ -46,6 +46,55 @@ impl FaultLoad {
     }
 }
 
+/// Hardware composition of a federation: which [`HostSpec`] classes the
+/// host table is built from. The historical constructors are all
+/// [`FleetMix::Pi`]; [`FleetMix::Hetero`] mixes server-class and
+/// accelerator nodes into the Pi fabric so scenarios can probe resilience
+/// when capacity — and therefore placement pressure and blast radius — is
+/// unevenly distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FleetMix {
+    /// Alternating 8 GB / 4 GB Raspberry Pi boards (the testbed mix).
+    #[default]
+    Pi,
+    /// Heterogeneous: every 8th host a server, every 8th (offset 4) an
+    /// accelerator, Pis elsewhere — one server + one accelerator per
+    /// 8-host rack, mirroring a small edge site with one beefy node and
+    /// one GPU box per rack.
+    Hetero,
+}
+
+impl FleetMix {
+    /// Builds the host inventory for an `n_hosts` federation.
+    pub fn specs(self, n_hosts: usize) -> Vec<HostSpec> {
+        (0..n_hosts)
+            .map(|i| match self {
+                FleetMix::Pi => {
+                    if i % 2 == 0 {
+                        HostSpec::rpi8gb(i)
+                    } else {
+                        HostSpec::rpi4gb(i)
+                    }
+                }
+                FleetMix::Hetero => match i % 8 {
+                    0 => HostSpec::server(i),
+                    4 => HostSpec::accelerator(i),
+                    _ if i % 2 == 0 => HostSpec::rpi8gb(i),
+                    _ => HostSpec::rpi4gb(i),
+                },
+            })
+            .collect()
+    }
+
+    /// Short label for tables and JSON artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetMix::Pi => "pi",
+            FleetMix::Hetero => "hetero",
+        }
+    }
+}
+
 /// Static configuration of a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -124,6 +173,25 @@ impl SimConfig {
             "need 0 < n_brokers ({n_brokers}) ≤ n_hosts ({n_hosts})"
         );
         Self::small(n_hosts, n_brokers, seed)
+    }
+
+    /// A federation with an explicit hardware [`FleetMix`].
+    /// `fleet(n, b, FleetMix::Pi, s)` equals `federation(n, b, s)` exactly
+    /// (same specs, same overhead constants), so Pi scenarios keep their
+    /// historical bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < n_brokers ≤ n_hosts`.
+    pub fn fleet(n_hosts: usize, n_brokers: usize, mix: FleetMix, seed: u64) -> Self {
+        assert!(
+            n_brokers > 0 && n_brokers <= n_hosts,
+            "need 0 < n_brokers ({n_brokers}) ≤ n_hosts ({n_hosts})"
+        );
+        Self {
+            specs: mix.specs(n_hosts),
+            ..Self::small(n_hosts, n_brokers, seed)
+        }
     }
 }
 
@@ -809,6 +877,52 @@ mod tests {
     #[should_panic(expected = "n_brokers")]
     fn federation_rejects_zero_brokers() {
         SimConfig::federation(32, 0, 0);
+    }
+
+    #[test]
+    fn pi_fleet_equals_federation_exactly() {
+        let fleet = SimConfig::fleet(32, 8, FleetMix::Pi, 5);
+        let fed = SimConfig::federation(32, 8, 5);
+        assert_eq!(fleet.specs, fed.specs);
+        assert_eq!(fleet.n_brokers, fed.n_brokers);
+        assert_eq!(fleet.broker_span, fed.broker_span);
+    }
+
+    #[test]
+    fn hetero_fleet_mixes_all_three_host_classes_and_runs() {
+        let config = SimConfig::fleet(16, 4, FleetMix::Hetero, 3);
+        let servers = config
+            .specs
+            .iter()
+            .filter(|s| s.name.starts_with("server"))
+            .count();
+        let accels = config
+            .specs
+            .iter()
+            .filter(|s| s.name.starts_with("accel"))
+            .count();
+        let pis = config
+            .specs
+            .iter()
+            .filter(|s| s.name.starts_with("rpi"))
+            .count();
+        assert_eq!(
+            (servers, accels, pis),
+            (2, 2, 12),
+            "one server + accel per 8-host rack"
+        );
+        let mut s = Simulator::new(config);
+        let mut sched = LeastLoadScheduler::new();
+        let arrivals: Vec<TaskSpec> = (0..8).map(|_| quick_spec(100_000.0)).collect();
+        let r = s.step(arrivals, &mut sched);
+        assert!(r.energy_wh > 0.0);
+        // The server idles hotter than every Pi peaks, so a hetero fleet
+        // must draw more idle energy than the same-size Pi fleet.
+        let mut pi = Simulator::new(SimConfig::fleet(16, 4, FleetMix::Pi, 3));
+        let r_pi = pi.step(Vec::new(), &mut sched);
+        let mut hetero_idle = Simulator::new(SimConfig::fleet(16, 4, FleetMix::Hetero, 3));
+        let r_het = hetero_idle.step(Vec::new(), &mut sched);
+        assert!(r_het.energy_wh > r_pi.energy_wh);
     }
 
     #[test]

@@ -117,6 +117,22 @@ impl Normalizer {
             ..Self::default()
         }
     }
+
+    /// [`Normalizer::for_federation`] extended with fleet awareness: the
+    /// per-host energy full scale grows to cover the hottest host class in
+    /// `specs` (a server at peak for one interval dwarfs the Pi-derived
+    /// 0.7 Wh default, which would pin the energy feature at 1.0 all run).
+    /// For all-Pi fleets the peak-derived scale stays below the default,
+    /// so every historical scenario remains bit-identical.
+    pub fn for_fleet(specs: &[crate::HostSpec], n_brokers: usize) -> Self {
+        let base = Self::for_federation(specs.len(), n_brokers);
+        let peak_w = specs.iter().map(|s| s.power_peak_w).fold(0.0, f64::max);
+        let peak_interval_wh = peak_w * crate::INTERVAL_SECONDS / 3600.0;
+        Self {
+            max_energy_wh: base.max_energy_wh.max(peak_interval_wh),
+            ..base
+        }
+    }
 }
 
 /// Per-broker aggregates of one topology, computed in a single pass so
@@ -546,6 +562,32 @@ mod tests {
             slo_after > slo_before,
             "single-broker federation must show contention: {slo_before} → {slo_after}"
         );
+    }
+
+    #[test]
+    fn fleet_normalizer_is_bit_identical_for_pi_fleets() {
+        use crate::sim::FleetMix;
+        for (n, b) in [(8usize, 2usize), (16, 4), (64, 8), (128, 16)] {
+            let fed = Normalizer::for_federation(n, b);
+            let fleet = Normalizer::for_fleet(&FleetMix::Pi.specs(n), b);
+            assert_eq!(fleet.max_energy_wh.to_bits(), fed.max_energy_wh.to_bits());
+            assert_eq!(fleet.max_tasks.to_bits(), fed.max_tasks.to_bits());
+            assert_eq!(fleet.max_deadline_s.to_bits(), fed.max_deadline_s.to_bits());
+            assert_eq!(fleet.max_cpu_work.to_bits(), fed.max_cpu_work.to_bits());
+        }
+    }
+
+    #[test]
+    fn fleet_normalizer_widens_energy_scale_for_server_classes() {
+        use crate::sim::FleetMix;
+        let hetero = Normalizer::for_fleet(&FleetMix::Hetero.specs(16), 4);
+        // A 150 W server over a 300 s interval is 12.5 Wh at peak.
+        assert!(hetero.max_energy_wh >= 12.5, "{}", hetero.max_energy_wh);
+        // Only the energy scale moves; the rest stays size/fleet-invariant.
+        let fed = Normalizer::for_federation(16, 4);
+        assert_eq!(hetero.max_tasks, fed.max_tasks);
+        assert_eq!(hetero.max_deadline_s, fed.max_deadline_s);
+        assert_eq!(hetero.max_cpu_work, fed.max_cpu_work);
     }
 
     #[test]

@@ -14,6 +14,38 @@
 //! simulator, which saturates the victim and renders it unresponsive —
 //! exactly the failure pathway the paper restricts itself to ("faults that
 //! manifest in the form of resource over-utilization", §III-A).
+//!
+//! # Fault-intensity unit
+//!
+//! The injection `rate` is **faults per scheduling interval,
+//! federation-wide**: each interval the injector draws
+//! `Poisson(rate)` fault arrivals and assigns each one to a victim drawn
+//! uniformly from the candidate set of the [`TargetPolicy`]. The rate is
+//! *not* scaled by host count — λ_f = 0.5 means one expected fault every
+//! two intervals whether the federation has 8 hosts or 128 — so the
+//! per-host marginal intensity is `rate / |candidates|`. This is pinned by
+//! the `intensity_unit_is_federation_wide_not_per_host` test below.
+//!
+//! # Correlated fault models
+//!
+//! Real rack-scale deployments do not fail i.i.d.: a PSU brownout takes
+//! its whole rack's hazard up, and a switch partition takes the rack out
+//! at once. [`FaultModel`] layers two correlated processes on top of the
+//! base Poisson stream (which keeps its exact RNG draw sequence, so
+//! [`FaultModel::Iid`] is bit-identical to the historical injector):
+//!
+//! * [`FaultModel::Cascade`] — blast-radius groups: hosts are grouped
+//!   into racks of `rack_size` contiguous ids; every strike adds `boost`
+//!   to its rack's hazard, which decays by `decay` each interval and
+//!   drives extra `Poisson(hazard)` collateral strikes within the rack.
+//! * [`FaultModel::Partition`] — network partitions: `Poisson(rate)`
+//!   partition events per interval, each isolating one whole rack for
+//!   `duration` intervals by pinning every member's NIC (a DDoS-class
+//!   load), so the rack fails as a unit and its tasks must be rerouted.
+//!
+//! Both models are pure functions of the injector seed (deterministic,
+//! `tests/determinism.rs` gates the scenario fan-out) and serde
+//! round-trippable as part of a scenario spec.
 
 #![warn(missing_docs)]
 
@@ -91,6 +123,18 @@ impl FaultKind {
     }
 }
 
+/// Which process generated a fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FaultCause {
+    /// The base i.i.d. Poisson stream (the paper's §IV-F process).
+    #[default]
+    Base,
+    /// Collateral strike driven by a rack's cascade hazard.
+    Cascade,
+    /// Rack-wide network partition.
+    Partition,
+}
+
 /// One injected fault occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultEvent {
@@ -100,6 +144,8 @@ pub struct FaultEvent {
     pub host: HostId,
     /// Attack type.
     pub kind: FaultKind,
+    /// Which process produced it.
+    pub cause: FaultCause,
 }
 
 /// Strategy for choosing fault victims.
@@ -113,24 +159,130 @@ pub enum TargetPolicy {
     AnyHost,
 }
 
-/// Poisson fault injector (λ_f = 0.5 by default, §IV-F).
+/// How fault occurrences correlate across hosts and intervals. Layered on
+/// top of the base federation-wide Poisson stream (see the module docs for
+/// the intensity unit); [`FaultModel::Iid`] adds nothing and is
+/// bit-identical to the historical injector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum FaultModel {
+    /// Independent faults only — the paper's §IV-F process.
+    #[default]
+    Iid,
+    /// Blast-radius cascades: hosts `[r·rack_size, (r+1)·rack_size)` form
+    /// rack `r`; every strike adds `boost` to its rack's hazard, which
+    /// decays multiplicatively by `decay` per interval and drives extra
+    /// `Poisson(hazard)` collateral strikes confined to that rack.
+    /// Subcritical whenever `boost · decay / (1 - decay) < 1`.
+    Cascade {
+        /// Hosts per blast-radius group (contiguous ids).
+        rack_size: usize,
+        /// Hazard added to a rack per strike it receives.
+        boost: f64,
+        /// Per-interval multiplicative hazard decay in `[0, 1)`.
+        decay: f64,
+    },
+    /// Rack-scale network partitions: `Poisson(rate)` partition events per
+    /// interval, each isolating one uniformly drawn rack for `duration`
+    /// intervals by pinning every member's NIC at the nominal DDoS load —
+    /// the whole rack fails as a unit until the partition heals.
+    Partition {
+        /// Hosts per rack (contiguous ids).
+        rack_size: usize,
+        /// Expected partition events per interval, federation-wide.
+        rate: f64,
+        /// Intervals a partition lasts.
+        duration: usize,
+    },
+}
+
+impl FaultModel {
+    /// Short label for tables and JSON artifacts, e.g. `"cascade"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultModel::Iid => "iid",
+            FaultModel::Cascade { .. } => "cascade",
+            FaultModel::Partition { .. } => "partition",
+        }
+    }
+
+    /// Rack index of `host` under this model's grouping (rack 0 for
+    /// [`FaultModel::Iid`], which has no groups).
+    pub fn rack_of(&self, host: HostId) -> usize {
+        match self {
+            FaultModel::Iid => 0,
+            FaultModel::Cascade { rack_size, .. } | FaultModel::Partition { rack_size, .. } => {
+                host / rack_size
+            }
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            FaultModel::Iid => {}
+            FaultModel::Cascade {
+                rack_size,
+                boost,
+                decay,
+            } => {
+                assert!(rack_size >= 1, "cascade rack_size must be ≥ 1");
+                assert!(boost >= 0.0, "cascade boost must be non-negative");
+                assert!(
+                    (0.0..1.0).contains(&decay),
+                    "cascade decay must be in [0, 1)"
+                );
+            }
+            FaultModel::Partition {
+                rack_size,
+                rate,
+                duration,
+            } => {
+                assert!(rack_size >= 1, "partition rack_size must be ≥ 1");
+                assert!(rate >= 0.0, "partition rate must be non-negative");
+                assert!(duration >= 1, "partition duration must be ≥ 1");
+            }
+        }
+    }
+}
+
+/// Poisson fault injector (λ_f = 0.5 by default, §IV-F), optionally
+/// layered with a correlated [`FaultModel`].
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     rate: f64,
     target: TargetPolicy,
+    model: FaultModel,
     rng: StdRng,
     history: Vec<FaultEvent>,
+    /// Per-rack cascade hazard (extra Poisson intensity next interval).
+    hazard: Vec<f64>,
+    /// First interval at which each rack is no longer partitioned.
+    partitioned_until: Vec<usize>,
 }
 
 impl FaultInjector {
-    /// Creates an injector with rate `rate` faults per interval.
+    /// Creates an injector with rate `rate` faults **per interval,
+    /// federation-wide** (see the module docs: the per-host marginal is
+    /// `rate / |candidates|`; the rate does not scale with host count)
+    /// and independent ([`FaultModel::Iid`]) occurrences.
     pub fn new(rate: f64, target: TargetPolicy, seed: u64) -> Self {
+        Self::with_model(rate, target, FaultModel::Iid, seed)
+    }
+
+    /// Creates an injector whose base Poisson stream is layered with the
+    /// given correlated [`FaultModel`]. The base stream consumes the
+    /// exact RNG draw sequence of [`FaultInjector::new`], so its marginal
+    /// statistics are model-independent.
+    pub fn with_model(rate: f64, target: TargetPolicy, model: FaultModel, seed: u64) -> Self {
         assert!(rate >= 0.0, "fault rate must be non-negative");
+        model.validate();
         Self {
             rate,
             target,
+            model,
             rng: StdRng::seed_from_u64(seed),
             history: Vec::new(),
+            hazard: Vec::new(),
+            partitioned_until: Vec::new(),
         }
     }
 
@@ -139,9 +291,14 @@ impl FaultInjector {
         Self::new(0.5, TargetPolicy::BrokersOnly, seed)
     }
 
-    /// Injection rate per interval.
+    /// Injection rate per interval, federation-wide.
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// The correlated model in use.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
     }
 
     /// Everything injected so far.
@@ -151,6 +308,10 @@ impl FaultInjector {
 
     /// Draws this interval's faults and pushes their loads into `sim`.
     /// Returns the events injected (empty most intervals at λ_f = 0.5).
+    ///
+    /// The base i.i.d. stream is drawn first with the historical RNG
+    /// sequence; correlated models then append their collateral strikes.
+    /// Everything is a pure function of the seed and the call sequence.
     pub fn inject(&mut self, interval: usize, sim: &mut Simulator) -> Vec<FaultEvent> {
         let n_faults = workloads::poisson(self.rate, &mut self.rng);
         let mut events = Vec::with_capacity(n_faults);
@@ -165,14 +326,87 @@ impl FaultInjector {
             let host = candidates[self.rng.gen_range(0..candidates.len())];
             let kind = FaultKind::ALL[self.rng.gen_range(0..FaultKind::ALL.len())];
             sim.inject_fault(host, kind.load_scaled(&mut self.rng));
-            let event = FaultEvent {
+            events.push(FaultEvent {
                 interval,
                 host,
                 kind,
-            };
-            self.history.push(event);
-            events.push(event);
+                cause: FaultCause::Base,
+            });
         }
+        match self.model {
+            FaultModel::Iid => {}
+            FaultModel::Cascade {
+                rack_size,
+                boost,
+                decay,
+            } => {
+                let n_racks = sim.specs().len().div_ceil(rack_size);
+                self.hazard.resize(n_racks, 0.0);
+                // Decay yesterday's hazard, then draw today's collateral
+                // from the decayed level. Strikes below raise the hazard
+                // only for *future* intervals, so one interval's events
+                // cannot amplify themselves.
+                for h in self.hazard.iter_mut() {
+                    *h *= decay;
+                    if *h < 1e-12 {
+                        *h = 0.0;
+                    }
+                }
+                for rack in 0..n_racks {
+                    let hazard = self.hazard[rack];
+                    if hazard <= 0.0 {
+                        continue;
+                    }
+                    let extra = workloads::poisson(hazard, &mut self.rng);
+                    for _ in 0..extra {
+                        let lo = rack * rack_size;
+                        let hi = ((rack + 1) * rack_size).min(sim.specs().len());
+                        let host = self.rng.gen_range(lo..hi);
+                        let kind = FaultKind::ALL[self.rng.gen_range(0..FaultKind::ALL.len())];
+                        sim.inject_fault(host, kind.load_scaled(&mut self.rng));
+                        events.push(FaultEvent {
+                            interval,
+                            host,
+                            kind,
+                            cause: FaultCause::Cascade,
+                        });
+                    }
+                }
+                for event in &events {
+                    self.hazard[event.host / rack_size] += boost;
+                }
+            }
+            FaultModel::Partition {
+                rack_size,
+                rate,
+                duration,
+            } => {
+                let n_hosts = sim.specs().len();
+                let n_racks = n_hosts.div_ceil(rack_size);
+                self.partitioned_until.resize(n_racks, 0);
+                let n_events = workloads::poisson(rate, &mut self.rng);
+                for _ in 0..n_events {
+                    let rack = self.rng.gen_range(0..n_racks);
+                    self.partitioned_until[rack] =
+                        self.partitioned_until[rack].max(interval + duration);
+                }
+                for rack in 0..n_racks {
+                    if self.partitioned_until[rack] <= interval {
+                        continue;
+                    }
+                    for host in rack * rack_size..((rack + 1) * rack_size).min(n_hosts) {
+                        sim.inject_fault(host, FaultKind::DdosAttack.load());
+                        events.push(FaultEvent {
+                            interval,
+                            host,
+                            kind: FaultKind::DdosAttack,
+                            cause: FaultCause::Partition,
+                        });
+                    }
+                }
+            }
+        }
+        self.history.extend(events.iter().copied());
         events
     }
 }
@@ -262,5 +496,199 @@ mod tests {
         for t in 0..50 {
             assert!(inj.inject(t, &mut sim).is_empty());
         }
+    }
+
+    /// Pins the intensity unit: `rate` is faults per interval
+    /// **federation-wide**, not per host — quadrupling the host count must
+    /// not change the observed mean.
+    #[test]
+    fn intensity_unit_is_federation_wide_not_per_host() {
+        let mean_at = |n_hosts: usize| {
+            let mut sim = Simulator::new(SimConfig::small(n_hosts, 2, 7));
+            let mut inj = FaultInjector::new(0.8, TargetPolicy::AnyHost, 11);
+            let mut sched = LeastLoadScheduler::new();
+            let intervals = 3000;
+            for t in 0..intervals {
+                inj.inject(t, &mut sim);
+                sim.step(Vec::new(), &mut sched);
+            }
+            inj.history().len() as f64 / intervals as f64
+        };
+        let small = mean_at(8);
+        let large = mean_at(32);
+        assert!((small - 0.8).abs() < 0.06, "8 hosts: mean={small}");
+        assert!((large - 0.8).abs() < 0.06, "32 hosts: mean={large}");
+    }
+
+    #[test]
+    fn iid_model_is_bit_identical_to_plain_injector() {
+        let run = |mut inj: FaultInjector| {
+            let mut sim = Simulator::new(SimConfig::small(8, 2, 3));
+            let mut sched = LeastLoadScheduler::new();
+            for t in 0..40 {
+                inj.inject(t, &mut sim);
+                sim.step(Vec::new(), &mut sched);
+            }
+            inj.history().to_vec()
+        };
+        let plain = run(FaultInjector::new(1.0, TargetPolicy::AnyHost, 21));
+        let modeled = run(FaultInjector::with_model(
+            1.0,
+            TargetPolicy::AnyHost,
+            FaultModel::Iid,
+            21,
+        ));
+        assert_eq!(plain, modeled);
+    }
+
+    #[test]
+    fn cascade_base_marginal_matches_configured_intensity() {
+        let mut sim = Simulator::new(SimConfig::small(16, 4, 2));
+        let model = FaultModel::Cascade {
+            rack_size: 4,
+            boost: 1.0,
+            decay: 0.5,
+        };
+        let mut inj = FaultInjector::with_model(0.6, TargetPolicy::AnyHost, model, 13);
+        let mut sched = LeastLoadScheduler::new();
+        let intervals = 3000;
+        for t in 0..intervals {
+            inj.inject(t, &mut sim);
+            sim.step(Vec::new(), &mut sched);
+        }
+        let base = inj
+            .history()
+            .iter()
+            .filter(|e| e.cause == FaultCause::Base)
+            .count() as f64
+            / intervals as f64;
+        let collateral = inj
+            .history()
+            .iter()
+            .filter(|e| e.cause == FaultCause::Cascade)
+            .count();
+        assert!((base - 0.6).abs() < 0.06, "base marginal={base}");
+        assert!(collateral > 0, "boost must produce collateral strikes");
+    }
+
+    #[test]
+    fn cascade_collateral_stays_inside_the_struck_rack() {
+        let rack_size = 4;
+        let mut sim = Simulator::new(SimConfig::small(16, 4, 5));
+        let model = FaultModel::Cascade {
+            rack_size,
+            boost: 3.0,
+            decay: 0.6,
+        };
+        let mut inj = FaultInjector::with_model(1.0, TargetPolicy::AnyHost, model, 17);
+        let mut sched = LeastLoadScheduler::new();
+        for t in 0..200 {
+            inj.inject(t, &mut sim);
+            sim.step(Vec::new(), &mut sched);
+        }
+        // Every collateral strike must land in a rack struck at some
+        // earlier (hazard-raising) interval.
+        let mut struck_racks: Vec<usize> = Vec::new();
+        for e in inj.history() {
+            if e.cause == FaultCause::Cascade {
+                assert!(
+                    struck_racks.contains(&(e.host / rack_size)),
+                    "collateral in never-struck rack {}",
+                    e.host / rack_size
+                );
+            }
+            struck_racks.push(e.host / rack_size);
+        }
+    }
+
+    #[test]
+    fn partition_takes_out_whole_racks_for_the_duration() {
+        let rack_size = 4;
+        let duration = 2;
+        let mut sim = Simulator::new(SimConfig::small(16, 4, 6));
+        let model = FaultModel::Partition {
+            rack_size,
+            rate: 0.5,
+            duration,
+        };
+        let mut inj = FaultInjector::with_model(0.0, TargetPolicy::AnyHost, model, 19);
+        let mut sched = LeastLoadScheduler::new();
+        let mut partition_events = Vec::new();
+        for t in 0..100 {
+            let events = inj.inject(t, &mut sim);
+            // A partitioned rack emits one event per member host.
+            let mut by_rack: std::collections::BTreeMap<usize, usize> = Default::default();
+            for e in &events {
+                assert_eq!(e.cause, FaultCause::Partition);
+                assert_eq!(e.kind, FaultKind::DdosAttack);
+                *by_rack.entry(e.host / rack_size).or_default() += 1;
+            }
+            for (&rack, &count) in &by_rack {
+                assert_eq!(count, rack_size, "rack {rack} partially partitioned");
+            }
+            partition_events.extend(events);
+            sim.step(Vec::new(), &mut sched);
+        }
+        assert!(!partition_events.is_empty(), "rate 0.5 must partition");
+    }
+
+    #[test]
+    fn correlated_models_are_deterministic_per_seed() {
+        for model in [
+            FaultModel::Cascade {
+                rack_size: 4,
+                boost: 2.0,
+                decay: 0.5,
+            },
+            FaultModel::Partition {
+                rack_size: 4,
+                rate: 0.4,
+                duration: 2,
+            },
+        ] {
+            let run = |seed| {
+                let mut sim = Simulator::new(SimConfig::small(16, 4, 9));
+                let mut inj =
+                    FaultInjector::with_model(0.8, TargetPolicy::AnyHost, model.clone(), seed);
+                let mut sched = LeastLoadScheduler::new();
+                for t in 0..60 {
+                    inj.inject(t, &mut sim);
+                    sim.step(Vec::new(), &mut sched);
+                }
+                inj.history().to_vec()
+            };
+            assert_eq!(run(42), run(42), "{model:?}");
+            assert_ne!(run(42), run(43), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn fault_models_round_trip_through_serde() {
+        for model in [
+            FaultModel::Iid,
+            FaultModel::Cascade {
+                rack_size: 8,
+                boost: 1.5,
+                decay: 0.4,
+            },
+            FaultModel::Partition {
+                rack_size: 8,
+                rate: 0.25,
+                duration: 3,
+            },
+        ] {
+            let json = serde_json::to_string(&model).unwrap();
+            let back: FaultModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(model, back);
+        }
+        let event = FaultEvent {
+            interval: 7,
+            host: 3,
+            kind: FaultKind::DdosAttack,
+            cause: FaultCause::Partition,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: FaultEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(event, back);
     }
 }

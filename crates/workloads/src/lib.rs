@@ -27,6 +27,7 @@ pub use replay::{ReplayWorkload, TraceError, TraceEvent};
 use edgesim::TaskSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// An arrival process: anything that can say which tasks enter the
 /// federation at each scheduling interval. Implemented by the synthetic
@@ -38,6 +39,86 @@ pub trait Workload {
     /// deterministic functions of their construction state and the call
     /// sequence (the replay contract of `tests/determinism.rs`).
     fn sample_interval(&mut self, interval: usize) -> Vec<TaskSpec>;
+}
+
+/// Deterministic modulation of a Poisson arrival rate over the run — the
+/// non-stationary shapes real edge sites see. The shape rescales the base
+/// rate per interval; the Poisson draw itself stays seeded, so shaped
+/// workloads remain pure functions of `(shape, rate, seed)` and are
+/// recordable as `carol-trace` v1 via [`replay::record_workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalShape {
+    /// Constant rate (the paper's stationary §V-A process).
+    #[default]
+    Stationary,
+    /// Sinusoidal day/night cycle:
+    /// `rate · (1 + amplitude · sin(2π · interval / period))`.
+    Diurnal {
+        /// Intervals per full cycle.
+        period: usize,
+        /// Relative swing in `[0, 1]`.
+        amplitude: f64,
+    },
+    /// A flash crowd: `rate · magnitude` during
+    /// `[at, at + duration)`, the base rate elsewhere.
+    FlashCrowd {
+        /// First interval of the spike.
+        at: usize,
+        /// Intervals the spike lasts.
+        duration: usize,
+        /// Rate multiplier during the spike (≥ 1 for a crowd).
+        magnitude: f64,
+    },
+    /// Linear ramp from the base rate at interval 0 to `rate · to` at
+    /// interval `over` (clamped there onward) — a slow regime change.
+    Ramp {
+        /// Final rate multiplier.
+        to: f64,
+        /// Intervals over which the ramp unfolds.
+        over: usize,
+    },
+}
+
+impl ArrivalShape {
+    /// The rate multiplier at `interval` (1.0 for the stationary shape).
+    pub fn scale(&self, interval: usize) -> f64 {
+        match *self {
+            ArrivalShape::Stationary => 1.0,
+            ArrivalShape::Diurnal { period, amplitude } => {
+                let phase = 2.0 * std::f64::consts::PI * interval as f64 / period.max(1) as f64;
+                (1.0 + amplitude * phase.sin()).max(0.0)
+            }
+            ArrivalShape::FlashCrowd {
+                at,
+                duration,
+                magnitude,
+            } => {
+                if interval >= at && interval < at + duration {
+                    magnitude
+                } else {
+                    1.0
+                }
+            }
+            ArrivalShape::Ramp { to, over } => {
+                if over == 0 {
+                    to
+                } else {
+                    let f = (interval as f64 / over as f64).min(1.0);
+                    1.0 + (to - 1.0) * f
+                }
+            }
+        }
+    }
+
+    /// Short label for tables and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalShape::Stationary => "stationary",
+            ArrivalShape::Diurnal { .. } => "diurnal",
+            ArrivalShape::FlashCrowd { .. } => "flashcrowd",
+            ArrivalShape::Ramp { .. } => "ramp",
+        }
+    }
 }
 
 /// Poisson bag-of-tasks arrival process over a benchmark suite.
@@ -56,6 +137,7 @@ pub trait Workload {
 pub struct BagOfTasks {
     apps: Vec<AppProfile>,
     rate: f64,
+    shape: ArrivalShape,
     rng: StdRng,
 }
 
@@ -63,17 +145,30 @@ impl BagOfTasks {
     /// Creates a generator over `suite` with Poisson rate `rate` tasks per
     /// scheduling interval (the paper uses λ = 1.2 for AIoTBench tests).
     pub fn new(suite: BenchmarkSuite, rate: f64, seed: u64) -> Self {
+        Self::with_shape(suite, rate, ArrivalShape::Stationary, seed)
+    }
+
+    /// A generator whose base rate is modulated by `shape`. With
+    /// [`ArrivalShape::Stationary`] this is exactly [`BagOfTasks::new`]
+    /// (the multiplier is 1.0, which leaves the Poisson λ bit-identical).
+    pub fn with_shape(suite: BenchmarkSuite, rate: f64, shape: ArrivalShape, seed: u64) -> Self {
         assert!(rate >= 0.0, "arrival rate must be non-negative");
         Self {
             apps: suite.profiles(),
             rate,
+            shape,
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// Arrival rate per interval.
+    /// Base arrival rate per interval (before shape modulation).
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// The arrival-shape modulation in use.
+    pub fn shape(&self) -> ArrivalShape {
+        self.shape
     }
 
     /// The applications this generator draws from.
@@ -81,10 +176,11 @@ impl BagOfTasks {
         &self.apps
     }
 
-    /// Draws one interval's arrivals: `Poisson(rate)` tasks, each sampled
-    /// uniformly at random from the suite's applications (§V-A).
-    pub fn sample_interval(&mut self, _interval: usize) -> Vec<TaskSpec> {
-        let count = poisson(self.rate, &mut self.rng);
+    /// Draws one interval's arrivals: `Poisson(rate · shape(interval))`
+    /// tasks, each sampled uniformly at random from the suite's
+    /// applications (§V-A).
+    pub fn sample_interval(&mut self, interval: usize) -> Vec<TaskSpec> {
+        let count = poisson(self.rate * self.shape.scale(interval), &mut self.rng);
         (0..count)
             .map(|_| {
                 let app = &self.apps[self.rng.gen_range(0..self.apps.len())];
@@ -170,5 +266,93 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_rate_rejected() {
         BagOfTasks::new(BenchmarkSuite::DeFog, -1.0, 0);
+    }
+
+    #[test]
+    fn stationary_shape_is_bit_identical_to_plain_bag() {
+        let mut plain = BagOfTasks::new(BenchmarkSuite::AIoTBench, 2.4, 31);
+        let mut shaped =
+            BagOfTasks::with_shape(BenchmarkSuite::AIoTBench, 2.4, ArrivalShape::Stationary, 31);
+        for t in 0..30 {
+            assert_eq!(plain.sample_interval(t), shaped.sample_interval(t));
+        }
+    }
+
+    #[test]
+    fn shape_scales_are_sane() {
+        let diurnal = ArrivalShape::Diurnal {
+            period: 12,
+            amplitude: 0.5,
+        };
+        assert!((diurnal.scale(0) - 1.0).abs() < 1e-12);
+        assert!(diurnal.scale(3) > 1.4, "peak of the cycle");
+        assert!(diurnal.scale(9) < 0.6, "trough of the cycle");
+
+        let crowd = ArrivalShape::FlashCrowd {
+            at: 5,
+            duration: 2,
+            magnitude: 3.0,
+        };
+        assert_eq!(crowd.scale(4), 1.0);
+        assert_eq!(crowd.scale(5), 3.0);
+        assert_eq!(crowd.scale(6), 3.0);
+        assert_eq!(crowd.scale(7), 1.0);
+
+        let ramp = ArrivalShape::Ramp { to: 2.0, over: 10 };
+        assert_eq!(ramp.scale(0), 1.0);
+        assert!((ramp.scale(5) - 1.5).abs() < 1e-12);
+        assert_eq!(ramp.scale(10), 2.0);
+        assert_eq!(ramp.scale(50), 2.0, "clamped past the ramp");
+    }
+
+    #[test]
+    fn flash_crowd_raises_arrivals_during_the_spike() {
+        let shape = ArrivalShape::FlashCrowd {
+            at: 10,
+            duration: 10,
+            magnitude: 4.0,
+        };
+        let mut wl = BagOfTasks::with_shape(BenchmarkSuite::AIoTBench, 2.0, shape, 3);
+        let mut base = 0usize;
+        let mut spike = 0usize;
+        for t in 0..20 {
+            let n = wl.sample_interval(t).len();
+            if t < 10 {
+                base += n;
+            } else {
+                spike += n;
+            }
+        }
+        assert!(
+            spike > 2 * base,
+            "4× crowd must dominate: base={base} spike={spike}"
+        );
+    }
+
+    #[test]
+    fn shaped_workloads_are_deterministic_and_serde_round_trip() {
+        let shape = ArrivalShape::Diurnal {
+            period: 8,
+            amplitude: 0.6,
+        };
+        let mut a = BagOfTasks::with_shape(BenchmarkSuite::DeFog, 3.0, shape, 9);
+        let mut b = BagOfTasks::with_shape(BenchmarkSuite::DeFog, 3.0, shape, 9);
+        for t in 0..20 {
+            assert_eq!(a.sample_interval(t), b.sample_interval(t));
+        }
+        for shape in [
+            ArrivalShape::Stationary,
+            shape,
+            ArrivalShape::FlashCrowd {
+                at: 3,
+                duration: 2,
+                magnitude: 2.5,
+            },
+            ArrivalShape::Ramp { to: 0.5, over: 6 },
+        ] {
+            let json = serde_json::to_string(&shape).unwrap();
+            let back: ArrivalShape = serde_json::from_str(&json).unwrap();
+            assert_eq!(shape, back);
+        }
     }
 }

@@ -393,6 +393,21 @@ pub fn record_suite(
     record_workload(&mut bag, intervals)
 }
 
+/// Records a **shaped** bag-of-tasks run (diurnal cycle, flash crowd,
+/// ramp — see [`crate::ArrivalShape`]) as `carol-trace` v1 events, so
+/// non-stationary scenarios can be exported, inspected and replayed with
+/// the same tooling as stationary ones.
+pub fn record_shaped_suite(
+    suite: crate::BenchmarkSuite,
+    rate: f64,
+    shape: crate::ArrivalShape,
+    seed: u64,
+    intervals: usize,
+) -> Vec<TraceEvent> {
+    let mut bag = crate::BagOfTasks::with_shape(suite, rate, shape, seed);
+    record_workload(&mut bag, intervals)
+}
+
 /// Records `intervals` intervals of any workload as trace events.
 pub fn record_workload(workload: &mut dyn Workload, intervals: usize) -> Vec<TraceEvent> {
     let mut events = Vec::new();

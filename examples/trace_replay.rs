@@ -8,9 +8,10 @@
 
 use carol::carol::{Carol, CarolConfig};
 use carol::scenario::{run_scenario, ScenarioSpec, SchedulerKind, WorkloadSource};
-use faults::TargetPolicy;
+use edgesim::FleetMix;
+use faults::{FaultModel, TargetPolicy};
 use workloads::replay::{export_jsonl, load_jsonl, record_suite};
-use workloads::BenchmarkSuite;
+use workloads::{ArrivalShape, BenchmarkSuite};
 
 fn main() {
     let seed = 42;
@@ -45,11 +46,14 @@ fn main() {
             suite: BenchmarkSuite::AIoTBench,
             rate,
         },
+        shape: ArrivalShape::Stationary,
         n_hosts: 16,
         n_brokers: 4,
+        fleet: FleetMix::Pi,
         intervals,
         fault_rate: 1.5,
         fault_target: TargetPolicy::BrokersOnly,
+        fault_model: FaultModel::Iid,
         scheduler: SchedulerKind::LeastLoad,
         seed,
     };

@@ -379,3 +379,44 @@ fn same_seed_is_bit_identical_for_seeded_baseline() {
     let second = run(7);
     assert_identical(&first, &second);
 }
+
+/// The correlated-fault and heterogeneity axes' fan-out contract: rack
+/// cascades, network partitions, heterogeneous fleets and non-stationary
+/// arrivals — including every checked-in fuzzer-found `cliff-*` scenario
+/// — are bit-identical on one worker and on four. Each new stochastic
+/// layer (per-rack hazards, partition windows, shaped arrival sampling)
+/// draws from scenario-owned RNG streams, so worker count must never
+/// leak into the outputs.
+#[test]
+fn correlated_and_heterogeneous_scenarios_are_bit_identical_across_workers() {
+    let mut specs: Vec<ScenarioSpec> = [
+        "cascade-64",
+        "partition-128",
+        "flashcrowd-hetero-64",
+        "cliff-cascade-16",
+        "cliff-partition-16",
+        "cliff-flashcrowd-32",
+    ]
+    .iter()
+    .map(|name| ScenarioSpec::named(name, 9).unwrap_or_else(|| panic!("{name} is registered")))
+    .collect();
+    // Debug-budget horizon for the big federations; the shrunk cliff
+    // scenarios are already minimal.
+    for spec in &mut specs {
+        spec.intervals = spec.intervals.min(6);
+    }
+
+    let make = |spec: &ScenarioSpec| Lbos::new(spec.seed);
+    let serial = run_scenarios_threads(1, make, &specs);
+    let parallel = run_scenarios_threads(4, make, &specs);
+
+    assert_eq!(serial.len(), specs.len());
+    for ((spec, a), b) in specs.iter().zip(&serial).zip(&parallel) {
+        assert!(
+            a.result.completed > 0,
+            "{}: scenario completed no tasks",
+            spec.name
+        );
+        assert_identical(&a.result, &b.result);
+    }
+}

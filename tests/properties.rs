@@ -594,4 +594,50 @@ proptest! {
             );
         }
     }
+
+    /// Rack partitions never orphan a task silently: for any partition
+    /// rate/duration and seed, every arrival stays tracked by the
+    /// simulator, and after each step no task is left `Running` on a
+    /// host that was failed during that interval — stranded tasks are
+    /// restarted (`Pending`) per the paper's worker-failure rule.
+    #[test]
+    fn partitions_never_orphan_tasks(
+        seed in 0u64..500,
+        rate in 0.1f64..0.6,
+        duration in 1usize..4,
+    ) {
+        use faults::{FaultInjector, FaultModel, TargetPolicy};
+        let mut sim = Simulator::new(SimConfig::small(16, 4, seed));
+        let mut sched = LeastLoadScheduler::new();
+        let mut bag = BagOfTasks::new(BenchmarkSuite::AIoTBench, 7.2, seed);
+        let mut injector = FaultInjector::with_model(
+            1.0,
+            TargetPolicy::AnyHost,
+            FaultModel::Partition {
+                rack_size: 8,
+                rate,
+                duration,
+            },
+            seed ^ 0x4654,
+        );
+        let mut arrived = 0usize;
+        for interval in 0..12 {
+            injector.inject(interval, &mut sim);
+            let report = sim.step(bag.sample_interval(interval), &mut sched);
+            arrived += report.arrivals;
+            // Conservation: every arrival stays tracked.
+            prop_assert_eq!(sim.tasks().len(), arrived);
+            for task in sim.tasks() {
+                if task.status == TaskStatus::Running {
+                    let h = task.host.expect("running tasks are placed");
+                    prop_assert!(
+                        !report.failed_hosts.contains(&h),
+                        "task {} left running on failed host {}",
+                        task.id,
+                        h
+                    );
+                }
+            }
+        }
+    }
 }

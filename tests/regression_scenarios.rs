@@ -1,0 +1,99 @@
+//! Regression pins for the fuzzer-found QoS-cliff scenarios.
+//!
+//! The `bench` scenario fuzzer (`cargo run -p bench --bin fuzz`) found
+//! and shrank these scenarios at discovery seed 0; they are checked in
+//! as named `cliff-*` registry entries. This suite replays each one
+//! through the ordinary constructors (`ScenarioSpec::named` +
+//! `Carol::pretrained`) and pins the exact completed-task counts and
+//! QoS values the fuzzer reported — so a behaviour change that heals or
+//! moves a cliff is a visible, deliberate diff, not silent drift.
+//!
+//! QoS here is the fuzzer's oracle scalar: `completed · (1 −
+//! slo_violation_rate)` (see `bench::fuzz::qos`).
+
+use baselines::Lbos;
+use bench::fuzz::qos;
+use bench::scale::sweep_carol_config;
+use carol::carol::Carol;
+use carol::scenario::{run_scenario, ScenarioSpec};
+
+/// Discovery seed of every checked-in cliff.
+const SEED: u64 = 0;
+
+fn run_carol(spec: &ScenarioSpec) -> (f64, usize) {
+    let mut policy = Carol::pretrained(sweep_carol_config(spec.seed), spec.seed);
+    let r = run_scenario(&mut policy, spec).result;
+    (qos(r.completed, r.slo_violation_rate), r.completed)
+}
+
+fn assert_qos(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < 1e-9,
+        "{what}: qos {actual} drifted from pinned {expected}"
+    );
+}
+
+/// `cliff-cascade-16`: a rack cascade at λ_f = 2.0 collapses CAROL's
+/// QoS from 29 (at λ_f = 1.75, one fuzzer notch lower) to 19 — a 34 %
+/// neighbourhood drop from a 12.5 % rate bump.
+#[test]
+fn cliff_cascade_16_pins_its_neighborhood_drop() {
+    let spec = ScenarioSpec::named("cliff-cascade-16", SEED).expect("registered");
+    let (cliff_qos, completed) = run_carol(&spec);
+    assert_eq!(completed, 19);
+    assert_qos(cliff_qos, 19.0, "cliff-cascade-16");
+
+    let mut neighbor = spec.clone();
+    neighbor.fault_rate = 1.75;
+    let (neighbor_qos, neighbor_completed) = run_carol(&neighbor);
+    assert_eq!(neighbor_completed, 29);
+    assert_qos(neighbor_qos, 29.0, "cliff-cascade-16 neighbour");
+
+    assert!(
+        cliff_qos < neighbor_qos * 0.7,
+        "the ≥30 % neighbourhood drop the fuzzer flagged must still hold"
+    );
+}
+
+/// `cliff-partition-16`: rack partitions at λ_f = 1.5 collapse CAROL's
+/// QoS from 29 (at λ_f = 1.25) to 19.
+#[test]
+fn cliff_partition_16_pins_its_neighborhood_drop() {
+    let spec = ScenarioSpec::named("cliff-partition-16", SEED).expect("registered");
+    let (cliff_qos, completed) = run_carol(&spec);
+    assert_eq!(completed, 19);
+    assert_qos(cliff_qos, 19.0, "cliff-partition-16");
+
+    let mut neighbor = spec.clone();
+    neighbor.fault_rate = 1.25;
+    let (neighbor_qos, neighbor_completed) = run_carol(&neighbor);
+    assert_eq!(neighbor_completed, 29);
+    assert_qos(neighbor_qos, 29.0, "cliff-partition-16 neighbour");
+
+    assert!(
+        cliff_qos < neighbor_qos * 0.7,
+        "the ≥30 % neighbourhood drop the fuzzer flagged must still hold"
+    );
+}
+
+/// `cliff-flashcrowd-32`: under a 3× flash crowd on 32 hosts, CAROL
+/// (QoS 109) loses to the plain LBOS baseline (QoS 122) on the same
+/// seed by more than the fuzzer's 10 % margin.
+#[test]
+fn cliff_flashcrowd_32_pins_its_baseline_loss() {
+    let spec = ScenarioSpec::named("cliff-flashcrowd-32", SEED).expect("registered");
+    let (carol_qos, carol_completed) = run_carol(&spec);
+    assert_eq!(carol_completed, 237);
+    assert_qos(carol_qos, 109.0, "cliff-flashcrowd-32 CAROL");
+
+    let mut baseline = Lbos::new(SEED);
+    let r = run_scenario(&mut baseline, &spec).result;
+    let baseline_qos = qos(r.completed, r.slo_violation_rate);
+    assert_eq!(r.completed, 237);
+    assert_qos(baseline_qos, 122.0, "cliff-flashcrowd-32 LBOS");
+
+    assert!(
+        carol_qos < baseline_qos * 0.9,
+        "the ≥10 % baseline loss the fuzzer flagged must still hold"
+    );
+}
