@@ -54,11 +54,11 @@ fn print_history(policy: &Carol, intervals: usize, label: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
+    let args = bench::cli::CommonArgs::parse();
+    let fast = args.fast;
     let seed = 42;
 
-    if let Some(mut spec) = bench::scenario_from_args(&args, seed) {
+    if let Some(mut spec) = args.scenario(seed) {
         if fast {
             spec.intervals = spec.intervals.min(25);
         }

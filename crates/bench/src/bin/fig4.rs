@@ -22,12 +22,12 @@ use workloads::trace::{generate_trace, generate_trace_from, TraceConfig};
 use workloads::BenchmarkSuite;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
+    let args = bench::cli::CommonArgs::parse();
+    let fast = args.fast;
     let intervals = if fast { 200 } else { 1000 };
     let seed = 7;
 
-    let (label, trace) = if let Some(spec) = bench::scenario_from_args(&args, seed) {
+    let (label, trace) = if let Some(spec) = args.scenario(seed) {
         // Scenario traces are capped at 200 intervals (50 with `--fast`):
         // scenarios run at up to 128 hosts, where the paper-shape 1000
         // intervals would dominate the trace-generation wall-clock

@@ -29,9 +29,8 @@ fn rows_for(metric: &str, data: &[PolicyMetrics]) -> Vec<Row> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let mut config = if fast {
+    let args = bench::cli::CommonArgs::parse();
+    let mut config = if args.fast {
         Fig5Config::fast()
     } else {
         Fig5Config::paper()
@@ -44,7 +43,7 @@ fn main() {
     // the scheduler would be silently misrepresented, so they are
     // rejected up front (use fig2/scale for those: they run the full
     // scenario engine).
-    if let Some(spec) = bench::scenario_from_args(&args, config.experiment.seed) {
+    if let Some(spec) = args.scenario(config.experiment.seed) {
         use carol::scenario::{SchedulerKind, WorkloadSource};
         assert!(
             matches!(spec.workload, WorkloadSource::Suite { .. }),

@@ -17,34 +17,27 @@
 
 use bench::fuzz::{run_fuzz, FuzzConfig, FUZZ_JSON_ENV};
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let seed = flag_value(&args, "--seed")
+    let args = bench::cli::CommonArgs::parse();
+    let seed = args
+        .flag_value("--seed")
         .map(|s| s.parse().expect("--seed takes a u64"))
         .unwrap_or(0);
-    let mut config = if fast {
+    let mut config = if args.fast {
         FuzzConfig::fast(seed)
     } else {
         FuzzConfig::full(seed)
     };
-    if let Some(budget) = flag_value(&args, "--budget") {
+    if let Some(budget) = args.flag_value("--budget") {
         config.budget_s = budget
             .trim_end_matches('s')
             .parse()
             .expect("--budget takes seconds");
     }
-    if let Some(cases) = flag_value(&args, "--cases") {
+    if let Some(cases) = args.flag_value("--cases") {
         config.cases = cases.parse().expect("--cases takes a count");
     }
-    let out_path = flag_value(&args, "--out")
-        .or_else(|| std::env::var(FUZZ_JSON_ENV).ok().filter(|p| !p.is_empty()));
+    let out_path = args.out_path(FUZZ_JSON_ENV);
 
     println!(
         "fuzz: up to {} cases, {:.0} s budget, seed {} (margin {:.0}%, drop {:.0}%)",

@@ -17,15 +17,11 @@
 use bench::scale::{render_table, run_cell, sweep, to_json, ScaleConfig, SCALE_JSON_ENV};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| std::env::var(SCALE_JSON_ENV).ok().filter(|p| !p.is_empty()));
+    let args = bench::cli::CommonArgs::parse();
+    let fast = args.fast;
+    let out_path = args.out_path(SCALE_JSON_ENV);
 
-    let points = if let Some(mut spec) = bench::scenario_from_args(&args, 0) {
+    let points = if let Some(mut spec) = args.scenario(0) {
         if fast {
             // Same CI-budget cap as the fig2 scenario path.
             spec.intervals = spec.intervals.min(25);

@@ -1,0 +1,111 @@
+//! Federation-controller service daemon + replay bench.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve                       # full bench: ≥100k-task replay → SERVE numbers
+//! cargo run --release -p bench --bin serve -- --fast             # CI smoke: checked-in 40-interval trace
+//! cargo run --release -p bench --bin serve -- --out SERVE.json   # also: SERVE_JSON env var
+//! cargo run --release -p bench --bin serve -- --config spec.json # full ExperimentSpec from JSON
+//! cat trace.jsonl | cargo run --release -p bench --bin serve -- --stdin
+//! cargo run --release -p bench --bin serve -- --listen 127.0.0.1:7070
+//! cargo run --release -p bench --bin serve -- --metrics 127.0.0.1:9090 --pace 1.0
+//! ```
+//!
+//! Without `--stdin`/`--listen` the binary runs as a *bench*: it replays
+//! a recorded trace through the daemon at full speed and reports
+//! decisions/sec plus p50/p99 decision latency. With them it runs as a
+//! *daemon*: events arrive over stdin or one TCP connection, optionally
+//! paced to wall clock (`--pace <seconds-per-interval>`), with the
+//! plain-text health endpoint on `--metrics <addr>`.
+
+use bench::serve::{
+    full_spec, full_trace, run_serve_bench, smoke_spec, ServeBenchReport, SERVE_JSON_ENV,
+    SMOKE_TRACE,
+};
+use carol::service::{serve_listener, serve_stdin, ExperimentSpec, ServeOptions};
+
+fn main() {
+    let args = bench::cli::CommonArgs::parse();
+    let seed = args
+        .flag_value("--seed")
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(7);
+    let out_path = args.out_path(SERVE_JSON_ENV);
+
+    let checkpoint_path =
+        std::env::temp_dir().join(format!("carol-serve-{}.json", std::process::id()));
+    let checkpoint_path = checkpoint_path.to_string_lossy().into_owned();
+    let mut spec = if let Some(config_path) = args.flag_value("--config") {
+        let json = std::fs::read_to_string(&config_path)
+            .unwrap_or_else(|e| panic!("cannot read --config {config_path}: {e}"));
+        ExperimentSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("--config {config_path} is not an ExperimentSpec: {e}"))
+    } else if args.fast {
+        smoke_spec(seed, &checkpoint_path)
+    } else {
+        full_spec(seed, &checkpoint_path)
+    };
+    if let Some(scenario) = args.scenario(seed) {
+        spec.scenario = scenario;
+    }
+
+    let options = ServeOptions {
+        pace_interval_s: args
+            .flag_value("--pace")
+            .map(|s| s.parse().expect("--pace takes seconds per interval")),
+        metrics_addr: args.flag_value("--metrics"),
+        background_tune: !args.has_flag("--no-background-tune"),
+    };
+
+    // Daemon modes: ingest a live stream, report, exit.
+    if args.has_flag("--stdin") {
+        eprintln!("[serve] daemon: ingesting carol-trace v1 from stdin…");
+        let report = serve_stdin(&spec, &options).unwrap_or_else(|e| panic!("serve failed: {e}"));
+        finish(
+            ServeBenchReport {
+                report,
+                checkpoint_restore_verified: false,
+            },
+            out_path,
+        );
+        return;
+    }
+    if let Some(addr) = args.flag_value("--listen") {
+        let listener = std::net::TcpListener::bind(&addr)
+            .unwrap_or_else(|e| panic!("cannot bind --listen {addr}: {e}"));
+        eprintln!("[serve] daemon: waiting for one trace connection on {addr}…");
+        let report = serve_listener(&spec, &listener, &options)
+            .unwrap_or_else(|e| panic!("serve failed: {e}"));
+        finish(
+            ServeBenchReport {
+                report,
+                checkpoint_restore_verified: false,
+            },
+            out_path,
+        );
+        return;
+    }
+
+    // Bench mode: replay a recorded trace at full speed.
+    let trace = if args.fast {
+        eprintln!("[serve] smoke: replaying the checked-in 40-interval trace…");
+        SMOKE_TRACE.to_string()
+    } else {
+        eprintln!(
+            "[serve] recording a paper-16 trace ({} intervals ≈ 100k+ tasks)…",
+            bench::serve::FULL_INTERVALS
+        );
+        full_trace(seed)
+    };
+    let bench = run_serve_bench(&spec, &trace, &options);
+    std::fs::remove_file(&checkpoint_path).ok();
+    finish(bench, out_path);
+}
+
+fn finish(bench: ServeBenchReport, out_path: Option<String>) {
+    print!("{}", bench::serve::render_summary(&bench));
+    if let Some(path) = out_path {
+        std::fs::write(&path, bench.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote report to {path}");
+    }
+}

@@ -1,11 +1,76 @@
 //! Shared CLI plumbing for the figure binaries.
 //!
-//! Every figure binary accepts `--scenario <name>`, resolved through the
-//! [`carol::scenario`] registry — the scenario-level CLI the ROADMAP
-//! called for. An unknown name aborts with the catalogue, so
-//! `--scenario help` (or any typo) doubles as discovery.
+//! Every artefact binary speaks the same dialect — `--fast`,
+//! `--scenario <name>`, `--out <path>` with a per-binary env-var
+//! fallback, plus binary-specific `--flag value` pairs — so the parsing
+//! lives here once, as [`CommonArgs`]. Scenario names resolve through
+//! the [`carol::scenario`] registry; an unknown name aborts with the
+//! catalogue, so `--scenario help` (or any typo) doubles as discovery.
 
 use carol::scenario::ScenarioSpec;
+
+/// The flags every artefact binary shares, parsed once.
+///
+/// ```
+/// let args = bench::cli::CommonArgs::from_vec(vec![
+///     "--fast".into(),
+///     "--out".into(),
+///     "report.json".into(),
+/// ]);
+/// assert!(args.fast);
+/// assert_eq!(args.out_path("NO_SUCH_ENV"), Some("report.json".into()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// `--fast` was passed: run the CI-budget variant.
+    pub fast: bool,
+    /// The raw argument list (program name stripped).
+    args: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parses the process arguments (`std::env::args`, program name
+    /// skipped).
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument list — the testable entry point.
+    pub fn from_vec(args: Vec<String>) -> Self {
+        Self {
+            fast: args.iter().any(|a| a == "--fast"),
+            args,
+        }
+    }
+
+    /// `true` when `flag` appears anywhere in the argument list.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The value following `--flag`, if both are present.
+    pub fn flag_value(&self, flag: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1).cloned())
+    }
+
+    /// `--scenario <name>`, resolved through the registry with `seed`.
+    /// `None` when the flag is absent; aborts with the catalogue on a
+    /// missing or unknown name (see [`scenario_from_args`]).
+    pub fn scenario(&self, seed: u64) -> Option<ScenarioSpec> {
+        scenario_from_args(&self.args, seed)
+    }
+
+    /// The JSON artifact destination: `--out <path>`, falling back to
+    /// the binary's env var (`SCALE_JSON`, `FUZZ_JSON`, `SERVE_JSON`, …)
+    /// when the flag is absent. Empty env values count as unset.
+    pub fn out_path(&self, env_var: &str) -> Option<String> {
+        self.flag_value("--out")
+            .or_else(|| std::env::var(env_var).ok().filter(|p| !p.is_empty()))
+    }
+}
 
 /// Parses `--scenario <name>` out of `args`, resolving the name through
 /// [`ScenarioSpec::named`] with `seed`. Returns `None` when the flag is
@@ -63,5 +128,39 @@ mod tests {
     #[should_panic(expected = "--scenario needs a name")]
     fn missing_name_aborts() {
         scenario_from_args(&args(&["--scenario"]), 1);
+    }
+
+    #[test]
+    fn common_args_parses_shared_dialect() {
+        let a = CommonArgs::from_vec(args(&[
+            "--fast",
+            "--seed",
+            "9",
+            "--out",
+            "x.json",
+            "--scenario",
+            "paper-16",
+        ]));
+        assert!(a.fast);
+        assert!(a.has_flag("--seed"));
+        assert_eq!(a.flag_value("--seed").as_deref(), Some("9"));
+        assert_eq!(a.flag_value("--missing"), None);
+        assert_eq!(
+            a.out_path("BENCH_TEST_UNSET_ENV").as_deref(),
+            Some("x.json")
+        );
+        assert_eq!(a.scenario(3).unwrap().name, "paper-16");
+    }
+
+    #[test]
+    fn out_path_falls_back_to_env() {
+        let a = CommonArgs::from_vec(args(&["--fast"]));
+        assert_eq!(a.out_path("BENCH_TEST_UNSET_ENV"), None);
+        std::env::set_var("BENCH_TEST_FALLBACK_ENV", "from-env.json");
+        assert_eq!(
+            a.out_path("BENCH_TEST_FALLBACK_ENV").as_deref(),
+            Some("from-env.json")
+        );
+        std::env::remove_var("BENCH_TEST_FALLBACK_ENV");
     }
 }

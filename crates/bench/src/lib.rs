@@ -11,6 +11,7 @@
 //! | `fig6` | Fig. 6(a–c) — sensitivity to learning rate, model memory, tabu list |
 //! | `scale` | Beyond the paper: host-count scaling sweep (16 → 128 hosts, synthetic + replayed traces) |
 //! | `fuzz` | Beyond the paper: scenario fuzzer — QoS-cliff search over the scenario axes with shrinking |
+//! | `serve` | Beyond the paper: streaming service daemon — carol-trace replay through the federation controller, decisions/sec + p50/p99 |
 //!
 //! The library part holds shared experiment plumbing (multi-seed fan-out,
 //! table rendering) plus the fig5/fig6/scale implementations so they are
@@ -24,6 +25,7 @@ pub mod fig6;
 pub mod fuzz;
 pub mod render;
 pub mod scale;
+pub mod serve;
 
 pub use cli::scenario_from_args;
 pub use render::{render_comparison, Row};

@@ -7,15 +7,18 @@ use crate::tabu::{self, TabuConfig};
 use edgesim::state::SystemState;
 use edgesim::{HostId, IntervalReport, NodeRole, SimConfig, Simulator, Topology};
 use gon::surrogates::{FeedForwardSurrogate, GanSurrogate};
-use gon::{train_offline, GonConfig, GonModel, TrainConfig};
+use gon::{train_offline, GonCheckpoint, GonConfig, GonModel, TrainConfig};
 use nn::Adam;
+use par::EngineConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::thread::JoinHandle;
 use workloads::trace::{generate_trace, TraceConfig};
 use workloads::BenchmarkSuite;
 
 /// When the surrogate gets fine-tuned (the §V-D fine-tuning ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FineTuneMode {
     /// Only when confidence dips below the POT threshold (CAROL proper).
     Confidence,
@@ -26,7 +29,7 @@ pub enum FineTuneMode {
 }
 
 /// Which surrogate model drives the QoS prediction (§V-D model ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CarolVariant {
     /// The GON discriminator (CAROL proper).
     Gon,
@@ -39,7 +42,7 @@ pub enum CarolVariant {
 }
 
 /// Full CAROL configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CarolConfig {
     /// GON network hyperparameters.
     pub gon: GonConfig,
@@ -118,6 +121,25 @@ impl CarolConfig {
             ..Default::default()
         }
     }
+
+    /// The candidate-evaluation engine this config selects. The legacy
+    /// `batch_eval` / `eval_threads` fields are thin views of a
+    /// [`par::EngineConfig`]; all thread resolution goes through
+    /// [`par::EngineConfig::worker_count`].
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            batched: self.batch_eval,
+            threads: self.eval_threads,
+        }
+    }
+
+    /// Replaces the evaluation-engine selection with `engine`,
+    /// overwriting the `batch_eval` / `eval_threads` field pair.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.batch_eval = engine.batched;
+        self.eval_threads = engine.threads;
+        self
+    }
 }
 
 /// The CAROL policy (Algorithm 2). Construct with [`Carol::pretrained`]
@@ -134,6 +156,13 @@ pub struct Carol {
     adam: Adam,
     rng: StdRng,
     interval: usize,
+    /// Run GON fine-tuning on a weight snapshot in a background thread
+    /// (service mode). The tuned weights install at the next surrogate
+    /// use, which the serial path never reaches before tuning completes
+    /// logically — so results stay bit-identical to inline tuning.
+    background_tune: bool,
+    /// In-flight background fine-tune job, if any.
+    pending_tune: Option<JoinHandle<(GonModel, Adam)>>,
     /// Confidence score per observed interval (the Fig. 2 series).
     pub confidence_history: Vec<f64>,
     /// POT threshold per observed interval (`None` during calibration).
@@ -177,6 +206,8 @@ impl Carol {
             surrogate_queries: 0,
             modeled_decision_s: 0.0,
             modeled_overhead_s: 0.0,
+            background_tune: false,
+            pending_tune: None,
             gon,
             gan,
             ff,
@@ -224,6 +255,42 @@ impl Carol {
     /// Number of fine-tuning events so far.
     pub fn fine_tune_count(&self) -> usize {
         self.fine_tune_intervals.len()
+    }
+
+    /// Intervals observed so far.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Enables or disables background fine-tuning (GON variant only;
+    /// ignored otherwise). When on, a confidence alarm spawns the
+    /// fine-tune on clones of the GON and optimizer in a worker thread;
+    /// the tuned weights are installed at the next surrogate use
+    /// ([`Carol::repair`], the next observe, or a checkpoint) — points
+    /// the inline path cannot reach mid-tune either, so every decision
+    /// stays bit-identical to inline tuning (gated in
+    /// `tests/determinism.rs`) while the daemon keeps ingesting.
+    pub fn set_background_tune(&mut self, on: bool) {
+        if !on {
+            self.install_pending_tune();
+        }
+        self.background_tune = on && matches!(self.config.variant, CarolVariant::Gon);
+    }
+
+    /// Joins and installs an in-flight background fine-tune, if any.
+    /// No-op when none is pending; called from every path that reads or
+    /// writes the GON.
+    fn install_pending_tune(&mut self) {
+        if let Some(handle) = self.pending_tune.take() {
+            let (gon, adam) = handle.join().expect("background fine-tune panicked");
+            self.gon = gon;
+            self.adam = adam;
+        }
+    }
+
+    /// True while a background fine-tune job is still in flight.
+    pub fn tune_in_flight(&self) -> bool {
+        self.pending_tune.is_some()
     }
 
     /// Transition cost of installing `candidate` over the current
@@ -293,6 +360,7 @@ impl Carol {
     /// [`crate::proactive::ProactiveCarol`]). Charges the same modeled
     /// decision costs as the internal path.
     pub fn objective_public(&mut self, base: &SystemState, candidate: &Topology) -> f64 {
+        self.install_pending_tune();
         self.objective(base, candidate)
     }
 
@@ -317,13 +385,15 @@ impl Carol {
     /// count. With `batch_eval` off this simply runs the serial reference
     /// path.
     pub fn objective_batch(&mut self, base: &SystemState, candidates: &[Topology]) -> Vec<f64> {
-        if !self.config.batch_eval {
+        self.install_pending_tune();
+        let engine = self.config.engine();
+        if !engine.batched {
             return candidates.iter().map(|t| self.objective(base, t)).collect();
         }
         if candidates.is_empty() {
             return Vec::new();
         }
-        let threads = self.config.eval_threads.unwrap_or_else(par::thread_count);
+        let threads = engine.worker_count();
         let chunks: Vec<&[Topology]> = candidates.chunks(Self::SCORE_BATCH).collect();
         let (alpha, beta) = (self.config.alpha, self.config.beta);
 
@@ -399,6 +469,70 @@ impl Carol {
         CarolObjective { carol: self, base }
     }
 
+    /// Freezes the full controller state — config, GON weights (via
+    /// [`GonCheckpoint`]), POT detector, running dataset Γ, optimizer,
+    /// RNG stream position, histories, and modeled-cost accumulators —
+    /// so [`Carol::restore`] continues the run bit-identically (gated in
+    /// `tests/determinism.rs`). Joins any in-flight background
+    /// fine-tune first. Only the GON variant checkpoints; the GAN /
+    /// feed-forward ablation surrogates have no serialized form.
+    pub fn checkpoint(&mut self) -> Result<CarolCheckpoint, CarolCheckpointError> {
+        self.install_pending_tune();
+        if !matches!(self.config.variant, CarolVariant::Gon) {
+            return Err(CarolCheckpointError::UnsupportedVariant(
+                self.config.variant,
+            ));
+        }
+        Ok(CarolCheckpoint {
+            config: self.config.clone(),
+            gon: GonCheckpoint::capture(&mut self.gon),
+            pot: self.pot.clone(),
+            gamma: self.gamma.clone(),
+            adam: self.adam.clone(),
+            rng_state: self.rng.state(),
+            interval: self.interval,
+            confidence_history: self.confidence_history.clone(),
+            threshold_history: self.threshold_history.clone(),
+            fine_tune_intervals: self.fine_tune_intervals.clone(),
+            surrogate_queries: self.surrogate_queries,
+            modeled_decision_s: self.modeled_decision_s,
+            modeled_overhead_s: self.modeled_overhead_s,
+        })
+    }
+
+    /// Rebuilds the controller a [`Carol::checkpoint`] froze.
+    /// `restore(checkpoint())` followed by any observe/repair sequence is
+    /// bit-identical to running that sequence on the original.
+    /// Background tuning is off on the restored controller; re-enable it
+    /// with [`Carol::set_background_tune`].
+    pub fn restore(ckpt: &CarolCheckpoint) -> Result<Self, CarolCheckpointError> {
+        if !matches!(ckpt.config.variant, CarolVariant::Gon) {
+            return Err(CarolCheckpointError::UnsupportedVariant(
+                ckpt.config.variant,
+            ));
+        }
+        let gon = ckpt.gon.restore().map_err(CarolCheckpointError::Gon)?;
+        Ok(Self {
+            config: ckpt.config.clone(),
+            gon,
+            gan: None,
+            ff: None,
+            pot: ckpt.pot.clone(),
+            gamma: ckpt.gamma.clone(),
+            adam: ckpt.adam.clone(),
+            rng: StdRng::from_state(ckpt.rng_state),
+            interval: ckpt.interval,
+            confidence_history: ckpt.confidence_history.clone(),
+            threshold_history: ckpt.threshold_history.clone(),
+            fine_tune_intervals: ckpt.fine_tune_intervals.clone(),
+            surrogate_queries: ckpt.surrogate_queries,
+            modeled_decision_s: ckpt.modeled_decision_s,
+            modeled_overhead_s: ckpt.modeled_overhead_s,
+            background_tune: false,
+            pending_tune: None,
+        })
+    }
+
     /// Confidence score of the current state under the surrogate.
     fn confidence(&mut self, snapshot: &SystemState) -> f64 {
         match self.config.variant {
@@ -414,6 +548,77 @@ impl Carol {
         }
     }
 }
+
+/// Everything [`Carol::checkpoint`] freezes: restore with
+/// [`Carol::restore`] and the controller continues the run as if never
+/// interrupted. The vendored serde round-trips every `f64` bit-exactly,
+/// so the JSON form is a faithful wire format for daemon restarts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CarolCheckpoint {
+    /// Full configuration the controller ran with.
+    pub config: CarolConfig,
+    /// GON weights, gradients, and optimizer moment buffers.
+    pub gon: GonCheckpoint,
+    /// POT threshold detector state (calibration window + exceedances).
+    pub pot: PotDetector,
+    /// Running dataset Γ accumulated since the last fine-tune.
+    pub gamma: Vec<SystemState>,
+    /// Adam optimizer scalars (learning rate, decay, step count).
+    pub adam: Adam,
+    /// xoshiro256** state of the node-shift RNG stream.
+    pub rng_state: [u64; 4],
+    /// Intervals observed so far.
+    pub interval: usize,
+    /// Confidence score per observed interval.
+    pub confidence_history: Vec<f64>,
+    /// POT threshold per observed interval.
+    pub threshold_history: Vec<Option<f64>>,
+    /// Intervals at which fine-tuning fired.
+    pub fine_tune_intervals: Vec<usize>,
+    /// Surrogate evaluations issued so far.
+    pub surrogate_queries: usize,
+    /// Modeled decision-time accumulator.
+    pub modeled_decision_s: f64,
+    /// Modeled fine-tune-overhead accumulator.
+    pub modeled_overhead_s: f64,
+}
+
+impl CarolCheckpoint {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("CarolCheckpoint serialization cannot fail")
+    }
+
+    /// Deserializes from JSON produced by [`CarolCheckpoint::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, CarolCheckpointError> {
+        serde_json::from_str(text).map_err(|e| CarolCheckpointError::Json(e.to_string()))
+    }
+}
+
+/// Why a controller checkpoint could not be captured or restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CarolCheckpointError {
+    /// Only the GON variant has a serialized surrogate form.
+    UnsupportedVariant(CarolVariant),
+    /// The embedded GON checkpoint was inconsistent.
+    Gon(gon::CheckpointError),
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl std::fmt::Display for CarolCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsupportedVariant(v) => {
+                write!(f, "variant {v:?} has no checkpoint form (GON only)")
+            }
+            Self::Gon(e) => write!(f, "GON checkpoint: {e}"),
+            Self::Json(msg) => write!(f, "checkpoint JSON error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CarolCheckpointError {}
 
 /// Borrowed view of a [`Carol`] as a batched tabu objective: candidates
 /// are scored against a fixed `base` snapshot through
@@ -441,6 +646,7 @@ impl ResiliencePolicy for Carol {
     }
 
     fn repair(&mut self, sim: &Simulator, snapshot: &SystemState) -> Option<Topology> {
+        self.install_pending_tune();
         let failed: Vec<HostId> = sim.failed_brokers().to_vec();
         if failed.is_empty() {
             return None;
@@ -477,6 +683,7 @@ impl ResiliencePolicy for Carol {
         snapshot: &SystemState,
         report: &IntervalReport,
     ) -> ObserveOutcome {
+        self.install_pending_tune();
         let t = self.interval;
         self.interval += 1;
 
@@ -509,13 +716,31 @@ impl ResiliencePolicy for Carol {
                 if self.gamma.is_empty() {
                     return ObserveOutcome { fine_tuned: false };
                 }
-                gon::training::fine_tune(
-                    &mut self.gon,
-                    &self.gamma,
-                    &mut self.adam,
-                    &self.config.offline,
-                    t as u64,
-                );
+                if self.background_tune {
+                    // Service mode: tune clones in a worker thread. The
+                    // inputs (weights, optimizer, Γ, seed) are exactly
+                    // the serial path's, so the result installed at the
+                    // next surrogate use is bit-identical to tuning
+                    // inline here. Γ itself is left in place so the
+                    // shared bookkeeping below (overhead charge, clear)
+                    // runs unchanged.
+                    let mut gon = self.gon.clone();
+                    let mut adam = self.adam.clone();
+                    let gamma = self.gamma.clone();
+                    let config = self.config.offline.clone();
+                    self.pending_tune = Some(std::thread::spawn(move || {
+                        gon::training::fine_tune(&mut gon, &gamma, &mut adam, &config, t as u64);
+                        (gon, adam)
+                    }));
+                } else {
+                    gon::training::fine_tune(
+                        &mut self.gon,
+                        &self.gamma,
+                        &mut self.adam,
+                        &self.config.offline,
+                        t as u64,
+                    );
+                }
             }
             CarolVariant::Gan => {
                 if self.gamma.is_empty() {

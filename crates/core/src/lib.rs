@@ -44,12 +44,19 @@ pub mod pot;
 pub mod proactive;
 pub mod runner;
 pub mod scenario;
+pub mod service;
 pub mod tabu;
 
-pub use crate::carol::{Carol, CarolConfig, CarolVariant, FineTuneMode};
+pub use crate::carol::{
+    Carol, CarolCheckpoint, CarolCheckpointError, CarolConfig, CarolVariant, FineTuneMode,
+};
 pub use policy::{ObserveOutcome, ResiliencePolicy};
 pub use pot::PotDetector;
 pub use scenario::{
     run_scenario, run_scenarios, run_scenarios_threads, ScenarioResult, ScenarioSpec,
     SchedulerKind, WorkloadSource,
+};
+pub use service::{
+    serve_listener, serve_stdin, serve_trace, CheckpointSpec, ExperimentSpec, ServeOptions,
+    ServeReport, ServiceError,
 };

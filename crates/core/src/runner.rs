@@ -143,98 +143,185 @@ pub fn run_experiment_full(
     workload: &mut dyn Workload,
     scheduler: &mut dyn Scheduler,
 ) -> ExperimentResult {
-    let mut sim = Simulator::new(config.sim.clone());
-    let mut injector = FaultInjector::with_model(
-        config.fault_rate,
-        config.fault_target,
-        config.fault_model.clone(),
-        config.seed ^ 0x4654,
-    );
-    let norm = Normalizer::for_fleet(&config.sim.specs, config.sim.n_brokers);
-
-    // Initial snapshot before anything runs.
-    let mut snapshot = SystemState::capture(
-        sim.topology(),
-        sim.specs(),
-        sim.host_states(),
-        sim.tasks(),
-        &edgesim::SchedulingDecision::new(),
-        &norm,
-    );
-
-    let mut decision_time_s = 0.0;
-    let mut decision_events = 0usize;
-    let mut fine_tune_overhead_s = 0.0;
-    let mut fine_tune_events = 0usize;
-    let mut broker_failures = 0usize;
-    let mut measured_decision_wall_s = 0.0;
-    let mut measured_overhead_wall_s = 0.0;
-
+    let mut engine = ExperimentEngine::new(config);
     for t in 0..config.intervals {
-        // --- Repair phase (Algorithm 2 lines 4–8).
-        let had_failure = !sim.failed_brokers().is_empty();
-        let modeled_before = policy.modeled_decision_s();
-        let start = Instant::now();
-        let repaired = policy.repair(&sim, &snapshot);
-        measured_decision_wall_s += start.elapsed().as_secs_f64();
-        if had_failure {
-            decision_time_s += INFRA_REPAIR_S + policy.modeled_decision_s() - modeled_before;
-            decision_events += 1;
-        }
-        if let Some(topo) = repaired {
-            sim.set_topology(topo);
-        }
-
-        // --- Fault injection + the interval itself.
-        injector.inject(t, &mut sim);
         let arrivals = workload.sample_interval(t);
-        let report = sim.step(arrivals, scheduler);
-        broker_failures += report.failed_brokers.len();
+        engine.step(policy, arrivals, scheduler);
+    }
+    engine.finish(policy)
+}
 
-        snapshot = SystemState::capture(
+/// The incremental form of [`run_experiment_full`]: one
+/// repair → inject → simulate → observe cycle per [`ExperimentEngine::step`]
+/// call, with the metric accumulators held between calls.
+///
+/// This is what both the batch runner above and the streaming service
+/// daemon ([`crate::service`]) drive — the batch loop calls `step` with
+/// arrivals sampled from a [`Workload`], the daemon calls it with
+/// arrivals decoded from a live `carol-trace` stream. Because the cycle
+/// body is byte-for-byte the old loop body (arrival sampling is the
+/// workload's own RNG stream, independent of the simulation), a streamed
+/// run is bit-identical to the equivalent batch run — gated in
+/// `tests/determinism.rs`.
+#[derive(Debug)]
+pub struct ExperimentEngine {
+    config: ExperimentConfig,
+    sim: Simulator,
+    injector: FaultInjector,
+    norm: Normalizer,
+    snapshot: SystemState,
+    interval: usize,
+    decision_time_s: f64,
+    decision_events: usize,
+    fine_tune_overhead_s: f64,
+    fine_tune_events: usize,
+    broker_failures: usize,
+    measured_decision_wall_s: f64,
+    measured_overhead_wall_s: f64,
+    decision_latencies_s: Vec<f64>,
+}
+
+impl ExperimentEngine {
+    /// Sets up the simulator, fault injector, normalizer and initial
+    /// snapshot — everything [`run_experiment_full`] prepared before its
+    /// loop. `config.intervals` is *not* consulted: the caller decides
+    /// how many [`ExperimentEngine::step`]s to run.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        let sim = Simulator::new(config.sim.clone());
+        let injector = FaultInjector::with_model(
+            config.fault_rate,
+            config.fault_target,
+            config.fault_model.clone(),
+            config.seed ^ 0x4654,
+        );
+        let norm = Normalizer::for_fleet(&config.sim.specs, config.sim.n_brokers);
+        let snapshot = SystemState::capture(
             sim.topology(),
             sim.specs(),
             sim.host_states(),
             sim.tasks(),
-            &report.decision,
+            &edgesim::SchedulingDecision::new(),
             &norm,
+        );
+        Self {
+            config: config.clone(),
+            sim,
+            injector,
+            norm,
+            snapshot,
+            interval: 0,
+            decision_time_s: 0.0,
+            decision_events: 0,
+            fine_tune_overhead_s: 0.0,
+            fine_tune_events: 0,
+            broker_failures: 0,
+            measured_decision_wall_s: 0.0,
+            measured_overhead_wall_s: 0.0,
+            decision_latencies_s: Vec::new(),
+        }
+    }
+
+    /// Intervals stepped so far.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Repair decisions taken so far.
+    pub fn decision_events(&self) -> usize {
+        self.decision_events
+    }
+
+    /// Fine-tune events observed so far.
+    pub fn fine_tune_events(&self) -> usize {
+        self.fine_tune_events
+    }
+
+    /// Measured wall-clock latency of each `policy.repair` call, in step
+    /// order — the sample set behind the service daemon's p50/p99.
+    pub fn decision_latencies_s(&self) -> &[f64] {
+        &self.decision_latencies_s
+    }
+
+    /// One full scheduling interval: repair (Algorithm 2 lines 4–8),
+    /// fault injection, the simulation step over `arrivals`, and the
+    /// observation phase (lines 10–16).
+    pub fn step(
+        &mut self,
+        policy: &mut dyn ResiliencePolicy,
+        arrivals: Vec<edgesim::TaskSpec>,
+        scheduler: &mut dyn Scheduler,
+    ) {
+        let t = self.interval;
+        self.interval += 1;
+
+        // --- Repair phase (Algorithm 2 lines 4–8).
+        let had_failure = !self.sim.failed_brokers().is_empty();
+        let modeled_before = policy.modeled_decision_s();
+        let start = Instant::now();
+        let repaired = policy.repair(&self.sim, &self.snapshot);
+        let elapsed = start.elapsed().as_secs_f64();
+        self.measured_decision_wall_s += elapsed;
+        if had_failure {
+            self.decision_time_s += INFRA_REPAIR_S + policy.modeled_decision_s() - modeled_before;
+            self.decision_events += 1;
+            self.decision_latencies_s.push(elapsed);
+        }
+        if let Some(topo) = repaired {
+            self.sim.set_topology(topo);
+        }
+
+        // --- Fault injection + the interval itself.
+        self.injector.inject(t, &mut self.sim);
+        let report = self.sim.step(arrivals, scheduler);
+        self.broker_failures += report.failed_brokers.len();
+
+        self.snapshot = SystemState::capture(
+            self.sim.topology(),
+            self.sim.specs(),
+            self.sim.host_states(),
+            self.sim.tasks(),
+            &report.decision,
+            &self.norm,
         );
 
         // --- Observation phase (lines 10–16).
         let modeled_before = policy.modeled_overhead_s();
         let start = Instant::now();
-        let outcome = policy.observe(&sim, &snapshot, &report);
+        let outcome = policy.observe(&self.sim, &self.snapshot, &report);
         if outcome.fine_tuned {
-            measured_overhead_wall_s += start.elapsed().as_secs_f64();
-            fine_tune_overhead_s += policy.modeled_overhead_s() - modeled_before;
-            fine_tune_events += 1;
+            self.measured_overhead_wall_s += start.elapsed().as_secs_f64();
+            self.fine_tune_overhead_s += policy.modeled_overhead_s() - modeled_before;
+            self.fine_tune_events += 1;
         }
     }
 
-    let total_ram_gb: f64 = sim.specs().iter().map(|s| s.ram_mb / 1024.0).sum();
-    let memory_pct =
-        100.0 * policy.memory_gb() * config.sim.n_brokers as f64 / total_ram_gb.max(1e-9);
+    /// Collects the §V metrics over everything stepped so far.
+    pub fn finish(self, policy: &dyn ResiliencePolicy) -> ExperimentResult {
+        let total_ram_gb: f64 = self.sim.specs().iter().map(|s| s.ram_mb / 1024.0).sum();
+        let memory_pct =
+            100.0 * policy.memory_gb() * self.config.sim.n_brokers as f64 / total_ram_gb.max(1e-9);
 
-    ExperimentResult {
-        name: policy.name().to_string(),
-        total_energy_wh: sim.total_energy_wh(),
-        mean_response_s: sim.mean_response_time(),
-        slo_violation_rate: sim.violation_rate(),
-        completed: sim.completed_count(),
-        mean_decision_time_s: if decision_events > 0 {
-            decision_time_s / decision_events as f64
-        } else {
-            0.0
-        },
-        decision_events,
-        fine_tune_overhead_s,
-        fine_tune_events,
-        memory_pct,
-        broker_failures,
-        restarts: sim.total_restarts(),
-        response_times_s: sim.response_times().to_vec(),
-        measured_decision_wall_s,
-        measured_overhead_wall_s,
+        ExperimentResult {
+            name: policy.name().to_string(),
+            total_energy_wh: self.sim.total_energy_wh(),
+            mean_response_s: self.sim.mean_response_time(),
+            slo_violation_rate: self.sim.violation_rate(),
+            completed: self.sim.completed_count(),
+            mean_decision_time_s: if self.decision_events > 0 {
+                self.decision_time_s / self.decision_events as f64
+            } else {
+                0.0
+            },
+            decision_events: self.decision_events,
+            fine_tune_overhead_s: self.fine_tune_overhead_s,
+            fine_tune_events: self.fine_tune_events,
+            memory_pct,
+            broker_failures: self.broker_failures,
+            restarts: self.sim.total_restarts(),
+            response_times_s: self.sim.response_times().to_vec(),
+            measured_decision_wall_s: self.measured_decision_wall_s,
+            measured_overhead_wall_s: self.measured_overhead_wall_s,
+        }
     }
 }
 

@@ -1,0 +1,733 @@
+//! CAROL as a long-running federation-controller service.
+//!
+//! The paper positions CAROL as a *runtime* resilience controller — it
+//! observes, checks confidence, and repairs continuously — yet the rest
+//! of this crate runs finish-and-exit experiments. This module closes
+//! that gap with a std-only daemon (threads + channels, no async
+//! runtime):
+//!
+//! * **Ingestion** — a reader thread decodes `carol-trace` v1 events
+//!   incrementally ([`workloads::replay::StreamingTrace`]) from stdin, a
+//!   socket, or any buffered reader, and hands them to the controller
+//!   over a bounded channel.
+//! * **Control loop** — per scheduling interval the controller runs the
+//!   full Algorithm-2 cycle through
+//!   [`ExperimentEngine`]: repair →
+//!   inject → simulate → observe, at wall-clock or accelerated rate.
+//!   Streamed arrivals reach the engine exactly as a
+//!   [`ReplayWorkload`](workloads::replay::ReplayWorkload) would deliver
+//!   them, so a served run is **bit-identical** to the equivalent batch
+//!   replay (gated in `tests/determinism.rs`).
+//! * **Background fine-tuning** — the GON fine-tunes on a weight
+//!   snapshot in a worker thread ([`Carol::set_background_tune`]),
+//!   installing at the next surrogate use; decisions stay bit-identical
+//!   to inline tuning.
+//! * **Checkpointing** — every `checkpoint.every` intervals the full
+//!   controller state freezes to a [`CarolCheckpoint`](crate::CarolCheckpoint); restore resumes
+//!   the stream as if never interrupted.
+//! * **Metrics endpoint** — an optional TCP listener answers every
+//!   connection with a plain-text health block (decisions served,
+//!   repairs triggered, p50/p99 decision latency, last checkpoint age).
+//!
+//! The whole experiment — scenario × engines × trainer × checkpoints —
+//! is one serializable [`ExperimentSpec`], registry-constructed by name
+//! like [`ScenarioSpec`] and echoed verbatim into every emitted JSON
+//! artifact, so CI can diff whole-config JSON instead of CLI flags.
+
+use crate::carol::{Carol, CarolCheckpointError, CarolConfig};
+use crate::runner::{ExperimentEngine, ExperimentResult};
+use crate::scenario::ScenarioSpec;
+use crate::tabu::TabuConfig;
+use edgesim::TaskSpec;
+use gon::{GonConfig, TrainConfig};
+use metrics::LatencySummary;
+use par::EngineConfig;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use workloads::replay::{StreamingTrace, TraceError, TraceEvent};
+
+/// When and where the service freezes controller state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Checkpoint every N completed intervals (`None` = never; values
+    /// below 1 are clamped to 1).
+    pub every: Option<usize>,
+    /// File the latest checkpoint JSON is written to (`None` keeps the
+    /// checkpoint in memory only).
+    pub path: Option<String>,
+}
+
+/// One serializable value describing a whole experiment: the scenario
+/// shape, the candidate-evaluation engine, the trainer, and the
+/// checkpoint cadence. Builder-style, registry-constructed by name like
+/// [`ScenarioSpec::named`], and accepted by the `serve` binary via
+/// `--config <json>`.
+///
+/// # Examples
+///
+/// ```
+/// use carol::service::ExperimentSpec;
+/// let spec = ExperimentSpec::named("paper-16", 7)
+///     .unwrap()
+///     .with_engine(par::EngineConfig::batched(4));
+/// let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+/// assert_eq!(back.scenario.name, "paper-16");
+/// assert_eq!(back.engine.worker_count(), 4);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Experiment shape: workload × federation × faults × scheduler.
+    pub scenario: ScenarioSpec,
+    /// Candidate-evaluation engine (`CarolConfig::{batch_eval,
+    /// eval_threads}` view).
+    pub engine: EngineConfig,
+    /// Offline-training / fine-tuning configuration, including the
+    /// training engine (`TrainConfig::{batch_train, train_threads}`).
+    pub train: TrainConfig,
+    /// Checkpoint cadence and destination.
+    pub checkpoint: CheckpointSpec,
+}
+
+impl ExperimentSpec {
+    /// Wraps a scenario with default engine, trainer, and no
+    /// checkpointing; chain the `with_*` builders to override.
+    pub fn new(scenario: ScenarioSpec) -> Self {
+        Self {
+            scenario,
+            engine: EngineConfig::default(),
+            train: service_train_config(),
+            checkpoint: CheckpointSpec::default(),
+        }
+    }
+
+    /// Registry constructor: resolves `name` through
+    /// [`ScenarioSpec::named`] and wraps it with defaults. `None` for
+    /// unknown names (see [`ScenarioSpec::registry_names`]).
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        ScenarioSpec::named(name, seed).map(Self::new)
+    }
+
+    /// Replaces the candidate-evaluation engine.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the trainer configuration.
+    pub fn with_train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Replaces the checkpoint cadence.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Serialises to pretty JSON — the `serve --config` format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment specs serialise")
+    }
+
+    /// Parses [`ExperimentSpec::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The full CAROL configuration this spec induces: the service-tier
+    /// GON (the `scale` sweep's proven-fast shape) with this spec's
+    /// trainer and evaluation engine plugged in.
+    pub fn carol_config(&self) -> CarolConfig {
+        CarolConfig {
+            gon: GonConfig {
+                hidden: 16,
+                head_layers: 2,
+                gat_dim: 8,
+                gat_att: 4,
+                gen_lr: 5e-3,
+                gen_steps: 5,
+                gen_tol: 1e-7,
+                seed: self.scenario.seed,
+            },
+            tabu: TabuConfig {
+                list_size: 20,
+                max_iters: 2,
+            },
+            offline: self.train.clone(),
+            pretrain_intervals: 24,
+            pretrain_sim: edgesim::SimConfig::small(8, 2, self.scenario.seed),
+            ..CarolConfig::default()
+        }
+        .with_engine(self.engine)
+    }
+}
+
+/// Trainer defaults for service specs: short fine-tune passes sized for
+/// an online controller rather than a full offline run.
+fn service_train_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        minibatch: 8,
+        patience: 3,
+        lr: 1e-3,
+        ..TrainConfig::default()
+    }
+}
+
+/// Runtime options of one [`serve_trace`] call — everything that shapes
+/// *how* the daemon runs without changing *what* it computes.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Seconds of wall clock per scheduling interval (`None` =
+    /// accelerated: step as fast as events drain).
+    pub pace_interval_s: Option<f64>,
+    /// Bind address for the plain-text metrics/health endpoint, e.g.
+    /// `"127.0.0.1:0"` (`None` = no endpoint). Every accepted connection
+    /// receives the current metrics block and is closed.
+    pub metrics_addr: Option<String>,
+    /// Fine-tune the GON on a weight snapshot in a background thread
+    /// ([`Carol::set_background_tune`]). Bit-identical either way.
+    pub background_tune: bool,
+}
+
+/// What one service run produced — the `SERVE_PR.json` payload. The
+/// originating [`ExperimentSpec`] is echoed verbatim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// The spec this run executed, echoed verbatim.
+    pub spec: ExperimentSpec,
+    /// Scheduling intervals served (one decision cycle each).
+    pub intervals: usize,
+    /// Tasks ingested from the trace.
+    pub tasks_ingested: usize,
+    /// Repair decisions triggered by broker failures.
+    pub repairs_triggered: usize,
+    /// Fine-tune events.
+    pub fine_tune_events: usize,
+    /// Checkpoints taken.
+    pub checkpoints_taken: usize,
+    /// Interval count at the latest checkpoint, if any.
+    pub last_checkpoint_interval: Option<usize>,
+    /// Wall-clock seconds of the serve loop (pretraining excluded).
+    pub wall_s: f64,
+    /// Decision cycles per wall-clock second.
+    pub decisions_per_s: f64,
+    /// Wall-clock latency distribution of the per-interval decision
+    /// cycle (repair + simulate + observe).
+    pub decision_latency_s: Option<LatencySummary>,
+    /// The metrics-endpoint text fetched over TCP just before shutdown
+    /// (`None` when no endpoint was configured).
+    pub metrics_snapshot: Option<String>,
+    /// The standard §V metrics over the served run.
+    pub result: ExperimentResult,
+}
+
+/// Why a service run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The trace stream was malformed or the reader failed.
+    Trace(TraceError),
+    /// Checkpoint capture or restore failed.
+    Checkpoint(CarolCheckpointError),
+    /// A socket or file operation failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Trace(e) => write!(f, "trace ingestion: {e}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            Self::Io(msg) => write!(f, "I/O: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<TraceError> for ServiceError {
+    fn from(e: TraceError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+impl From<CarolCheckpointError> for ServiceError {
+    fn from(e: CarolCheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// Live counters behind the metrics endpoint.
+#[derive(Debug, Default)]
+struct MetricsState {
+    intervals: usize,
+    tasks: usize,
+    repairs: usize,
+    fine_tunes: usize,
+    latencies_s: Vec<f64>,
+    last_checkpoint_interval: Option<usize>,
+}
+
+/// Renders the plain-text health block the endpoint serves.
+fn render_metrics(m: &MetricsState, uptime_s: f64) -> String {
+    let latency = LatencySummary::from_samples(&m.latencies_s);
+    let (p50_ms, p99_ms) = latency
+        .map(|l| (l.p50 * 1e3, l.p99 * 1e3))
+        .unwrap_or((0.0, 0.0));
+    let checkpoint_age = m
+        .last_checkpoint_interval
+        .map(|at| (m.intervals - at).to_string())
+        .unwrap_or_else(|| "never".to_string());
+    format!(
+        "carol-service v1\n\
+         status: ok\n\
+         uptime_s: {uptime_s:.3}\n\
+         decisions_served: {}\n\
+         tasks_ingested: {}\n\
+         repairs_triggered: {}\n\
+         fine_tune_events: {}\n\
+         decision_latency_p50_ms: {p50_ms:.3}\n\
+         decision_latency_p99_ms: {p99_ms:.3}\n\
+         last_checkpoint_age_intervals: {checkpoint_age}\n",
+        m.intervals, m.tasks, m.repairs, m.fine_tunes
+    )
+}
+
+/// The metrics endpoint: answers every accepted connection with the
+/// current health block and closes it. Non-blocking accept so the `stop`
+/// flag is honoured promptly.
+fn metrics_listener(
+    listener: TcpListener,
+    state: Arc<Mutex<MetricsState>>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("metrics listener: set_nonblocking");
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                let text = {
+                    let m = state.lock().expect("metrics state poisoned");
+                    render_metrics(&m, started.elapsed().as_secs_f64())
+                };
+                let _ = conn.write_all(text.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves a `carol-trace` v1 stream from any buffered reader: the
+/// general entry point behind [`serve_stdin`] and [`serve_listener`].
+///
+/// Pretrains CAROL per `spec.carol_config()`, then drains the stream one
+/// scheduling interval at a time. Returns once the stream ends (clean
+/// shutdown) or a trace/checkpoint error surfaces. The served decisions
+/// are bit-identical to [`run_scenario`](crate::scenario::run_scenario)
+/// on the equivalent replay scenario.
+pub fn serve_trace<R>(
+    spec: &ExperimentSpec,
+    reader: R,
+    options: &ServeOptions,
+) -> Result<ServeReport, ServiceError>
+where
+    R: BufRead + Send + 'static,
+{
+    let mut policy = Carol::pretrained(spec.carol_config(), spec.scenario.seed);
+    policy.set_background_tune(options.background_tune);
+    let engine = ExperimentEngine::new(&spec.scenario.experiment_config());
+    let scheduler = spec.scenario.scheduler.build();
+
+    let state = Arc::new(Mutex::new(MetricsState::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    // Metrics endpoint (optional).
+    let mut endpoint_addr = None;
+    let mut endpoint_thread = None;
+    if let Some(addr) = &options.metrics_addr {
+        let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
+        endpoint_addr = Some(
+            listener
+                .local_addr()
+                .map_err(|e| ServiceError::Io(e.to_string()))?,
+        );
+        let (state, stop) = (Arc::clone(&state), Arc::clone(&stop));
+        endpoint_thread = Some(thread::spawn(move || {
+            metrics_listener(listener, state, stop, started);
+        }));
+    }
+
+    // Ingest thread: decode incrementally, hand events over a bounded
+    // channel. A decode error is forwarded and ends the stream (the
+    // decoder fuses itself).
+    let (tx, rx) = mpsc::sync_channel::<Result<TraceEvent, TraceError>>(1024);
+    let ingest_thread = thread::spawn(move || match StreamingTrace::open(reader) {
+        Ok(stream) => {
+            for item in stream {
+                if tx.send(item).is_err() {
+                    return; // controller hung up
+                }
+            }
+        }
+        Err(e) => {
+            let _ = tx.send(Err(e));
+        }
+    });
+
+    let controller = Controller {
+        spec,
+        options,
+        state: &state,
+        policy,
+        engine,
+        scheduler,
+        checkpoints: 0,
+        last_checkpoint_interval: None,
+        tasks: 0,
+    };
+    let outcome = controller.drive(rx);
+
+    // Snapshot the endpoint over real TCP before shutting it down, so a
+    // served run exercises the full metrics path end-to-end.
+    let metrics_snapshot = match (&outcome, endpoint_addr) {
+        (Ok(_), Some(addr)) => fetch_metrics(addr),
+        _ => None,
+    };
+
+    // Clean shutdown: stop the endpoint, join both threads.
+    stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = endpoint_thread {
+        handle.join().expect("metrics endpoint thread panicked");
+    }
+    ingest_thread.join().expect("ingest thread panicked");
+
+    let driven = outcome?;
+    let wall_s = started.elapsed().as_secs_f64();
+    let latencies = {
+        let m = state.lock().expect("metrics state poisoned");
+        m.latencies_s.clone()
+    };
+    let result = driven.engine.finish(&driven.policy);
+    Ok(ServeReport {
+        spec: spec.clone(),
+        intervals: driven.intervals,
+        tasks_ingested: driven.tasks,
+        repairs_triggered: result.decision_events,
+        fine_tune_events: result.fine_tune_events,
+        checkpoints_taken: driven.checkpoints,
+        last_checkpoint_interval: driven.last_checkpoint_interval,
+        wall_s,
+        decisions_per_s: if wall_s > 0.0 {
+            driven.intervals as f64 / wall_s
+        } else {
+            0.0
+        },
+        decision_latency_s: LatencySummary::from_samples(&latencies),
+        metrics_snapshot,
+        result,
+    })
+}
+
+/// Serves a trace streamed over stdin — `some-producer | serve --stdin`.
+pub fn serve_stdin(
+    spec: &ExperimentSpec,
+    options: &ServeOptions,
+) -> Result<ServeReport, ServiceError> {
+    serve_trace(spec, BufReader::new(std::io::stdin()), options)
+}
+
+/// Serves a trace streamed over a socket: accepts **one** connection on
+/// the (caller-bound) listener and drains it to EOF. Binding is the
+/// caller's job so the address is known before any producer connects.
+pub fn serve_listener(
+    spec: &ExperimentSpec,
+    listener: &TcpListener,
+    options: &ServeOptions,
+) -> Result<ServeReport, ServiceError> {
+    let (conn, _) = listener
+        .accept()
+        .map_err(|e| ServiceError::Io(e.to_string()))?;
+    serve_trace(spec, BufReader::new(conn), options)
+}
+
+/// What [`drive`] hands back for the report.
+struct Driven {
+    engine: ExperimentEngine,
+    policy: Carol,
+    intervals: usize,
+    tasks: usize,
+    checkpoints: usize,
+    last_checkpoint_interval: Option<usize>,
+}
+
+/// The daemon's control loop bundled with its mutable state: the policy
+/// and engine being driven, the checkpoint ledger, and the metrics the
+/// endpoint publishes.
+struct Controller<'a> {
+    spec: &'a ExperimentSpec,
+    options: &'a ServeOptions,
+    state: &'a Mutex<MetricsState>,
+    policy: Carol,
+    engine: ExperimentEngine,
+    scheduler: Box<dyn edgesim::Scheduler>,
+    checkpoints: usize,
+    last_checkpoint_interval: Option<usize>,
+    tasks: usize,
+}
+
+impl Controller<'_> {
+    /// One scheduling interval of the daemon: pace, step the engine,
+    /// take the cadenced checkpoint, publish metrics.
+    fn run_interval(&mut self, arrivals: Vec<TaskSpec>) -> Result<(), ServiceError> {
+        let t = self.engine.interval();
+        if t > 0 {
+            if let Some(pace_s) = self.options.pace_interval_s {
+                thread::sleep(Duration::from_secs_f64(pace_s.max(0.0)));
+            }
+        }
+        let start = Instant::now();
+        self.engine
+            .step(&mut self.policy, arrivals, self.scheduler.as_mut());
+        let elapsed = start.elapsed().as_secs_f64();
+        if let Some(every) = self.spec.checkpoint.every.map(|n| n.max(1)) {
+            if (t + 1).is_multiple_of(every) {
+                let ckpt = self.policy.checkpoint()?;
+                if let Some(path) = &self.spec.checkpoint.path {
+                    std::fs::write(path, ckpt.to_json())
+                        .map_err(|e| ServiceError::Io(e.to_string()))?;
+                }
+                self.checkpoints += 1;
+                self.last_checkpoint_interval = Some(t + 1);
+            }
+        }
+        let mut m = self.state.lock().expect("metrics state poisoned");
+        m.intervals = t + 1;
+        m.tasks = self.tasks;
+        m.repairs = self.engine.decision_events();
+        m.fine_tunes = self.engine.fine_tune_events();
+        m.latencies_s.push(elapsed);
+        m.last_checkpoint_interval = self.last_checkpoint_interval;
+        Ok(())
+    }
+
+    /// Groups streamed events by interval and runs one engine step per
+    /// interval — intervals with no events included, exactly like
+    /// [`ReplayWorkload`](workloads::replay::ReplayWorkload) delivers
+    /// them — so the stream horizon is `last event interval + 1`.
+    fn drive(
+        mut self,
+        rx: Receiver<Result<TraceEvent, TraceError>>,
+    ) -> Result<Driven, ServiceError> {
+        let mut batch: Vec<TaskSpec> = Vec::new();
+        let mut saw_event = false;
+
+        for message in rx {
+            let event = message?;
+            saw_event = true;
+            while self.engine.interval() < event.interval {
+                let arrivals = std::mem::take(&mut batch);
+                self.run_interval(arrivals)?;
+            }
+            self.tasks += event.arrivals;
+            let spec_task = event.to_spec();
+            batch.extend(std::iter::repeat_n(spec_task, event.arrivals));
+        }
+        if saw_event {
+            // Drain: the interval of the final event(s).
+            self.run_interval(std::mem::take(&mut batch))?;
+        }
+
+        let intervals = self.engine.interval();
+        Ok(Driven {
+            engine: self.engine,
+            policy: self.policy,
+            intervals,
+            tasks: self.tasks,
+            checkpoints: self.checkpoints,
+            last_checkpoint_interval: self.last_checkpoint_interval,
+        })
+    }
+}
+
+/// One TCP round trip against the endpoint; `None` on any failure (the
+/// snapshot is best-effort diagnostics, not a correctness surface).
+fn fetch_metrics(addr: std::net::SocketAddr) -> Option<String> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    let mut text = String::new();
+    conn.read_to_string(&mut text).ok()?;
+    Some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carol::CarolCheckpoint;
+    use crate::scenario::WorkloadSource;
+    use gon::TrainConfig;
+    use std::io::Cursor;
+    use workloads::replay::{export_jsonl, record_suite};
+    use workloads::BenchmarkSuite;
+
+    /// A small, cheap spec: 8-host federation replaying a recorded
+    /// AIoTBench burst, single fine-tune epoch.
+    fn small_spec(seed: u64) -> (ExperimentSpec, String) {
+        let events = record_suite(BenchmarkSuite::AIoTBench, 2.5, seed, 6);
+        let trace = export_jsonl(&events);
+        let scenario = ScenarioSpec::replay("svc-test", events, 8, 2, seed);
+        let spec = ExperimentSpec::new(scenario).with_train(TrainConfig {
+            epochs: 1,
+            minibatch: 4,
+            patience: 1,
+            ..TrainConfig::default()
+        });
+        (spec, trace)
+    }
+
+    #[test]
+    fn spec_named_registry_and_json_round_trip() {
+        let spec = ExperimentSpec::named("paper-16", 7)
+            .unwrap()
+            .with_engine(EngineConfig::batched(4))
+            .with_checkpoint(CheckpointSpec {
+                every: Some(10),
+                path: None,
+            });
+        let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.scenario.name, "paper-16");
+        assert_eq!(back.scenario.n_hosts, 16);
+        assert_eq!(back.engine, EngineConfig::batched(4));
+        assert_eq!(back.checkpoint.every, Some(10));
+        assert_eq!(back.train.epochs, spec.train.epochs);
+        assert!(ExperimentSpec::named("no-such-scenario", 7).is_none());
+    }
+
+    #[test]
+    fn render_metrics_reports_required_fields() {
+        let m = MetricsState {
+            intervals: 12,
+            tasks: 90,
+            repairs: 3,
+            fine_tunes: 2,
+            latencies_s: vec![0.010, 0.020, 0.030, 0.040],
+            last_checkpoint_interval: Some(10),
+        };
+        let text = render_metrics(&m, 1.5);
+        assert!(text.contains("decisions_served: 12"));
+        assert!(text.contains("repairs_triggered: 3"));
+        assert!(text.contains("decision_latency_p50_ms: 25.000"));
+        assert!(text.contains("decision_latency_p99_ms:"));
+        assert!(text.contains("last_checkpoint_age_intervals: 2"));
+
+        let empty = render_metrics(&MetricsState::default(), 0.0);
+        assert!(empty.contains("last_checkpoint_age_intervals: never"));
+        assert!(empty.contains("decision_latency_p50_ms: 0.000"));
+    }
+
+    #[test]
+    fn serve_reports_counts_and_metrics_snapshot() {
+        let (spec, trace) = small_spec(11);
+        let expected_tasks: usize = match &spec.scenario.workload {
+            WorkloadSource::Replay { events } => events.iter().map(|e| e.arrivals).sum(),
+            _ => unreachable!(),
+        };
+        let options = ServeOptions {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeOptions::default()
+        };
+        let report = serve_trace(&spec, Cursor::new(trace.into_bytes()), &options).unwrap();
+        assert_eq!(report.intervals, spec.scenario.intervals);
+        assert_eq!(report.tasks_ingested, expected_tasks);
+        assert_eq!(
+            report.decision_latency_s.map(|l| l.count),
+            Some(report.intervals)
+        );
+        assert!(report.wall_s > 0.0 && report.decisions_per_s > 0.0);
+        let snapshot = report.metrics_snapshot.expect("endpoint was configured");
+        assert!(snapshot.contains(&format!("decisions_served: {}", report.intervals)));
+        assert!(snapshot.contains(&format!("tasks_ingested: {expected_tasks}")));
+        assert_eq!(report.result.decision_events, report.repairs_triggered);
+    }
+
+    #[test]
+    fn serve_checkpoints_on_cadence_and_restores() {
+        let path = std::env::temp_dir().join(format!(
+            "carol-service-ckpt-{}-{}.json",
+            std::process::id(),
+            line!()
+        ));
+        let (mut spec, trace) = small_spec(13);
+        spec.checkpoint = CheckpointSpec {
+            every: Some(2),
+            path: Some(path.to_string_lossy().into_owned()),
+        };
+        let report = serve_trace(
+            &spec,
+            Cursor::new(trace.into_bytes()),
+            &ServeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.intervals, 6);
+        assert_eq!(report.checkpoints_taken, 3);
+        assert_eq!(report.last_checkpoint_interval, Some(6));
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let ckpt = CarolCheckpoint::from_json(&json).unwrap();
+        let restored = Carol::restore(&ckpt).unwrap();
+        assert_eq!(restored.interval(), 6);
+    }
+
+    #[test]
+    fn serve_listener_ingests_over_socket() {
+        let (spec, trace) = small_spec(17);
+        let batch = serve_trace(
+            &spec,
+            Cursor::new(trace.clone().into_bytes()),
+            &ServeOptions::default(),
+        )
+        .unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let producer = thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(trace.as_bytes()).unwrap();
+        });
+        let served = serve_listener(&spec, &listener, &ServeOptions::default()).unwrap();
+        producer.join().unwrap();
+
+        assert_eq!(served.intervals, batch.intervals);
+        assert_eq!(served.tasks_ingested, batch.tasks_ingested);
+        assert_eq!(served.result.completed, batch.result.completed);
+        assert_eq!(
+            served.result.total_energy_wh.to_bits(),
+            batch.result.total_energy_wh.to_bits()
+        );
+    }
+
+    #[test]
+    fn serve_surfaces_trace_errors() {
+        let (spec, _) = small_spec(19);
+        let garbage = "not a carol-trace header\n";
+        let err = serve_trace(
+            &spec,
+            Cursor::new(garbage.as_bytes().to_vec()),
+            &ServeOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServiceError::Trace(_)), "got {err:?}");
+    }
+}

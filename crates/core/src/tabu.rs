@@ -56,7 +56,7 @@ pub fn from_fn<F: FnMut(&Topology) -> f64>(f: F) -> FnObjective<F> {
 }
 
 /// Tabu-search configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TabuConfig {
     /// FIFO tabu-list capacity (paper default: 100).
     pub list_size: usize,

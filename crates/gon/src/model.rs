@@ -6,9 +6,10 @@ use nn::layer::{Activation, Dense, Layer, Param, Sequential};
 use nn::{GraphAttention, Matrix};
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of the GON network.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GonConfig {
     /// Hidden width of every feed-forward layer (paper: 128, §IV-E).
     pub hidden: usize,

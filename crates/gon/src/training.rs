@@ -27,12 +27,14 @@ use crate::model::GonModel;
 use edgesim::state::SystemState;
 use edgesim::state::METRIC_DIM;
 use nn::Adam;
+use par::EngineConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of offline training.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Maximum epochs (paper: convergence ≤ 30).
     pub epochs: usize,
@@ -76,6 +78,27 @@ impl Default for TrainConfig {
             batch_train: true,
             train_threads: None,
         }
+    }
+}
+
+impl TrainConfig {
+    /// The execution engine this config selects. The legacy
+    /// `batch_train` / `train_threads` fields are thin views of a
+    /// [`par::EngineConfig`]; all thread resolution goes through
+    /// [`par::EngineConfig::worker_count`].
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            batched: self.batch_train,
+            threads: self.train_threads,
+        }
+    }
+
+    /// Replaces the engine selection with `engine`, overwriting the
+    /// `batch_train` / `train_threads` field pair.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.batch_train = engine.batched;
+        self.train_threads = engine.threads;
+        self
     }
 }
 
@@ -140,9 +163,9 @@ fn minibatch_losses(
     rng: &mut StdRng,
     config: &TrainConfig,
 ) -> Vec<f64> {
-    if config.batch_train {
-        let threads = config.train_threads.unwrap_or_else(par::thread_count);
-        model.adversarial_step_batch(states, rng, threads)
+    let engine = config.engine();
+    if engine.batched {
+        model.adversarial_step_batch(states, rng, engine.worker_count())
     } else {
         states
             .iter()

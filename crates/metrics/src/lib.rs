@@ -122,6 +122,42 @@ pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
         / predicted.len() as f64
 }
 
+/// Latency distribution summary over a sample set — the p50/p99 block
+/// the service daemon reports per decision and the `serve` bench writes
+/// into `SERVE_PR.json`.
+///
+/// ```
+/// let s = metrics::LatencySummary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.p50, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarised.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (R-7 interpolation, as [`quantile`]).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarises `samples`; `None` when empty (or all-NaN).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        Some(Self {
+            count: samples.len(),
+            mean: mean(samples)?,
+            p50: quantile(samples, 0.5)?,
+            p99: quantile(samples, 0.99)?,
+            max: quantile(samples, 1.0)?,
+        })
+    }
+}
+
 /// Binary-classification counts used to derive precision/recall/F1 for the
 /// fault-detection comparisons in §V-B of the paper.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -263,6 +299,16 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn mse_rejects_mismatched_lengths() {
         mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(LatencySummary::from_samples(&[]), None);
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! forces the serial in-place path; values are clamped to ≥ 1). No
 //! threads are spawned for empty or single-item inputs.
 //!
-//! This crate is deliberately dependency-free (crates.io is unreachable
-//! in the build environment) and uses only scoped threads from `std`, so
-//! borrowed inputs and closures need no `'static` bound.
+//! This crate uses only scoped threads from `std` (borrowed inputs and
+//! closures need no `'static` bound) and depends only on the vendored
+//! serde stub, which [`EngineConfig`] — the engine-selection type every
+//! batched subsystem shares — derives its wire format from.
 
 #![warn(missing_docs)]
 
+use serde::{Deserialize, Serialize};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -47,6 +49,68 @@ pub fn thread_count() -> usize {
             .map(NonZeroUsize::get)
             .unwrap_or(1)
     })
+}
+
+/// Shared execution-engine selection for every batched subsystem.
+///
+/// CAROL's surrogate evaluation (`CarolConfig`) and GON training
+/// (`TrainConfig`) each grew a `batched` flag and an optional thread
+/// override; this type unifies them so one value describes *how* work
+/// runs, and [`EngineConfig::worker_count`] is the **only** place the
+/// `CAROL_THREADS` environment override is resolved.
+///
+/// # Examples
+///
+/// ```
+/// let engine = par::EngineConfig::default();
+/// assert!(engine.batched);
+/// assert!(engine.worker_count() >= 1);
+/// assert_eq!(par::EngineConfig::serial().worker_count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Use the batched evaluation/training path (parallel inner loop).
+    pub batched: bool,
+    /// Worker-thread override; `None` defers to `CAROL_THREADS` /
+    /// available parallelism via [`thread_count`].
+    pub threads: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            batched: true,
+            threads: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Batched engine with an explicit pinned worker count (what tests
+    /// use to compare 1-vs-N bit identity without touching the
+    /// environment).
+    pub fn batched(threads: usize) -> Self {
+        Self {
+            batched: true,
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// Fully serial engine: unbatched inner loops, one worker.
+    pub fn serial() -> Self {
+        Self {
+            batched: false,
+            threads: Some(1),
+        }
+    }
+
+    /// Resolves the effective worker count: the explicit `threads`
+    /// override if present, otherwise [`thread_count`] (which consults
+    /// `CAROL_THREADS`). This is the single env-resolution point for
+    /// every engine in the workspace.
+    pub fn worker_count(&self) -> usize {
+        self.threads.map(|n| n.max(1)).unwrap_or_else(thread_count)
+    }
 }
 
 /// Order-preserving parallel map over a slice with the default
@@ -182,6 +246,35 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn engine_config_defaults_and_helpers() {
+        let def = EngineConfig::default();
+        assert!(def.batched);
+        assert_eq!(def.threads, None);
+
+        let serial = EngineConfig::serial();
+        assert!(!serial.batched);
+        assert_eq!(serial.worker_count(), 1);
+
+        let pinned = EngineConfig::batched(4);
+        assert!(pinned.batched);
+        assert_eq!(pinned.worker_count(), 4);
+        assert_eq!(
+            EngineConfig::batched(0).worker_count(),
+            1,
+            "0 clamps to 1 worker"
+        );
+        assert_eq!(
+            EngineConfig {
+                batched: true,
+                threads: Some(0),
+            }
+            .worker_count(),
+            1,
+            "explicit Some(0) clamps too"
+        );
     }
 
     #[test]

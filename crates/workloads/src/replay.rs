@@ -37,6 +37,7 @@ use crate::Workload;
 use edgesim::TaskSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::io::BufRead;
 
 /// Schema identifier carried by the trace header line.
 pub const TRACE_SCHEMA: &str = "carol-trace";
@@ -167,6 +168,14 @@ pub enum TraceError {
         /// 1-based line number.
         line: usize,
     },
+    /// The underlying reader failed (streaming ingestion only; the
+    /// in-memory [`load_jsonl`] never raises it).
+    Io {
+        /// 1-based line number at which the read failed.
+        line: usize,
+        /// The I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -201,6 +210,9 @@ impl fmt::Display for TraceError {
             TraceError::EmptyApp { line } => {
                 write!(f, "line {line}: event has an empty app name")
             }
+            TraceError::Io { line, message } => {
+                write!(f, "line {line}: read failed: {message}")
+            }
         }
     }
 }
@@ -233,55 +245,155 @@ pub fn export_jsonl(events: &[TraceEvent]) -> String {
 
 /// Parses and validates a versioned JSONL trace. Blank lines are
 /// permitted (and skipped) anywhere after the header; everything else
-/// must be a valid, in-order [`TraceEvent`].
+/// must be a valid, in-order [`TraceEvent`]. This is the collect-all
+/// form of [`StreamingTrace`], which the service daemon uses to decode
+/// the same format incrementally from stdin or a socket.
 pub fn load_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
-    let mut lines = text.lines().enumerate();
-    let header_line = lines
-        .by_ref()
-        .find(|(_, l)| !l.trim().is_empty())
-        .ok_or_else(|| TraceError::Header {
-            message: "empty input".to_string(),
-        })?;
-    let header: TraceHeader =
-        serde_json::from_str(header_line.1).map_err(|e| TraceError::Header {
-            message: e.to_string(),
-        })?;
-    if header.schema != TRACE_SCHEMA {
-        return Err(TraceError::Header {
-            message: format!("schema is `{}`", header.schema),
-        });
-    }
-    if header.version != TRACE_VERSION {
-        return Err(TraceError::Version {
-            found: header.version,
-        });
-    }
+    StreamingTrace::open(text.as_bytes())?.collect()
+}
 
-    let mut events = Vec::new();
-    let mut previous: Option<usize> = None;
-    for (idx, raw) in lines {
-        if raw.trim().is_empty() {
-            continue;
-        }
-        let line = idx + 1; // 1-based for humans
-        let event: TraceEvent = serde_json::from_str(raw).map_err(|e| TraceError::Malformed {
-            line,
-            message: e.to_string(),
-        })?;
-        event.validate(line)?;
-        if let Some(prev) = previous {
-            if event.interval < prev {
-                return Err(TraceError::OutOfOrder {
-                    line,
-                    interval: event.interval,
-                    previous: prev,
+/// Incremental `carol-trace` v1 decoder over any buffered reader — the
+/// streaming twin of [`load_jsonl`], built for the service daemon's
+/// stdin/socket ingestion where the whole trace never sits in memory.
+///
+/// [`StreamingTrace::open`] consumes and validates the header line;
+/// iteration then yields each event as it is read, applying exactly the
+/// validation [`load_jsonl`] applies (same [`TraceError`] variants, same
+/// 1-based line numbers, blank lines skipped, in-order check across
+/// events). After yielding an error the iterator is fused: subsequent
+/// calls return `None`.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::replay::{export_jsonl, record_suite, StreamingTrace};
+/// use workloads::BenchmarkSuite;
+/// let text = export_jsonl(&record_suite(BenchmarkSuite::DeFog, 2.0, 7, 5));
+/// let events: Result<Vec<_>, _> = StreamingTrace::open(text.as_bytes()).unwrap().collect();
+/// assert!(!events.unwrap().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct StreamingTrace<R> {
+    reader: R,
+    /// 1-based number of lines consumed so far.
+    line: usize,
+    previous: Option<usize>,
+    done: bool,
+}
+
+impl<R: BufRead> StreamingTrace<R> {
+    /// Reads and validates the header (skipping leading blank lines),
+    /// returning the event iterator positioned at the first record.
+    pub fn open(mut reader: R) -> Result<Self, TraceError> {
+        let mut line = 0usize;
+        let header_raw = loop {
+            let mut buf = String::new();
+            let read = reader.read_to_line(&mut buf, line + 1)?;
+            line += 1;
+            if read == 0 {
+                return Err(TraceError::Header {
+                    message: "empty input".to_string(),
                 });
             }
+            if !buf.trim().is_empty() {
+                break buf;
+            }
+        };
+        let header: TraceHeader = serde_json::from_str(header_raw.trim_end_matches(['\n', '\r']))
+            .map_err(|e| TraceError::Header {
+            message: e.to_string(),
+        })?;
+        if header.schema != TRACE_SCHEMA {
+            return Err(TraceError::Header {
+                message: format!("schema is `{}`", header.schema),
+            });
         }
-        previous = Some(event.interval);
-        events.push(event);
+        if header.version != TRACE_VERSION {
+            return Err(TraceError::Version {
+                found: header.version,
+            });
+        }
+        Ok(Self {
+            reader,
+            line,
+            previous: None,
+            done: false,
+        })
     }
-    Ok(events)
+
+    /// 1-based number of lines consumed so far (header included).
+    pub fn lines_read(&self) -> usize {
+        self.line
+    }
+}
+
+/// `read_line` with the error wrapped as a [`TraceError::Io`] carrying
+/// the line number being read.
+trait ReadToLine {
+    fn read_to_line(&mut self, buf: &mut String, line: usize) -> Result<usize, TraceError>;
+}
+
+impl<R: BufRead> ReadToLine for R {
+    fn read_to_line(&mut self, buf: &mut String, line: usize) -> Result<usize, TraceError> {
+        self.read_line(buf).map_err(|e| TraceError::Io {
+            line,
+            message: e.to_string(),
+        })
+    }
+}
+
+impl<R: BufRead> Iterator for StreamingTrace<R> {
+    type Item = Result<TraceEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let result = loop {
+            let mut buf = String::new();
+            match self.reader.read_to_line(&mut buf, self.line + 1) {
+                Err(e) => break Err(e),
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+            }
+            self.line += 1;
+            let raw = buf.trim_end_matches(['\n', '\r']);
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let line = self.line;
+            let event: TraceEvent = match serde_json::from_str(raw) {
+                Ok(event) => event,
+                Err(e) => {
+                    break Err(TraceError::Malformed {
+                        line,
+                        message: e.to_string(),
+                    })
+                }
+            };
+            if let Err(e) = event.validate(line) {
+                break Err(e);
+            }
+            if let Some(prev) = self.previous {
+                if event.interval < prev {
+                    break Err(TraceError::OutOfOrder {
+                        line,
+                        interval: event.interval,
+                        previous: prev,
+                    });
+                }
+            }
+            self.previous = Some(event.interval);
+            break Ok(event);
+        };
+        if result.is_err() {
+            self.done = true;
+        }
+        Some(result)
+    }
 }
 
 /// A workload that replays a recorded trace: interval `t` yields exactly
@@ -546,6 +658,51 @@ mod tests {
         let events = sample_events();
         let text = export_jsonl(&events).replace('\n', "\n\n");
         assert_eq!(load_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn streaming_trace_matches_batch_loader() {
+        let events = sample_events();
+        let text = export_jsonl(&events).replace('\n', "\n\n");
+        let streamed: Vec<TraceEvent> = StreamingTrace::open(text.as_bytes())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(streamed, events);
+    }
+
+    #[test]
+    fn streaming_trace_fuses_after_an_error() {
+        let mut text = export_jsonl(&sample_events()[..2]);
+        text.push_str("not json\n");
+        text.push_str(&serde_json::to_string(&sample_events()[2]).unwrap());
+        text.push('\n');
+        let mut stream = StreamingTrace::open(text.as_bytes()).unwrap();
+        assert!(stream.next().unwrap().is_ok());
+        assert!(stream.next().unwrap().is_ok());
+        assert!(matches!(
+            stream.next().unwrap().unwrap_err(),
+            TraceError::Malformed { line: 4, .. }
+        ));
+        assert!(stream.next().is_none(), "errors fuse the stream");
+    }
+
+    #[test]
+    fn streaming_trace_surfaces_io_errors() {
+        #[derive(Debug)]
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("wire cut"))
+            }
+        }
+        let reader = std::io::BufReader::new(FailingReader);
+        match StreamingTrace::open(reader) {
+            Err(TraceError::Io { line: 1, message }) => {
+                assert!(message.contains("wire cut"), "{message}")
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -420,3 +420,156 @@ fn correlated_and_heterogeneous_scenarios_are_bit_identical_across_workers() {
         assert_identical(&a.result, &b.result);
     }
 }
+
+/// The service daemon's contract: streaming a recorded trace through
+/// `serve_trace` — ingest thread, bounded channel, interval grouping,
+/// background fine-tuning, checkpoint cadence and all — is bit-identical
+/// to the equivalent batch replay through `run_experiment_full`, on one
+/// evaluation worker and on four.
+#[test]
+fn service_stream_is_bit_identical_to_batch_replay() {
+    use carol::service::{serve_trace, CheckpointSpec, ExperimentSpec, ServeOptions};
+    use gon::TrainConfig;
+    use std::io::Cursor;
+    use workloads::replay::{export_jsonl, record_suite, ReplayWorkload};
+    use workloads::BenchmarkSuite;
+
+    let seed = 21;
+    let events = record_suite(BenchmarkSuite::AIoTBench, 2.5, seed, 8);
+    let trace = export_jsonl(&events);
+    let scenario = ScenarioSpec::replay("svc-vs-batch", events.clone(), 8, 2, seed);
+    let spec_for = |threads: usize| {
+        ExperimentSpec::new(scenario.clone())
+            .with_engine(par::EngineConfig::batched(threads))
+            .with_train(TrainConfig {
+                epochs: 1,
+                minibatch: 4,
+                patience: 1,
+                ..TrainConfig::default()
+            })
+            .with_checkpoint(CheckpointSpec {
+                every: Some(3),
+                path: None,
+            })
+    };
+
+    // The batch reference: same pretraining, same replayed arrivals,
+    // driven through the classic finish-and-exit loop.
+    let batch = {
+        let spec = spec_for(1);
+        let mut policy = Carol::pretrained(spec.carol_config(), seed);
+        let mut workload = ReplayWorkload::new(&events);
+        let mut scheduler = scenario.scheduler.build();
+        carol::runner::run_experiment_full(
+            &mut policy,
+            &scenario.experiment_config(),
+            &mut workload,
+            scheduler.as_mut(),
+        )
+    };
+    assert!(batch.completed > 0, "replay must complete tasks");
+
+    for (label, threads, background) in [
+        ("1 worker", 1, false),
+        ("4 workers", 4, true),
+        ("1 worker+bg", 1, true),
+    ] {
+        let report = serve_trace(
+            &spec_for(threads),
+            Cursor::new(trace.clone().into_bytes()),
+            &ServeOptions {
+                background_tune: background,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: serve failed: {e}"));
+        assert_eq!(
+            report.intervals, scenario.intervals,
+            "{label}: stream horizon diverged from the replay horizon"
+        );
+        assert!(report.checkpoints_taken > 0, "{label}: cadence never fired");
+        assert_identical(&batch, &report.result);
+    }
+}
+
+/// The checkpoint/restore contract: freezing the controller mid-stream,
+/// round-tripping it through JSON, restoring into a fresh `Carol` and
+/// continuing the same engine is bit-identical to never having been
+/// interrupted — on one evaluation worker and on four.
+#[test]
+fn checkpoint_restore_mid_stream_is_bit_identical_to_continuous() {
+    use carol::runner::ExperimentEngine;
+    use carol::CarolCheckpoint;
+    use workloads::BagOfTasks;
+
+    let seed = 31;
+    let intervals = 14;
+    let config = ExperimentConfig {
+        intervals,
+        fault_rate: 2.0, // force repairs so the GON/POT/RNG state matters
+        ..ExperimentConfig::small(seed)
+    };
+    let make = |threads: usize| {
+        Carol::pretrained(
+            CarolConfig {
+                batch_eval: true,
+                eval_threads: Some(threads),
+                ..CarolConfig::fast_test()
+            },
+            seed,
+        )
+    };
+    // One pre-sampled arrival stream shared by both runs: the sampler's
+    // RNG is independent of the simulation, exactly as in `run_experiment`.
+    let all_arrivals: Vec<Vec<edgesim::TaskSpec>> = {
+        let mut workload = BagOfTasks::new(config.suite, config.arrival_rate, seed ^ 0x5754);
+        (0..intervals)
+            .map(|t| workload.sample_interval(t))
+            .collect()
+    };
+    let arrivals_for = |t: usize| all_arrivals[t].clone();
+
+    for threads in [1usize, 4] {
+        let continuous = {
+            let mut policy = make(threads);
+            let mut engine = ExperimentEngine::new(&config);
+            let mut scheduler = edgesim::scheduler::LeastLoadScheduler::new();
+            for t in 0..intervals {
+                engine.step(&mut policy, arrivals_for(t), &mut scheduler);
+            }
+            engine.finish(&policy)
+        };
+        assert!(
+            continuous.decision_events > 0,
+            "{threads} workers: the run must exercise the repair path"
+        );
+
+        let interrupted = {
+            let mut policy = make(threads);
+            let mut engine = ExperimentEngine::new(&config);
+            let mut scheduler = edgesim::scheduler::LeastLoadScheduler::new();
+            for t in 0..intervals / 2 {
+                engine.step(&mut policy, arrivals_for(t), &mut scheduler);
+            }
+            // Freeze → JSON → restore, then keep stepping the same engine.
+            let ckpt = policy.checkpoint().expect("Gon variant checkpoints");
+            let json = ckpt.to_json();
+            let back = CarolCheckpoint::from_json(&json).expect("checkpoint JSON parses");
+            let mut restored = Carol::restore(&back).expect("checkpoint restores");
+            assert_eq!(restored.interval(), intervals / 2);
+            for t in intervals / 2..intervals {
+                engine.step(&mut restored, arrivals_for(t), &mut scheduler);
+            }
+            engine.finish(&restored)
+        };
+        assert_identical(&continuous, &interrupted);
+        assert_eq!(
+            continuous.decision_events, interrupted.decision_events,
+            "{threads} workers: repair counts diverged across the restore"
+        );
+        assert_eq!(
+            continuous.fine_tune_events, interrupted.fine_tune_events,
+            "{threads} workers: fine-tune counts diverged across the restore"
+        );
+    }
+}

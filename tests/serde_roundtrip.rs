@@ -69,3 +69,118 @@ fn gon_config_and_normalizer_survive_defaults() {
     assert_eq!(costs.span, 5);
     assert!(costs.base_cpu > 0.0 && costs.per_worker_cpu > 0.0);
 }
+
+/// GON checkpoint → JSON → restore is bit-exact on every `f64` of every
+/// parameter — values, gradients, and both Adam moment buffers — even
+/// after training has dirtied all of them.
+#[test]
+fn gon_checkpoint_restores_every_param_bit_exact() {
+    use gon::{GonCheckpoint, GonConfig, GonModel, TrainConfig};
+    use workloads::trace::{generate_trace, TraceConfig};
+    use workloads::BenchmarkSuite;
+
+    let trace = generate_trace(
+        &TraceConfig {
+            intervals: 8,
+            topology_period: 3,
+            arrival_rate: 2.0,
+            suite: BenchmarkSuite::DeFog,
+            seed: 5,
+        },
+        SimConfig::small(6, 2, 5),
+    );
+    let mut model = GonModel::new(GonConfig {
+        hidden: 10,
+        head_layers: 2,
+        gat_dim: 6,
+        gat_att: 2,
+        gen_lr: 5e-3,
+        gen_steps: 2,
+        gen_tol: 1e-7,
+        seed: 5,
+    });
+    // Dirty weights, gradients and Adam moments alike.
+    gon::train_offline(
+        &mut model,
+        &trace,
+        &TrainConfig {
+            epochs: 1,
+            minibatch: 4,
+            patience: 1,
+            ..Default::default()
+        },
+    );
+
+    let ckpt = GonCheckpoint::capture(&mut model);
+    let back = GonCheckpoint::from_json(&ckpt.to_json()).expect("checkpoint JSON parses");
+    assert_eq!(ckpt, back, "JSON round-trip must be lossless");
+    let mut restored = back.restore().expect("checkpoint restores");
+
+    let originals = model.params_mut();
+    let mut restored_params = restored.params_mut();
+    assert_eq!(originals.len(), restored_params.len());
+    let mut checked = 0usize;
+    for (i, (a, b)) in originals.iter().zip(restored_params.iter_mut()).enumerate() {
+        for (label, x, y) in [
+            ("value", a.value.data(), b.value.data()),
+            ("grad", a.grad.data(), b.grad.data()),
+            ("m", a.m.data(), b.m.data()),
+            ("v", a.v.data(), b.v.data()),
+        ] {
+            assert_eq!(x.len(), y.len(), "param {i} {label}: length diverged");
+            for (j, (p, q)) in x.iter().zip(y).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    q.to_bits(),
+                    "param {i} {label}[{j}] diverged: {p} vs {q}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 1000, "the sweep must cover a real model");
+}
+
+/// One `ExperimentSpec` JSON reconstructs the whole experiment —
+/// scenario, evaluation engine, trainer, checkpoint cadence — and the
+/// registry constructor resolves the same names as `ScenarioSpec`.
+#[test]
+fn experiment_spec_json_reconstructs_scenario_engine_and_trainer() {
+    use carol::service::{CheckpointSpec, ExperimentSpec};
+    use carol::ScenarioSpec;
+
+    for name in ScenarioSpec::registry_names() {
+        let spec = ExperimentSpec::named(name, 3).unwrap_or_else(|| panic!("{name} registered"));
+        assert_eq!(&spec.scenario.name, name);
+    }
+    assert!(ExperimentSpec::named("not-a-scenario", 3).is_none());
+
+    let spec = ExperimentSpec::named("storm-64", 11)
+        .unwrap()
+        .with_engine(par::EngineConfig::batched(3))
+        .with_train(gon::TrainConfig {
+            epochs: 2,
+            minibatch: 16,
+            ..Default::default()
+        })
+        .with_checkpoint(CheckpointSpec {
+            every: Some(25),
+            path: Some("ckpt.json".into()),
+        });
+    let back = ExperimentSpec::from_json(&spec.to_json()).expect("spec JSON parses");
+    assert_eq!(back.scenario.name, "storm-64");
+    assert_eq!(back.scenario.n_hosts, 64);
+    assert_eq!(back.scenario.seed, 11);
+    assert_eq!(back.engine, par::EngineConfig::batched(3));
+    assert_eq!(back.engine.worker_count(), 3);
+    assert_eq!(back.train.epochs, 2);
+    assert_eq!(back.train.minibatch, 16);
+    assert_eq!(back.checkpoint.every, Some(25));
+    assert_eq!(back.checkpoint.path.as_deref(), Some("ckpt.json"));
+
+    // The induced controller config reflects the spec's engine + trainer.
+    let cc = back.carol_config();
+    assert!(cc.batch_eval);
+    assert_eq!(cc.eval_threads, Some(3));
+    assert_eq!(cc.offline.epochs, 2);
+}

@@ -362,12 +362,29 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8 by
-                    // construction: it came from a &str).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| Error("invalid utf-8".into()))?;
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one multi-byte UTF-8 scalar (input is valid
+                    // UTF-8 by construction: it came from a &str). The
+                    // window is capped at 4 bytes — a scalar's maximum
+                    // encoding — so decoding stays O(1) per character
+                    // instead of re-validating the rest of the document.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().expect("non-empty"),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("prefix is valid")
+                                .chars()
+                                .next()
+                                .expect("non-empty")
+                        }
+                        Err(_) => return Err(Error("invalid utf-8".into())),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -516,5 +533,38 @@ mod tests {
         assert_eq!(v, Value::Str("é€".into()));
         let v = parse_value("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(v, Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn raw_multi_byte_scalars_parse() {
+        // Exercises the bounded-window decode path: 2-, 3- and 4-byte
+        // scalars inline in the source, including one that ends exactly
+        // at the end of input (window shorter than 4 bytes).
+        let v = parse_value("\"é₿😀x\"").unwrap();
+        assert_eq!(v, Value::Str("é₿😀x".into()));
+        let v = parse_value("\"😀\"").unwrap();
+        assert_eq!(v, Value::Str("😀".into()));
+        let v = parse_value("[\"aé\", \"😀😀\"]").unwrap();
+        assert_eq!(
+            v,
+            Value::Seq(vec![Value::Str("aé".into()), Value::Str("😀😀".into())])
+        );
+    }
+
+    #[test]
+    fn long_string_documents_parse_in_linear_time() {
+        // Regression: the per-character decode used to re-validate the
+        // whole remaining document, making multi-MB checkpoint parses
+        // quadratic. 64k single-string JSON must parse near-instantly.
+        let body: String = "abcdé".repeat(13_000);
+        let doc = format!("\"{body}\"");
+        let t0 = std::time::Instant::now();
+        let v = parse_value(&doc).unwrap();
+        assert_eq!(v, Value::Str(body));
+        assert!(
+            t0.elapsed().as_secs_f64() < 5.0,
+            "string parse took {:?} — quadratic decode regressed",
+            t0.elapsed()
+        );
     }
 }
