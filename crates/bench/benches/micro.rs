@@ -91,6 +91,7 @@ fn bench_topology(c: &mut Criterion) {
                 &TabuConfig {
                     list_size: 100,
                     max_iters: 4,
+                    ..Default::default()
                 },
                 tabu::from_fn(|t: &Topology| t.brokers().len() as f64),
             );
@@ -143,6 +144,7 @@ fn repair_fixture(
         tabu: TabuConfig {
             list_size: 20,
             max_iters: 1,
+            ..Default::default()
         },
         batch_eval,
         ..CarolConfig::fast_test()

@@ -228,6 +228,7 @@ pub fn fig5_carol_config() -> CarolConfig {
         tabu: carol::tabu::TabuConfig {
             list_size: 100,
             max_iters: 4,
+            ..Default::default()
         },
         pretrain_intervals: 200,
         pretrain_sim: SimConfig::testbed(0),

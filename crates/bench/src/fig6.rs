@@ -90,6 +90,7 @@ impl Fig6Config {
                 tabu: TabuConfig {
                     list_size: 100,
                     max_iters: 3,
+                    ..Default::default()
                 },
                 ..Default::default()
             },

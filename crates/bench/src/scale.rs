@@ -46,11 +46,19 @@ pub struct ScaleConfig {
 }
 
 impl ScaleConfig {
-    /// The full sweep: 16 → 128 hosts, 30 intervals, replay included,
+    /// The full sweep: 16 → 1024 hosts, 30 intervals, replay included,
     /// plus the cascade and heterogeneous-flash-crowd frontier scenarios.
     pub fn full(seed: u64) -> Self {
         Self {
-            sizes: vec![(16, 4), (32, 8), (64, 8), (128, 16)],
+            sizes: vec![
+                (16, 4),
+                (32, 8),
+                (64, 8),
+                (128, 16),
+                (256, 16),
+                (512, 32),
+                (1024, 64),
+            ],
             intervals: 30,
             seed,
             with_replay: true,
@@ -58,11 +66,11 @@ impl ScaleConfig {
         }
     }
 
-    /// CI-budget sweep: 16 → 64 hosts, 10 intervals, one frontier
+    /// CI-budget sweep: 16 → 256 hosts, 10 intervals, one frontier
     /// scenario.
     pub fn fast(seed: u64) -> Self {
         Self {
-            sizes: vec![(16, 4), (32, 8), (64, 8)],
+            sizes: vec![(16, 4), (32, 8), (64, 8), (128, 16), (256, 16)],
             intervals: 10,
             seed,
             with_replay: true,
@@ -106,6 +114,56 @@ pub struct ScalePoint {
     /// tabu iterations — the batch volume behind `repair_wall_s`).
     #[serde(default)]
     pub repair_queries: usize,
+    /// Which neighbourhood the scenario's repair path used: `"full"` at or
+    /// below [`FULL_NEIGHBORHOOD_MAX_HOSTS`] hosts, `"sampled"` above.
+    #[serde(default)]
+    pub repair_mode: String,
+    /// Wall-clock of the isolated repair episode under the *sampled*
+    /// neighbourhood, seconds. Measured at every size; at sizes where the
+    /// full path is priced too, the pair quantifies the trade.
+    #[serde(default)]
+    pub sampled_repair_wall_s: f64,
+    /// Surrogate queries behind `sampled_repair_wall_s`.
+    #[serde(default)]
+    pub sampled_repair_queries: usize,
+    /// Tabu objective (lower is better) of the full-neighbourhood repair's
+    /// winner. `0.0` at sizes where the full path is not priced.
+    #[serde(default)]
+    pub repair_score_full: f64,
+    /// Tabu objective of the sampled-neighbourhood repair's winner — the
+    /// QoS side of the QoS-vs-wall-clock trade.
+    #[serde(default)]
+    pub repair_score_sampled: f64,
+}
+
+/// Largest federation the sweep prices with the full Θ(n·brokers)
+/// neighbourhood. Above this the scenario runs (and the headline
+/// `repair_wall_s` column) switch to the sampled O(n·k) neighbourhood —
+/// the full path at 1024 hosts would score hundreds of thousands of
+/// candidates per repair.
+pub const FULL_NEIGHBORHOOD_MAX_HOSTS: usize = 128;
+
+/// Per-iteration candidate cap of the sampled neighbourhood in the sweep.
+pub const SAMPLED_MAX_MOVES: usize = 160;
+
+/// The sweep's sampled-neighbourhood setting at a given size (seeded per
+/// size so rows stay independent and reproducible).
+pub fn sampled_neighborhood(seed: u64, n_hosts: usize) -> carol::tabu::Neighborhood {
+    carol::tabu::Neighborhood::Sampled {
+        max_moves: SAMPLED_MAX_MOVES,
+        seed: seed ^ 0x5a17 ^ n_hosts as u64,
+    }
+}
+
+/// [`sweep_carol_config`] with the neighbourhood chosen by federation
+/// size: the paper's full move set up to
+/// [`FULL_NEIGHBORHOOD_MAX_HOSTS`] hosts, sampled beyond.
+pub fn sweep_carol_config_sized(seed: u64, n_hosts: usize) -> CarolConfig {
+    let mut config = sweep_carol_config(seed);
+    if n_hosts > FULL_NEIGHBORHOOD_MAX_HOSTS {
+        config.tabu.neighborhood = sampled_neighborhood(seed, n_hosts);
+    }
+    config
 }
 
 /// A CAROL configuration sized for sweep throughput: the GON stays at
@@ -126,6 +184,7 @@ pub fn sweep_carol_config(seed: u64) -> CarolConfig {
         tabu: carol::tabu::TabuConfig {
             list_size: 20,
             max_iters: 2,
+            ..Default::default()
         },
         offline: TrainConfig {
             epochs: 3,
@@ -194,8 +253,14 @@ fn size_scenarios(config: &ScaleConfig, n_hosts: usize, n_brokers: usize) -> Vec
 
 /// Times one isolated repair episode — a single broker failure resolved
 /// through the batched tabu/surrogate path — at the given federation
-/// size. Returns `(wall_s, surrogate_queries)`.
-pub fn measure_repair(n_hosts: usize, n_brokers: usize, seed: u64) -> (f64, usize) {
+/// size under the given controller configuration. Returns `(wall_s,
+/// surrogate_queries, best_score)`.
+pub fn measure_repair_with(
+    n_hosts: usize,
+    n_brokers: usize,
+    seed: u64,
+    config: CarolConfig,
+) -> (f64, usize, f64) {
     use carol::ResiliencePolicy;
     use edgesim::scheduler::LeastLoadScheduler;
     use edgesim::state::{Normalizer, SystemState};
@@ -212,31 +277,64 @@ pub fn measure_repair(n_hosts: usize, n_brokers: usize, seed: u64) -> (f64, usiz
         },
     );
     let report = sim.step(Vec::new(), &mut sched);
-    let snapshot = SystemState::capture(
+    let snapshot = SystemState::capture_refs(
         sim.topology(),
         sim.specs(),
         sim.host_states(),
-        sim.tasks(),
+        &sim.live_tasks(),
         &report.decision,
         &Normalizer::for_federation(n_hosts, n_brokers),
     );
-    let config = sweep_carol_config(seed);
     let mut policy = Carol::from_model(gon::GonModel::new(config.gon.clone()), config, seed);
     let start = Instant::now();
     let repaired = policy.repair(&sim, &snapshot);
     let wall_s = start.elapsed().as_secs_f64();
     assert!(repaired.is_some(), "broker failure must produce a repair");
-    (wall_s, policy.surrogate_queries)
+    let score = policy.last_repair_score.expect("repair records its score");
+    (wall_s, policy.surrogate_queries, score)
+}
+
+/// [`measure_repair_with`] under the sweep's full-neighbourhood
+/// controller. Returns `(wall_s, surrogate_queries)`.
+pub fn measure_repair(n_hosts: usize, n_brokers: usize, seed: u64) -> (f64, usize) {
+    let (wall_s, queries, _) =
+        measure_repair_with(n_hosts, n_brokers, seed, sweep_carol_config(seed));
+    (wall_s, queries)
 }
 
 /// Runs one scenario cell — pretrain, run, and the isolated repair
-/// measurement — into a [`ScalePoint`].
+/// measurements — into a [`ScalePoint`].
+///
+/// Repair pricing is two-sided where affordable: at or below
+/// [`FULL_NEIGHBORHOOD_MAX_HOSTS`] hosts both the full and the sampled
+/// neighbourhood are measured (the pair is the QoS-vs-wall-clock trade);
+/// above it only the sampled path runs and fills the headline
+/// `repair_wall_s` column.
 pub fn run_cell(spec: &ScenarioSpec, seed: u64) -> ScalePoint {
-    let mut policy = Carol::pretrained(sweep_carol_config(seed), seed);
+    let mut policy = Carol::pretrained(sweep_carol_config_sized(seed, spec.n_hosts), seed);
     let start = Instant::now();
     let out = run_scenario(&mut policy, spec);
     let wall_s = start.elapsed().as_secs_f64();
-    let (repair_wall_s, repair_queries) = measure_repair(spec.n_hosts, spec.n_brokers, seed);
+
+    let mut sampled_cfg = sweep_carol_config(seed);
+    sampled_cfg.tabu.neighborhood = sampled_neighborhood(seed, spec.n_hosts);
+    let (sampled_repair_wall_s, sampled_repair_queries, repair_score_sampled) =
+        measure_repair_with(spec.n_hosts, spec.n_brokers, seed, sampled_cfg);
+
+    let full_priced = spec.n_hosts <= FULL_NEIGHBORHOOD_MAX_HOSTS;
+    let (repair_wall_s, repair_queries, repair_score_full, repair_mode) = if full_priced {
+        let (w, q, score) =
+            measure_repair_with(spec.n_hosts, spec.n_brokers, seed, sweep_carol_config(seed));
+        (w, q, score, "full")
+    } else {
+        (
+            sampled_repair_wall_s,
+            sampled_repair_queries,
+            0.0,
+            "sampled",
+        )
+    };
+
     ScalePoint {
         scenario: out.scenario,
         n_hosts: spec.n_hosts,
@@ -251,6 +349,11 @@ pub fn run_cell(spec: &ScenarioSpec, seed: u64) -> ScalePoint {
         wall_s,
         repair_wall_s,
         repair_queries,
+        repair_mode: repair_mode.into(),
+        sampled_repair_wall_s,
+        sampled_repair_queries,
+        repair_score_full,
+        repair_score_sampled,
     }
 }
 
@@ -282,14 +385,24 @@ pub fn to_json(points: &[ScalePoint]) -> String {
 pub fn render_table(points: &[ScalePoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}{:>12}\n",
-        "scenario", "hosts", "done", "energy_wh", "resp_s", "slo", "repairs", "wall_s", "repair_ms"
+        "{:<14}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}{:>12}{:>9}{:>13}\n",
+        "scenario",
+        "hosts",
+        "done",
+        "energy_wh",
+        "resp_s",
+        "slo",
+        "repairs",
+        "wall_s",
+        "repair_ms",
+        "mode",
+        "sampled_ms"
     ));
-    out.push_str(&"-".repeat(98));
+    out.push_str(&"-".repeat(120));
     out.push('\n');
     for p in points {
         out.push_str(&format!(
-            "{:<14}{:>8}{:>10}{:>12.1}{:>12.1}{:>10.3}{:>10}{:>10.2}{:>12.1}\n",
+            "{:<14}{:>8}{:>10}{:>12.1}{:>12.1}{:>10.3}{:>10}{:>10.2}{:>12.1}{:>9}{:>13.1}\n",
             p.scenario,
             p.n_hosts,
             p.completed,
@@ -298,7 +411,9 @@ pub fn render_table(points: &[ScalePoint]) -> String {
             p.slo_violation_rate,
             p.decision_events,
             p.wall_s,
-            p.repair_wall_s * 1e3
+            p.repair_wall_s * 1e3,
+            p.repair_mode,
+            p.sampled_repair_wall_s * 1e3
         ));
     }
     out

@@ -108,6 +108,7 @@ impl CarolConfig {
             tabu: TabuConfig {
                 list_size: 20,
                 max_iters: 2,
+                ..Default::default()
             },
             offline: TrainConfig {
                 epochs: 3,
@@ -171,6 +172,11 @@ pub struct Carol {
     pub fine_tune_intervals: Vec<usize>,
     /// Surrogate evaluations issued to tabu search so far.
     pub surrogate_queries: usize,
+    /// Objective value (`Ω`, lower is better) of the winning topology in
+    /// the most recent [`ResiliencePolicy::repair`] call, if any — lets
+    /// harnesses compare repair quality across neighbourhood modes
+    /// without re-scoring.
+    pub last_repair_score: Option<f64>,
     modeled_decision_s: f64,
     modeled_overhead_s: f64,
 }
@@ -204,6 +210,7 @@ impl Carol {
             threshold_history: Vec::new(),
             fine_tune_intervals: Vec::new(),
             surrogate_queries: 0,
+            last_repair_score: None,
             modeled_decision_s: 0.0,
             modeled_overhead_s: 0.0,
             background_tune: false,
@@ -526,6 +533,7 @@ impl Carol {
             threshold_history: ckpt.threshold_history.clone(),
             fine_tune_intervals: ckpt.fine_tune_intervals.clone(),
             surrogate_queries: ckpt.surrogate_queries,
+            last_repair_score: None,
             modeled_decision_s: ckpt.modeled_decision_s,
             modeled_overhead_s: ckpt.modeled_overhead_s,
             background_tune: false,
@@ -672,6 +680,7 @@ impl ResiliencePolicy for Carol {
             let base = snapshot.clone();
             let tabu_cfg = self.config.tabu.clone();
             let result = tabu::search(topo, &banned, &tabu_cfg, self.batch_objective(&base));
+            self.last_repair_score = Some(result.best_score);
             topo = result.best;
         }
         Some(topo)

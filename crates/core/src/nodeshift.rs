@@ -143,12 +143,41 @@ pub fn random_shift(topo: &Topology, b: HostId, banned: &[HostId], rng: &mut Std
     }
 }
 
-/// Generic single node-shift moves from `topo` for tabu exploration:
-/// promote any non-banned worker, demote any broker (its workers migrate
-/// to the busiest-mesh peer choice is delegated — each peer generates one
-/// candidate), and reassign any worker across LEIs. The initial broker
-/// repair guarantees `banned` hosts are workers; these moves keep them so.
-pub fn mutations(topo: &Topology, banned: &[HostId]) -> Vec<Topology> {
+/// One generic node-shift move, described by its operands rather than by
+/// the topology it produces. Enumerating descriptors is O(moves) with no
+/// topology clones, so a sampled neighbourhood can pick `k` of them and
+/// pay the clone-and-apply cost only for the chosen few.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Promote worker `w` to the broker layer.
+    Promote {
+        /// Worker to promote.
+        w: HostId,
+    },
+    /// Demote broker `bkr`, migrating its workers to `target` first.
+    Demote {
+        /// Broker to demote.
+        bkr: HostId,
+        /// Surviving broker that receives `bkr`'s workers (and `bkr`).
+        target: HostId,
+    },
+    /// Reassign worker `w` to broker `bkr` across LEIs.
+    Reassign {
+        /// Worker to move.
+        w: HostId,
+        /// Destination broker.
+        bkr: HostId,
+    },
+}
+
+/// Enumerates the move descriptors of the generic node-shift
+/// neighbourhood, in exactly the order [`mutations`] yields their
+/// resulting topologies: promotions (worker order), demotions (nested
+/// broker × target order), then cross-LEI reassignments (nested worker ×
+/// broker order). Precondition filters that depend only on `topo` are
+/// applied here; per-move fallibility (e.g. a demotion that fails after
+/// reassignment) lives in [`apply_move`].
+pub fn enumerate_moves(topo: &Topology, banned: &[HostId]) -> Vec<Move> {
     let mut out = Vec::new();
     let is_banned = |h: HostId| banned.contains(&h);
     let brokers = topo.brokers();
@@ -158,12 +187,8 @@ pub fn mutations(topo: &Topology, banned: &[HostId]) -> Vec<Topology> {
     // Promotions (bounded above: don't starve the worker layer).
     if brokers.len() < hi {
         for &w in &workers {
-            if is_banned(w) {
-                continue;
-            }
-            let mut t = topo.clone();
-            if t.promote(w).is_ok() {
-                out.push(t);
+            if !is_banned(w) {
+                out.push(Move::Promote { w });
             }
         }
     }
@@ -173,17 +198,8 @@ pub fn mutations(topo: &Topology, banned: &[HostId]) -> Vec<Topology> {
     if brokers.len() > lo {
         for &bkr in &brokers {
             for &target in &brokers {
-                if bkr == target || is_banned(target) {
-                    continue;
-                }
-                let mut t = topo.clone();
-                for w in t.workers_of(bkr) {
-                    if t.reassign(w, target).is_err() {
-                        continue;
-                    }
-                }
-                if t.demote(bkr, target).is_ok() {
-                    out.push(t);
+                if bkr != target && !is_banned(target) {
+                    out.push(Move::Demote { bkr, target });
                 }
             }
         }
@@ -192,17 +208,79 @@ pub fn mutations(topo: &Topology, banned: &[HostId]) -> Vec<Topology> {
     // Cross-LEI reassignments.
     for &w in &workers {
         for &bkr in &brokers {
-            if topo.broker_of(w) == bkr || is_banned(bkr) {
-                continue;
-            }
-            let mut t = topo.clone();
-            if t.reassign(w, bkr).is_ok() {
-                out.push(t);
+            if topo.broker_of(w) != bkr && !is_banned(bkr) {
+                out.push(Move::Reassign { w, bkr });
             }
         }
     }
 
     out
+}
+
+/// Applies one move descriptor to `topo`. Returns `None` when the move's
+/// own preconditions fail — the same candidates the eager enumeration in
+/// [`mutations`] silently drops.
+pub fn apply_move(topo: &Topology, mv: Move) -> Option<Topology> {
+    let mut t = topo.clone();
+    let ok = match mv {
+        Move::Promote { w } => t.promote(w).is_ok(),
+        Move::Demote { bkr, target } => {
+            for w in t.workers_of(bkr) {
+                // Failed reassignments are ignored, exactly like the
+                // original loop; the demotion below then decides.
+                let _ = t.reassign(w, target);
+            }
+            t.demote(bkr, target).is_ok()
+        }
+        Move::Reassign { w, bkr } => t.reassign(w, bkr).is_ok(),
+    };
+    ok.then_some(t)
+}
+
+/// Generic single node-shift moves from `topo` for tabu exploration:
+/// promote any non-banned worker, demote any broker (its workers migrate
+/// to the busiest-mesh peer choice is delegated — each peer generates one
+/// candidate), and reassign any worker across LEIs. The initial broker
+/// repair guarantees `banned` hosts are workers; these moves keep them so.
+pub fn mutations(topo: &Topology, banned: &[HostId]) -> Vec<Topology> {
+    enumerate_moves(topo, banned)
+        .into_iter()
+        .filter_map(|mv| apply_move(topo, mv))
+        .collect()
+}
+
+/// At most `max_moves` node-shift candidates, drawn uniformly without
+/// replacement from the full descriptor set. When the neighbourhood is
+/// already within the cap this is exactly [`mutations`]; above the cap a
+/// partial Fisher–Yates selects descriptor indices, which are then
+/// applied in ascending enumeration order so the surviving candidate
+/// order (and therefore tabu tie-breaking) matches a subsequence of the
+/// full neighbourhood. The caller owns the RNG, so a fixed seed gives an
+/// identical sample regardless of how candidates are later scored.
+pub fn mutations_sampled(
+    topo: &Topology,
+    banned: &[HostId],
+    max_moves: usize,
+    rng: &mut StdRng,
+) -> Vec<Topology> {
+    let moves = enumerate_moves(topo, banned);
+    if moves.len() <= max_moves {
+        return moves
+            .into_iter()
+            .filter_map(|mv| apply_move(topo, mv))
+            .collect();
+    }
+    let mut idx: Vec<usize> = (0..moves.len()).collect();
+    for i in 0..max_moves {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    let mut chosen = idx[..max_moves].to_vec();
+    chosen.sort_unstable();
+    chosen
+        .into_iter()
+        .filter_map(|i| apply_move(topo, moves[i]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -333,6 +411,71 @@ mod tests {
                 "banned host promoted by a mutation"
             );
         }
+    }
+
+    #[test]
+    fn sampled_under_cap_is_exactly_the_full_set() {
+        let topo = Topology::balanced(16, 4).unwrap();
+        let full = mutations(&topo, &[]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sampled = mutations_sampled(&topo, &[], full.len() + 10, &mut rng);
+        assert_eq!(full, sampled);
+    }
+
+    #[test]
+    fn sampled_is_a_deterministic_ordered_subsequence() {
+        let topo = Topology::balanced(32, 8).unwrap();
+        let full = mutations(&topo, &[]);
+        let cap = 12;
+        assert!(full.len() > cap, "need an over-cap neighbourhood");
+
+        let sample = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            mutations_sampled(&topo, &[], cap, &mut rng)
+        };
+        let a = sample(3);
+        let b = sample(3);
+        assert_eq!(a, b, "same seed must give the same sample");
+        assert!(a.len() <= cap);
+
+        // Every sampled candidate appears in the full set, in the same
+        // relative order (indices ascending after selection).
+        let mut cursor = 0usize;
+        for cand in &a {
+            let pos = full[cursor..]
+                .iter()
+                .position(|t| t == cand)
+                .unwrap_or_else(|| panic!("sampled candidate not in full set after {cursor}"));
+            cursor += pos + 1;
+        }
+    }
+
+    #[test]
+    fn sampled_respects_bans() {
+        let topo = Topology::balanced(16, 4).unwrap();
+        let banned = [5usize, 9];
+        let mut rng = StdRng::seed_from_u64(4);
+        for t in mutations_sampled(&topo, &banned, 8, &mut rng) {
+            t.validate().unwrap();
+            for &h in &banned {
+                assert!(
+                    matches!(t.role(h), NodeRole::Worker { .. }),
+                    "banned host {h} became a broker in a sampled move"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_moves_matches_mutations_order() {
+        let topo = Topology::balanced(12, 3).unwrap();
+        let moves = enumerate_moves(&topo, &[]);
+        let applied: Vec<Topology> = moves
+            .iter()
+            .filter_map(|&mv| apply_move(&topo, mv))
+            .collect();
+        assert_eq!(applied, mutations(&topo, &[]));
+        assert!(moves.len() >= applied.len());
     }
 
     #[test]

@@ -195,11 +195,11 @@ impl ExperimentEngine {
             config.seed ^ 0x4654,
         );
         let norm = Normalizer::for_fleet(&config.sim.specs, config.sim.n_brokers);
-        let snapshot = SystemState::capture(
+        let snapshot = SystemState::capture_refs(
             sim.topology(),
             sim.specs(),
             sim.host_states(),
-            sim.tasks(),
+            &sim.live_tasks(),
             &edgesim::SchedulingDecision::new(),
             &norm,
         );
@@ -275,11 +275,15 @@ impl ExperimentEngine {
         let report = self.sim.step(arrivals, scheduler);
         self.broker_failures += report.failed_brokers.len();
 
-        self.snapshot = SystemState::capture(
+        // Live view: completed tasks contribute nothing to any snapshot
+        // column (and this interval's completions are still live — the
+        // simulator defers their retirement one step), so this is
+        // bit-identical to capturing the full ledger at O(live) cost.
+        self.snapshot = SystemState::capture_refs(
             self.sim.topology(),
             self.sim.specs(),
             self.sim.host_states(),
-            self.sim.tasks(),
+            &self.sim.live_tasks(),
             &report.decision,
             &self.norm,
         );

@@ -151,6 +151,9 @@ impl ScenarioSpec {
             "aiot-32" => Some(base("aiot-32", BenchmarkSuite::AIoTBench, 32, 8)),
             "aiot-64" => Some(base("aiot-64", BenchmarkSuite::AIoTBench, 64, 8)),
             "aiot-128" => Some(base("aiot-128", BenchmarkSuite::AIoTBench, 128, 16)),
+            "aiot-256" => Some(base("aiot-256", BenchmarkSuite::AIoTBench, 256, 16)),
+            "aiot-512" => Some(base("aiot-512", BenchmarkSuite::AIoTBench, 512, 32)),
+            "aiot-1024" => Some(base("aiot-1024", BenchmarkSuite::AIoTBench, 1024, 64)),
             "defog-32" => Some(base("defog-32", BenchmarkSuite::DeFog, 32, 8)),
             "storm-64" => Some(ScenarioSpec {
                 fault_rate: 2.0,
@@ -228,6 +231,9 @@ impl ScenarioSpec {
             "aiot-32",
             "aiot-64",
             "aiot-128",
+            "aiot-256",
+            "aiot-512",
+            "aiot-1024",
             "defog-32",
             "storm-64",
             "roundrobin-16",

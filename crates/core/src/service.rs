@@ -159,6 +159,7 @@ impl ExperimentSpec {
             tabu: TabuConfig {
                 list_size: 20,
                 max_iters: 2,
+                ..Default::default()
             },
             offline: self.train.clone(),
             pretrain_intervals: 24,

@@ -16,8 +16,10 @@
 //! scoring one candidate at a time, and a deterministic batch objective
 //! yields bit-identical results to the serial path.
 
-use crate::nodeshift::mutations;
+use crate::nodeshift::{mutations, mutations_sampled};
 use edgesim::{HostId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::VecDeque;
 
 /// An objective that scores candidate topologies in batches.
@@ -55,6 +57,32 @@ pub fn from_fn<F: FnMut(&Topology) -> f64>(f: F) -> FnObjective<F> {
     FnObjective(f)
 }
 
+/// How each iteration builds the candidate neighbourhood.
+///
+/// The full node-shift move set is Θ(n·brokers) topologies, so one
+/// iteration clones and scores O(n²)-ish candidates — fine to ~128 hosts,
+/// prohibitive at 1024. `Sampled` caps the per-iteration neighbourhood at
+/// `max_moves` candidates drawn uniformly without replacement from the
+/// move descriptors ([`crate::nodeshift::mutations_sampled`]). This
+/// **knowingly changes search results** versus `Full` — the walk sees a
+/// random subsequence of each neighbourhood — in exchange for O(n·k)
+/// repair cost. It stays deterministic: the RNG is seeded once per
+/// [`search`] call from `seed`, and sampling happens before scoring, so
+/// results are identical at any evaluator worker count or batch shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Neighborhood {
+    /// Enumerate every node-shift move (the paper's setting).
+    #[default]
+    Full,
+    /// Score at most `max_moves` uniformly-sampled moves per iteration.
+    Sampled {
+        /// Per-iteration candidate cap.
+        max_moves: usize,
+        /// Seed for the per-search sampling RNG.
+        seed: u64,
+    },
+}
+
 /// Tabu-search configuration.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TabuConfig {
@@ -62,6 +90,9 @@ pub struct TabuConfig {
     pub list_size: usize,
     /// Maximum search iterations (each evaluates a full neighbourhood).
     pub max_iters: usize,
+    /// Neighbourhood construction (defaults to the full move set).
+    #[serde(default)]
+    pub neighborhood: Neighborhood,
 }
 
 impl Default for TabuConfig {
@@ -69,6 +100,7 @@ impl Default for TabuConfig {
         Self {
             list_size: 100,
             max_iters: 8,
+            neighborhood: Neighborhood::Full,
         }
     }
 }
@@ -113,8 +145,23 @@ pub fn search(
     let mut tabu: VecDeque<Vec<usize>> = VecDeque::with_capacity(config.list_size + 1);
     tabu.push_back(current.signature());
 
+    // Sampling RNG lives outside the loop: one seed, one draw sequence,
+    // independent of how (or on how many threads) candidates are scored.
+    let mut sample_rng = match config.neighborhood {
+        Neighborhood::Sampled { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+        Neighborhood::Full => None,
+    };
+
     for _ in 0..config.max_iters {
-        let mut neighbors = mutations(&current, banned);
+        let mut neighbors = match config.neighborhood {
+            Neighborhood::Full => mutations(&current, banned),
+            Neighborhood::Sampled { max_moves, .. } => mutations_sampled(
+                &current,
+                banned,
+                max_moves,
+                sample_rng.as_mut().expect("rng exists for sampled mode"),
+            ),
+        };
         let scores = objective.score_batch(&neighbors);
         assert_eq!(
             scores.len(),
@@ -185,6 +232,7 @@ mod tests {
             &TabuConfig {
                 list_size: 50,
                 max_iters: 10,
+                ..Default::default()
             },
             from_fn(broker_count_objective(3)),
         );
@@ -247,6 +295,7 @@ mod tests {
             &TabuConfig {
                 list_size: 1,
                 max_iters: 20,
+                ..Default::default()
             },
             from_fn(broker_count_objective(3)),
         );
@@ -263,6 +312,7 @@ mod tests {
             &TabuConfig {
                 list_size: 2,
                 max_iters: 12,
+                ..Default::default()
             },
             from_fn(broker_count_objective(5)),
         );
@@ -272,10 +322,70 @@ mod tests {
             &TabuConfig {
                 list_size: 200,
                 max_iters: 12,
+                ..Default::default()
             },
             from_fn(broker_count_objective(5)),
         );
         assert!(large.best_score <= small.best_score + 1e-9);
+    }
+
+    #[test]
+    fn sampled_neighborhood_is_deterministic_and_cheaper() {
+        let start = Topology::balanced(32, 8).unwrap();
+        let full_cfg = TabuConfig {
+            list_size: 50,
+            max_iters: 6,
+            ..Default::default()
+        };
+        let sampled_cfg = TabuConfig {
+            neighborhood: Neighborhood::Sampled {
+                max_moves: 16,
+                seed: 11,
+            },
+            ..full_cfg.clone()
+        };
+        let run =
+            |cfg: &TabuConfig| search(start.clone(), &[], cfg, from_fn(broker_count_objective(6)));
+        let a = run(&sampled_cfg);
+        let b = run(&sampled_cfg);
+        assert_eq!(a.best, b.best, "sampled search must be self-identical");
+        assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+
+        let full = run(&full_cfg);
+        assert!(
+            a.evaluations < full.evaluations,
+            "sampling must cut surrogate queries: {} vs {}",
+            a.evaluations,
+            full.evaluations
+        );
+        a.best.validate().unwrap();
+    }
+
+    #[test]
+    fn sampled_with_huge_cap_equals_full_search() {
+        let start = Topology::balanced(12, 3).unwrap();
+        let full = search(
+            start.clone(),
+            &[],
+            &TabuConfig::default(),
+            from_fn(broker_count_objective(4)),
+        );
+        let sampled = search(
+            start,
+            &[],
+            &TabuConfig {
+                neighborhood: Neighborhood::Sampled {
+                    max_moves: 10_000,
+                    seed: 1,
+                },
+                ..Default::default()
+            },
+            from_fn(broker_count_objective(4)),
+        );
+        assert_eq!(full.best, sampled.best);
+        assert_eq!(full.best_score.to_bits(), sampled.best_score.to_bits());
+        assert_eq!(full.evaluations, sampled.evaluations);
     }
 
     /// A batch objective that mirrors a serial closure while recording the
@@ -298,6 +408,7 @@ mod tests {
         let config = TabuConfig {
             list_size: 30,
             max_iters: 6,
+            ..Default::default()
         };
         let serial = search(
             start.clone(),
@@ -340,6 +451,7 @@ mod tests {
         let config = TabuConfig {
             list_size: 50,
             max_iters: 2,
+            ..Default::default()
         };
 
         let run = |revisit_score: f64| {

@@ -75,9 +75,13 @@ pub trait Scheduler {
     /// Chooses hosts for every pending task. Running tasks keep their
     /// placement; implementations should only place `Pending` tasks on
     /// non-failed hosts.
+    ///
+    /// `tasks` is a *view* — the simulator passes only its live tasks
+    /// (pending + running), not the full completed-task archive, so one
+    /// scheduling round costs O(live), independent of the run horizon.
     fn schedule(
         &mut self,
-        tasks: &[Task],
+        tasks: &[&Task],
         topology: &Topology,
         specs: &[HostSpec],
         states: &[HostState],
@@ -169,7 +173,7 @@ impl LeastLoadScheduler {
 impl Scheduler for LeastLoadScheduler {
     fn schedule(
         &mut self,
-        tasks: &[Task],
+        tasks: &[&Task],
         topology: &Topology,
         specs: &[HostSpec],
         states: &[HostState],
@@ -182,7 +186,11 @@ impl Scheduler for LeastLoadScheduler {
         // tasks that don't fit anywhere in the LEI queue at the broker.
         let mut extra_ram: BTreeMap<HostId, f64> = BTreeMap::new();
 
-        for task in tasks.iter().filter(|t| t.status == TaskStatus::Pending) {
+        for task in tasks
+            .iter()
+            .copied()
+            .filter(|t| t.status == TaskStatus::Pending)
+        {
             let Some(admit) = admission_point(task, topology, states) else {
                 continue; // total outage: task stays pending
             };
@@ -234,7 +242,7 @@ impl RoundRobinScheduler {
 impl Scheduler for RoundRobinScheduler {
     fn schedule(
         &mut self,
-        tasks: &[Task],
+        tasks: &[&Task],
         topology: &Topology,
         specs: &[HostSpec],
         states: &[HostState],
@@ -242,7 +250,11 @@ impl Scheduler for RoundRobinScheduler {
         let mut decision = SchedulingDecision::new();
         let mut extra_ram: BTreeMap<HostId, f64> = BTreeMap::new();
 
-        for task in tasks.iter().filter(|t| t.status == TaskStatus::Pending) {
+        for task in tasks
+            .iter()
+            .copied()
+            .filter(|t| t.status == TaskStatus::Pending)
+        {
             let Some(admit) = admission_point(task, topology, states) else {
                 continue; // total outage: task stays pending
             };
@@ -292,12 +304,17 @@ mod tests {
         (topo, specs, states)
     }
 
+    /// The live-view shape the simulator hands to `schedule`.
+    fn refs(tasks: &[Task]) -> Vec<&Task> {
+        tasks.iter().collect()
+    }
+
     #[test]
     fn places_pending_tasks_in_admitting_lei() {
         let (topo, specs, states) = setup();
         let tasks = vec![mk_task(0, 0), mk_task(1, 1)];
         let mut sched = LeastLoadScheduler::new();
-        let d = sched.schedule(&tasks, &topo, &specs, &states);
+        let d = sched.schedule(&refs(&tasks), &topo, &specs, &states);
         assert_eq!(d.len(), 2);
         let h0 = d.host_of(0).unwrap();
         let h1 = d.host_of(1).unwrap();
@@ -311,7 +328,7 @@ mod tests {
         let mut t = mk_task(0, 0);
         t.status = TaskStatus::Running;
         let mut sched = LeastLoadScheduler::new();
-        let d = sched.schedule(&[t], &topo, &specs, &states);
+        let d = sched.schedule(&[&t], &topo, &specs, &states);
         assert!(d.is_empty());
     }
 
@@ -322,7 +339,7 @@ mod tests {
             states[w].failed = true;
         }
         let mut sched = LeastLoadScheduler::new();
-        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        let d = sched.schedule(&[&mk_task(0, 0)], &topo, &specs, &states);
         // Falls back to the broker itself.
         assert_eq!(d.host_of(0), Some(0));
     }
@@ -332,7 +349,7 @@ mod tests {
         let (topo, specs, mut states) = setup();
         states[0].failed = true;
         let mut sched = LeastLoadScheduler::new();
-        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        let d = sched.schedule(&[&mk_task(0, 0)], &topo, &specs, &states);
         let h = d.host_of(0).unwrap();
         // Rehomed to broker 1's LEI.
         assert!(topo.workers_of(1).contains(&h));
@@ -345,7 +362,7 @@ mod tests {
             state.failed = true;
         }
         let mut sched = LeastLoadScheduler::new();
-        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        let d = sched.schedule(&[&mk_task(0, 0)], &topo, &specs, &states);
         assert!(d.is_empty());
     }
 
@@ -354,7 +371,7 @@ mod tests {
         let (topo, specs, states) = setup();
         let tasks: Vec<Task> = (0..3).map(|i| mk_task(i, 0)).collect();
         let mut sched = LeastLoadScheduler::new();
-        let d = sched.schedule(&tasks, &topo, &specs, &states);
+        let d = sched.schedule(&refs(&tasks), &topo, &specs, &states);
         let hosts: std::collections::BTreeSet<_> = d.iter().map(|(_, h)| h).collect();
         assert_eq!(hosts.len(), 3, "burst should spread: {d:?}");
     }
@@ -364,7 +381,7 @@ mod tests {
         let (topo, specs, states) = setup();
         let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 0)).collect();
         let mut sched = RoundRobinScheduler::new();
-        let d = sched.schedule(&tasks, &topo, &specs, &states);
+        let d = sched.schedule(&refs(&tasks), &topo, &specs, &states);
         assert_eq!(d.len(), 6);
         let workers = topo.workers_of(0);
         // Six tasks over three workers: each worker gets exactly two,
@@ -378,8 +395,8 @@ mod tests {
     fn round_robin_cursor_persists_across_intervals() {
         let (topo, specs, states) = setup();
         let mut sched = RoundRobinScheduler::new();
-        let d1 = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
-        let d2 = sched.schedule(&[mk_task(1, 0)], &topo, &specs, &states);
+        let d1 = sched.schedule(&[&mk_task(0, 0)], &topo, &specs, &states);
+        let d2 = sched.schedule(&[&mk_task(1, 0)], &topo, &specs, &states);
         assert_ne!(
             d1.host_of(0),
             d2.host_of(1),
@@ -394,7 +411,7 @@ mod tests {
             states[w].failed = true;
         }
         let mut sched = RoundRobinScheduler::new();
-        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        let d = sched.schedule(&[&mk_task(0, 0)], &topo, &specs, &states);
         assert_eq!(d.host_of(0), Some(0));
     }
 
@@ -406,7 +423,7 @@ mod tests {
             states[h].ram = 0.94;
         }
         let mut sched = RoundRobinScheduler::new();
-        let d = sched.schedule(&[mk_task(0, 0)], &topo, &specs, &states);
+        let d = sched.schedule(&[&mk_task(0, 0)], &topo, &specs, &states);
         assert!(d.is_empty(), "over-committed LEI must queue the task");
     }
 
@@ -417,8 +434,8 @@ mod tests {
         let mut a = RoundRobinScheduler::new();
         let mut b = RoundRobinScheduler::new();
         assert_eq!(
-            a.schedule(&tasks, &topo, &specs, &states),
-            b.schedule(&tasks, &topo, &specs, &states)
+            a.schedule(&refs(&tasks), &topo, &specs, &states),
+            b.schedule(&refs(&tasks), &topo, &specs, &states)
         );
     }
 

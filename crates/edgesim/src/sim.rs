@@ -218,6 +218,232 @@ pub struct IntervalReport {
     pub decision: SchedulingDecision,
 }
 
+/// Below this federation size sharded host stepping defaults to serial:
+/// spawning workers costs more than the per-interval host work saves.
+const SHARD_MIN_HOSTS: usize = 256;
+
+/// Read-only inputs shared by every host's execution window in one
+/// interval (phase 6 of [`Simulator::step`]). Each host's window is a
+/// pure function of these, so hosts can be stepped on any worker.
+struct HostStepCtx<'a> {
+    tasks: &'a [Task],
+    topology: &'a Topology,
+    config: &'a SimConfig,
+    per_host_tasks: &'a [Vec<usize>],
+    queued_now: &'a [usize],
+    fault_loads: &'a [FaultLoad],
+    failed_now: &'a [bool],
+    stalled_host: &'a [bool],
+    shift_penalty_s: &'a [f64],
+}
+
+/// One host's staged execution-window results: everything the serial
+/// loop would have mutated in place, applied in ascending host order by
+/// the reduction so accumulation order matches the serial reference.
+struct HostStepOutcome {
+    state: HostState,
+    /// `(task index, remaining_work, elapsed_s, completed)` for every
+    /// resident task.
+    task_updates: Vec<(usize, f64, f64, bool)>,
+    /// `(id, response_s, violated)` in processor-sharing completion order.
+    completed: Vec<(TaskId, f64, bool)>,
+    /// Host was stalled by a broker failure without failing itself —
+    /// contributes one interval of broker stall to the report.
+    stalled_not_failed: bool,
+}
+
+/// One host's execution window: identical arithmetic, in identical
+/// order, to the old serial loop body — task state is shadowed in local
+/// vectors parallel to the sorted active list instead of mutated through
+/// `&mut self`, which is what makes the function pure and shardable.
+fn step_host(ctx: &HostStepCtx<'_>, h: usize) -> HostStepOutcome {
+    let spec_h = &ctx.config.specs[h];
+    let fl = ctx.fault_loads[h];
+    let failed = ctx.failed_now[h];
+    let is_broker = matches!(ctx.topology.role(h), NodeRole::Broker);
+    let mgmt_cpu = if is_broker {
+        // Admission/queue management grows with the backlog parked at
+        // this broker — deep queues are the "processing bottleneck" of
+        // §I that makes loaded brokers fragile.
+        let queued = ctx.queued_now[h] as f64;
+        ctx.config.broker_base_overhead
+            + ctx.config.broker_per_worker_overhead * ctx.topology.workers_of(h).len() as f64
+            + (0.012 * queued).min(0.25)
+    } else {
+        0.0
+    };
+    let mgmt_ram = if is_broker {
+        ctx.config.broker_mgmt_ram_mb / spec_h.ram_mb
+    } else {
+        0.0
+    };
+
+    let task_idxs = &ctx.per_host_tasks[h];
+
+    // RAM pressure from resident tasks.
+    let resident_ram: f64 = task_idxs
+        .iter()
+        .map(|&i| ctx.tasks[i].spec.ram_mb)
+        .sum::<f64>()
+        / spec_h.ram_mb;
+    let ram_util = resident_ram + mgmt_ram + fl.ram;
+    let ram = ram_util.min(1.0);
+    let swap = (ram_util - 1.0).clamp(0.0, 1.0);
+
+    // Disk / network pressure.
+    let disk_demand: f64 = task_idxs
+        .iter()
+        .map(|&i| ctx.tasks[i].spec.disk_mb)
+        .sum::<f64>()
+        / (spec_h.disk_bw * INTERVAL_SECONDS);
+    let net_demand: f64 = task_idxs
+        .iter()
+        .map(|&i| ctx.tasks[i].spec.net_mb)
+        .sum::<f64>()
+        / (spec_h.net_bw * INTERVAL_SECONDS);
+    let disk = (disk_demand + fl.disk).min(1.0);
+    let net = (net_demand + fl.net).min(1.0);
+    let io_wait = (0.5 * swap + 0.3 * disk + 0.2 * net).min(1.0);
+
+    // Effective task time this interval after stalls/penalties.
+    let shift_pen = ctx.shift_penalty_s[h];
+    let mut usable_s: f64 = INTERVAL_SECONDS - shift_pen;
+    if failed || ctx.stalled_host[h] {
+        usable_s = 0.0;
+    }
+    usable_s = usable_s.max(0.0);
+    let stall_s = INTERVAL_SECONDS - usable_s;
+    let stalled_not_failed = ctx.stalled_host[h] && !failed;
+
+    // Thrashing: swap pressure halves effective capacity (§I:
+    // storage-mapped virtual memory over congested backhaul).
+    let thrash = 1.0 / (1.0 + 2.0 * swap);
+    // Broker-bottleneck contention (§I): a worker whose broker manages
+    // more than `broker_span` peers runs degraded, waiting on
+    // dispatch/synchronisation from the saturated broker.
+    let span_eff = if is_broker {
+        1.0
+    } else {
+        let siblings = ctx
+            .topology
+            .workers_of(ctx.topology.broker_of(h))
+            .len()
+            .max(1);
+        (ctx.config.broker_span as f64 / siblings as f64).min(1.0)
+    };
+    let cap_frac = (1.0 - mgmt_cpu - fl.cpu).max(0.0);
+    let capacity_per_s = spec_h.cpu_capacity * cap_frac * thrash * span_eff;
+
+    // Exact processor sharing within the usable window: with k active
+    // tasks each runs at capacity/k; process completions in order of
+    // remaining work. Work/elapsed live in shadow vectors parallel to
+    // `active`.
+    let mut active: Vec<usize> = task_idxs.clone();
+    active.sort_by(|&a, &b| {
+        ctx.tasks[a]
+            .remaining_work
+            .partial_cmp(&ctx.tasks[b].remaining_work)
+            .expect("work values are finite")
+    });
+    let mut rem: Vec<f64> = active
+        .iter()
+        .map(|&j| ctx.tasks[j].remaining_work)
+        .collect();
+    let mut elapsed: Vec<f64> = active.iter().map(|&j| ctx.tasks[j].elapsed_s).collect();
+    let mut done = vec![false; active.len()];
+    let mut completed = Vec::new();
+    let mut time_left = usable_s;
+    let mut work_done_total = 0.0;
+    let mut i = 0;
+    while i < active.len() && time_left > 0.0 && capacity_per_s > 0.0 {
+        let k = (active.len() - i) as f64;
+        let rate = capacity_per_s / k;
+        let t_finish = rem[i] / rate;
+        if t_finish <= time_left {
+            // Head task completes inside the window.
+            let elapsed_until_done = usable_s - time_left + t_finish;
+            for r in &mut rem[i..] {
+                *r -= rate * t_finish;
+                work_done_total += rate * t_finish;
+            }
+            rem[i] = 0.0;
+            done[i] = true;
+            elapsed[i] += stall_s + elapsed_until_done;
+            let task = &ctx.tasks[active[i]];
+            let violated = elapsed[i] > task.spec.deadline_s;
+            completed.push((task.id, elapsed[i], violated));
+            time_left -= t_finish;
+            i += 1;
+        } else {
+            for r in &mut rem[i..] {
+                *r -= rate * time_left;
+                work_done_total += rate * time_left;
+            }
+            time_left = 0.0;
+        }
+    }
+    let time_left_after = time_left;
+    // Survivors carry the whole interval in elapsed time. (Everything in
+    // `active` was Running, so the serial loop's status guard always
+    // held here.)
+    for e in &mut elapsed[i..] {
+        *e += INTERVAL_SECONDS;
+    }
+
+    // CPU utilisation: busy-time accounting. While any task is resident
+    // the cores spin at their allocated fraction whether the cycles are
+    // productive or lost to thrashing / broker-span contention —
+    // inefficient topologies therefore *burn energy*, not just time.
+    // `work_done_total` is kept for diagnostics.
+    let busy_s = usable_s - time_left_after;
+    let _ = work_done_total;
+    let work_util = if INTERVAL_SECONDS > 0.0 {
+        (busy_s / INTERVAL_SECONDS) * cap_frac
+    } else {
+        0.0
+    };
+    let mut cpu = (work_util + mgmt_cpu + fl.cpu).min(1.0);
+    if failed {
+        // An unresponsive node pins whichever resource the fault hit.
+        cpu = cpu.max((fl.cpu > 0.0) as u8 as f64);
+    }
+
+    // Energy: linear power curve over the interval (reboot = idle-ish).
+    // Workers with no resident tasks drop into standby (§V-C: the
+    // "remaining hosts in standby mode to conserve energy").
+    let standby = !is_broker && task_idxs.is_empty() && !failed && fl.cpu == 0.0;
+    let util_for_power = if failed { 0.2 } else { cpu };
+    let power_w = if standby {
+        STANDBY_POWER_FRACTION * spec_h.power_idle_w
+    } else {
+        spec_h.power_at(util_for_power)
+    };
+    let energy_wh = power_w * INTERVAL_SECONDS / 3600.0;
+
+    let task_updates = active
+        .iter()
+        .enumerate()
+        .map(|(pos, &j)| (j, rem[pos], elapsed[pos], done[pos]))
+        .collect();
+
+    HostStepOutcome {
+        state: HostState {
+            cpu,
+            ram,
+            disk,
+            net,
+            swap,
+            io_wait,
+            energy_wh,
+            active_tasks: task_idxs.len(),
+            failed,
+        },
+        task_updates,
+        completed,
+        stalled_not_failed,
+    }
+}
+
 /// The simulation engine. See the crate docs for the driver-loop shape.
 #[derive(Debug)]
 pub struct Simulator {
@@ -229,6 +455,18 @@ pub struct Simulator {
     rng: StdRng,
     interval: usize,
     next_task_id: TaskId,
+    /// Indices (ascending) of tasks not yet retired to the archive: every
+    /// Pending/Running task, plus last interval's completions (retirement
+    /// is deferred one step so interval-end snapshots still see them).
+    /// All per-interval work walks this list, never the full ledger.
+    live: Vec<usize>,
+    /// Task id → index into `tasks`, filled at admission. Ids are dense
+    /// and sequential, so this doubles as the O(1) replacement for the
+    /// old per-decision `position()` scan.
+    id_index: Vec<usize>,
+    /// Worker-count override for sharded host stepping (see
+    /// [`Simulator::set_step_workers`]).
+    step_workers: Option<usize>,
     pending_faults: Vec<FaultLoad>,
     /// Hosts down for the current interval (failure latched last interval).
     recovering: Vec<usize>,
@@ -273,6 +511,9 @@ impl Simulator {
             rng,
             interval: 0,
             next_task_id: 0,
+            live: Vec::new(),
+            id_index: Vec::new(),
+            step_workers: None,
             pending_faults: vec![FaultLoad::default(); n],
             recovering: vec![0; n],
             shift_penalty_s: vec![0.0; n],
@@ -318,6 +559,32 @@ impl Simulator {
     /// All tasks ever admitted (completed ones keep their final state).
     pub fn tasks(&self) -> &[Task] {
         &self.tasks
+    }
+
+    /// The live view of the ledger: every Pending/Running task plus the
+    /// completions of the last finished interval (retired at the start of
+    /// the next step). Interval-rate consumers — snapshots, policies —
+    /// should read this instead of [`Simulator::tasks`] so their cost
+    /// stays O(live) rather than O(horizon).
+    pub fn live_tasks(&self) -> Vec<&Task> {
+        self.live.iter().map(|&i| &self.tasks[i]).collect()
+    }
+
+    /// Number of tasks in the live view.
+    pub fn live_task_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Overrides how many workers shard the per-host execution phase.
+    ///
+    /// `None` (the default) auto-selects: serial below
+    /// `SHARD_MIN_HOSTS` hosts, `par::thread_count()` workers at or
+    /// above it. Results are bit-identical at every worker count — the
+    /// sharded path stages per-host outcomes and applies them in
+    /// ascending host order, reproducing the serial accumulation
+    /// chains exactly — so this knob only trades wall-clock.
+    pub fn set_step_workers(&mut self, workers: Option<usize>) {
+        self.step_workers = workers;
     }
 
     /// Brokers that failed during the last completed interval — the input
@@ -430,7 +697,17 @@ impl Simulator {
         let t = self.interval;
         let n = self.config.specs.len();
 
-        // --- 0. Hosts recovering from last interval's failure come back.
+        // --- 0. Retire last interval's completions from the live index.
+        // Retirement is deferred by one interval so that interval-end
+        // observers (e.g. `SystemState::capture` over the live view) still
+        // see tasks that completed within the interval just simulated.
+        {
+            let tasks = &self.tasks;
+            self.live
+                .retain(|&i| tasks[i].status != TaskStatus::Completed);
+        }
+
+        // Hosts recovering from last interval's failure come back.
         for h in 0..n {
             if self.recovering[h] > 0 {
                 self.recovering[h] -= 1;
@@ -450,12 +727,19 @@ impl Simulator {
             let mut task = Task::new(id, spec, t, broker);
             // Gateway→broker hop latency charged immediately.
             task.elapsed_s += self.network.latency_s(lei, lei) + 0.010;
+            debug_assert_eq!(id, self.id_index.len(), "task ids are dense");
+            self.id_index.push(self.tasks.len());
+            self.live.push(self.tasks.len());
             self.tasks.push(task);
         }
 
         // --- 2. Failure determination for THIS interval.
         // Compute provisional utilisation from current placement + queued
         // fault loads; saturated hosts are unresponsive this interval.
+        // One O(live) pass groups running tasks by host and counts each
+        // broker's pending backlog, so the per-host utilisation below is
+        // O(resident) instead of a full-ledger rescan per host.
+        let (running_by_host, queued_pending) = self.live_placement(n);
         let fault_loads =
             std::mem::replace(&mut self.pending_faults, vec![FaultLoad::default(); n]);
         let mut failed_now = vec![false; n];
@@ -464,7 +748,7 @@ impl Simulator {
                 failed_now[h] = true;
                 continue;
             }
-            let organic = self.organic_utilisation(h);
+            let organic = self.organic_utilisation(h, &running_by_host[h], queued_pending[h]);
             let fl = &fault_loads[h];
             if organic.0 + fl.cpu >= 0.999
                 || organic.1 + fl.ram >= 0.999
@@ -482,7 +766,8 @@ impl Simulator {
         // worker-failure rule: rerun in the LEI; placement happens via the
         // scheduler below).
         let mut restarted = 0usize;
-        for task in &mut self.tasks {
+        for &idx in &self.live {
+            let task = &mut self.tasks[idx];
             if task.status == TaskStatus::Running {
                 if let Some(h) = task.host {
                     if failed_now[h] {
@@ -502,13 +787,15 @@ impl Simulator {
         for h in 0..n {
             fail_view[h].failed = failed_now[h];
         }
+        let live_view: Vec<&Task> = self.live.iter().map(|&i| &self.tasks[i]).collect();
         let decision =
-            scheduler.schedule(&self.tasks, &self.topology, &self.config.specs, &fail_view);
+            scheduler.schedule(&live_view, &self.topology, &self.config.specs, &fail_view);
+        drop(live_view);
         for (task_id, host) in decision.iter() {
             if failed_now[host] {
                 continue; // stale decision against a dying host: skip
             }
-            let Some(idx) = self.tasks.iter().position(|t| t.id == task_id) else {
+            let Some(&idx) = self.id_index.get(task_id) else {
                 continue;
             };
             if self.tasks[idx].status != TaskStatus::Pending {
@@ -545,191 +832,70 @@ impl Simulator {
             }
         }
 
-        // --- 6. Execution with processor sharing per host.
-        let mut per_host_tasks: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (idx, task) in self.tasks.iter().enumerate() {
-            if task.status == TaskStatus::Running {
-                if let Some(h) = task.host {
-                    per_host_tasks[h].push(idx);
-                }
-            }
-        }
+        // --- 6. Execution with processor sharing per host. Scheduling
+        // just moved tasks Pending→Running, so regroup the live set (the
+        // pending backlog per broker changed too).
+        let (per_host_tasks, queued_now) = self.live_placement(n);
 
+        // Each host's execution window is a pure function of the pre-§6
+        // ledger plus this interval's per-host inputs (a task is resident
+        // on exactly one host), so hosts shard across `par` workers in
+        // contiguous segments. All mutations are staged into per-host
+        // outcomes and applied serially in ascending host order below,
+        // reproducing the serial loop's f64 accumulation chains exactly —
+        // bit-identical at any worker count.
+        let shift_pen_all = std::mem::replace(&mut self.shift_penalty_s, vec![0.0; n]);
+        let workers = match self.step_workers {
+            Some(k) => k.max(1),
+            None if n >= SHARD_MIN_HOSTS => par::thread_count(),
+            None => 1,
+        };
+        let ctx = HostStepCtx {
+            tasks: &self.tasks,
+            topology: &self.topology,
+            config: &self.config,
+            per_host_tasks: &per_host_tasks,
+            queued_now: &queued_now,
+            fault_loads: &fault_loads,
+            failed_now: &failed_now,
+            stalled_host: &stalled_host,
+            shift_penalty_s: &shift_pen_all,
+        };
+        let seg = n.div_ceil(workers).max(1);
+        let segments: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(seg).map(|s| s..(s + seg).min(n)).collect();
+        let outcomes: Vec<HostStepOutcome> = par::par_map_threads(workers, &segments, |range| {
+            range
+                .clone()
+                .map(|h| step_host(&ctx, h))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // In-order reduction: ascending host order, like the serial loop.
         let mut completed: Vec<(TaskId, f64, bool)> = Vec::new();
-        let mut new_states = vec![HostState::default(); n];
-
-        for h in 0..n {
-            let spec_h = self.config.specs[h].clone();
-            let fl = fault_loads[h];
-            let is_broker = matches!(self.topology.role(h), NodeRole::Broker);
-            let mgmt_cpu = if is_broker {
-                // Admission/queue management grows with the backlog parked
-                // at this broker — deep queues are the "processing
-                // bottleneck" of §I that makes loaded brokers fragile.
-                let queued = self
-                    .tasks
-                    .iter()
-                    .filter(|t| t.status == TaskStatus::Pending && t.admitted_by == h)
-                    .count() as f64;
-                self.config.broker_base_overhead
-                    + self.config.broker_per_worker_overhead
-                        * self.topology.workers_of(h).len() as f64
-                    + (0.012 * queued).min(0.25)
-            } else {
-                0.0
-            };
-            let mgmt_ram = if is_broker {
-                self.config.broker_mgmt_ram_mb / spec_h.ram_mb
-            } else {
-                0.0
-            };
-
-            let task_idxs = per_host_tasks[h].clone();
-            let state = &mut new_states[h];
-            state.active_tasks = task_idxs.len();
-            state.failed = failed_now[h];
-
-            // RAM pressure from resident tasks.
-            let resident_ram: f64 = task_idxs
-                .iter()
-                .map(|&i| self.tasks[i].spec.ram_mb)
-                .sum::<f64>()
-                / spec_h.ram_mb;
-            let ram_util = resident_ram + mgmt_ram + fl.ram;
-            state.ram = ram_util.min(1.0);
-            state.swap = (ram_util - 1.0).clamp(0.0, 1.0);
-
-            // Disk / network pressure.
-            let disk_demand: f64 = task_idxs
-                .iter()
-                .map(|&i| self.tasks[i].spec.disk_mb)
-                .sum::<f64>()
-                / (spec_h.disk_bw * INTERVAL_SECONDS);
-            let net_demand: f64 = task_idxs
-                .iter()
-                .map(|&i| self.tasks[i].spec.net_mb)
-                .sum::<f64>()
-                / (spec_h.net_bw * INTERVAL_SECONDS);
-            state.disk = (disk_demand + fl.disk).min(1.0);
-            state.net = (net_demand + fl.net).min(1.0);
-            state.io_wait = (0.5 * state.swap + 0.3 * state.disk + 0.2 * state.net).min(1.0);
-
-            // Effective task time this interval after stalls/penalties.
-            let shift_pen = std::mem::take(&mut self.shift_penalty_s[h]);
-            let mut usable_s: f64 = INTERVAL_SECONDS - shift_pen;
-            if failed_now[h] || stalled_host[h] {
-                usable_s = 0.0;
-            }
-            usable_s = usable_s.max(0.0);
-            let stall_s = INTERVAL_SECONDS - usable_s;
-            if stalled_host[h] && !failed_now[h] {
+        let mut new_states = Vec::with_capacity(n);
+        for outcome in outcomes {
+            if outcome.stalled_not_failed {
                 broker_stall_s += INTERVAL_SECONDS;
             }
-
-            // Thrashing: swap pressure halves effective capacity (§I:
-            // storage-mapped virtual memory over congested backhaul).
-            let thrash = 1.0 / (1.0 + 2.0 * state.swap);
-            // Broker-bottleneck contention (§I): a worker whose broker
-            // manages more than `broker_span` peers runs degraded, waiting
-            // on dispatch/synchronisation from the saturated broker.
-            let span_eff = if is_broker {
-                1.0
-            } else {
-                let siblings = self
-                    .topology
-                    .workers_of(self.topology.broker_of(h))
-                    .len()
-                    .max(1);
-                (self.config.broker_span as f64 / siblings as f64).min(1.0)
-            };
-            let cap_frac = (1.0 - mgmt_cpu - fl.cpu).max(0.0);
-            let capacity_per_s = spec_h.cpu_capacity * cap_frac * thrash * span_eff;
-
-            // Exact processor sharing within the usable window: with k
-            // active tasks each runs at capacity/k; process completions in
-            // order of remaining work.
-            let mut active: Vec<usize> = task_idxs.clone();
-            active.sort_by(|&a, &b| {
-                self.tasks[a]
-                    .remaining_work
-                    .partial_cmp(&self.tasks[b].remaining_work)
-                    .expect("work values are finite")
-            });
-            let mut time_left = usable_s;
-            let mut work_done_total = 0.0;
-            let mut i = 0;
-            while i < active.len() && time_left > 0.0 && capacity_per_s > 0.0 {
-                let k = (active.len() - i) as f64;
-                let rate = capacity_per_s / k;
-                let head = &self.tasks[active[i]];
-                let t_finish = head.remaining_work / rate;
-                if t_finish <= time_left {
-                    // Head task completes inside the window.
-                    let elapsed_until_done = usable_s - time_left + t_finish;
-                    for &j in &active[i..] {
-                        let task = &mut self.tasks[j];
-                        task.remaining_work -= rate * t_finish;
-                        work_done_total += rate * t_finish;
-                    }
-                    let task = &mut self.tasks[active[i]];
-                    task.remaining_work = 0.0;
+            for (idx, rem, elapsed, done) in outcome.task_updates {
+                let task = &mut self.tasks[idx];
+                task.remaining_work = rem;
+                task.elapsed_s = elapsed;
+                if done {
                     task.status = TaskStatus::Completed;
-                    task.elapsed_s += stall_s + elapsed_until_done;
-                    let violated = task.elapsed_s > task.spec.deadline_s;
-                    completed.push((task.id, task.elapsed_s, violated));
-                    time_left -= t_finish;
-                    i += 1;
-                } else {
-                    for &j in &active[i..] {
-                        let task = &mut self.tasks[j];
-                        task.remaining_work -= rate * time_left;
-                        work_done_total += rate * time_left;
-                    }
-                    time_left = 0.0;
                 }
             }
-            let time_left_after = time_left;
-            // Survivors carry the whole interval in elapsed time.
-            for &j in &active[i..] {
-                let task = &mut self.tasks[j];
-                if task.status == TaskStatus::Running {
-                    task.elapsed_s += INTERVAL_SECONDS;
-                }
-            }
-
-            // CPU utilisation: busy-time accounting. While any task is
-            // resident the cores spin at their allocated fraction whether
-            // the cycles are productive or lost to thrashing / broker-span
-            // contention — inefficient topologies therefore *burn energy*,
-            // not just time. `work_done_total` is kept for diagnostics.
-            let busy_s = usable_s - time_left_after;
-            let _ = work_done_total;
-            let work_util = if INTERVAL_SECONDS > 0.0 {
-                (busy_s / INTERVAL_SECONDS) * cap_frac
-            } else {
-                0.0
-            };
-            state.cpu = (work_util + mgmt_cpu + fl.cpu).min(1.0);
-            if failed_now[h] {
-                // An unresponsive node pins whichever resource the fault hit.
-                state.cpu = state.cpu.max((fl.cpu > 0.0) as u8 as f64);
-            }
-
-            // Energy: linear power curve over the interval (reboot ≈ idle).
-            // Workers with no resident tasks drop into standby (§V-C: the
-            // "remaining hosts in standby mode to conserve energy").
-            let standby = !is_broker && task_idxs.is_empty() && !failed_now[h] && fl.cpu == 0.0;
-            let util_for_power = if failed_now[h] { 0.2 } else { state.cpu };
-            let power_w = if standby {
-                STANDBY_POWER_FRACTION * spec_h.power_idle_w
-            } else {
-                spec_h.power_at(util_for_power)
-            };
-            state.energy_wh = power_w * INTERVAL_SECONDS / 3600.0;
+            completed.extend(outcome.completed);
+            new_states.push(outcome.state);
         }
 
         // Pending tasks (unplaced, e.g. dead broker or outage) also wait.
-        for task in &mut self.tasks {
+        for &idx in &self.live {
+            let task = &mut self.tasks[idx];
             if task.status == TaskStatus::Pending {
                 task.elapsed_s += INTERVAL_SECONDS;
             }
@@ -769,17 +935,43 @@ impl Simulator {
         }
     }
 
+    /// One O(live) pass over the ledger: running-task indices grouped per
+    /// host (ascending index order, matching the historical full-ledger
+    /// scan) plus the pending backlog count per admitting broker.
+    fn live_placement(&self, n: usize) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let mut running_by_host: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut queued_pending = vec![0usize; n];
+        for &idx in &self.live {
+            let task = &self.tasks[idx];
+            match task.status {
+                TaskStatus::Running => {
+                    if let Some(h) = task.host {
+                        running_by_host[h].push(idx);
+                    }
+                }
+                TaskStatus::Pending => queued_pending[task.admitted_by] += 1,
+                TaskStatus::Completed => {}
+            }
+        }
+        (running_by_host, queued_pending)
+    }
+
     /// Organic (task + management) utilisation of `h` before fault load,
     /// as `(cpu, ram, disk, net)`. Used for failure determination.
-    fn organic_utilisation(&self, h: HostId) -> (f64, f64, f64, f64) {
+    /// `running` is `h`'s bucket from [`Simulator::live_placement`] and
+    /// `queued` its pending backlog; summation order over `running` is the
+    /// ledger order the historical per-host full scan used, so the f64
+    /// chains are bit-identical.
+    fn organic_utilisation(
+        &self,
+        h: HostId,
+        running: &[usize],
+        queued: usize,
+    ) -> (f64, f64, f64, f64) {
         let spec = &self.config.specs[h];
         let is_broker = matches!(self.topology.role(h), NodeRole::Broker);
         let mgmt_cpu = if is_broker {
-            let queued = self
-                .tasks
-                .iter()
-                .filter(|t| t.status == TaskStatus::Pending && t.admitted_by == h)
-                .count() as f64;
+            let queued = queued as f64;
             self.config.broker_base_overhead
                 + self.config.broker_per_worker_overhead * self.topology.workers_of(h).len() as f64
                 + (0.012 * queued).min(0.25)
@@ -796,15 +988,14 @@ impl Simulator {
         let mut disk = 0.0;
         let mut net = 0.0;
         let mut task_cpu = 0.0;
-        for task in &self.tasks {
-            if task.status == TaskStatus::Running && task.host == Some(h) {
-                // CPU demand share: the work a task would do this interval
-                // at full speed, as a fraction of interval capacity.
-                task_cpu += (task.remaining_work / (spec.cpu_capacity * INTERVAL_SECONDS)).min(1.0);
-                ram += task.spec.ram_mb / spec.ram_mb;
-                disk += task.spec.disk_mb / (spec.disk_bw * INTERVAL_SECONDS);
-                net += task.spec.net_mb / (spec.net_bw * INTERVAL_SECONDS);
-            }
+        for &i in running {
+            let task = &self.tasks[i];
+            // CPU demand share: the work a task would do this interval
+            // at full speed, as a fraction of interval capacity.
+            task_cpu += (task.remaining_work / (spec.cpu_capacity * INTERVAL_SECONDS)).min(1.0);
+            ram += task.spec.ram_mb / spec.ram_mb;
+            disk += task.spec.disk_mb / (spec.disk_bw * INTERVAL_SECONDS);
+            net += task.spec.net_mb / (spec.net_bw * INTERVAL_SECONDS);
         }
         // Processor sharing degrades gracefully under pure CPU pressure —
         // task demand alone cannot render a host unresponsive (the kernel

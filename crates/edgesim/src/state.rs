@@ -11,9 +11,10 @@
 
 use crate::host::{HostSpec, HostState};
 use crate::scheduler::SchedulingDecision;
-use crate::task::{Task, TaskStatus};
+use crate::task::{Task, TaskId, TaskStatus};
 use crate::topology::{NodeRole, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Width of one host's metric row in `M` (see [`SystemState::metrics`]).
 pub const METRIC_DIM: usize = 10;
@@ -177,11 +178,31 @@ impl BrokerView {
 
 impl SystemState {
     /// Builds the snapshot from simulator components.
+    ///
+    /// Convenience wrapper over [`SystemState::capture_refs`] for callers
+    /// holding a plain task slice. Interval-rate callers should prefer
+    /// `capture_refs(.., &sim.live_tasks(), ..)` — completed tasks
+    /// contribute nothing to any snapshot column, so the live view is
+    /// bit-identical and keeps the capture cost O(live), not O(horizon).
     pub fn capture(
         topology: &Topology,
         specs: &[HostSpec],
         states: &[HostState],
         tasks: &[Task],
+        decision: &SchedulingDecision,
+        norm: &Normalizer,
+    ) -> Self {
+        let refs: Vec<&Task> = tasks.iter().collect();
+        Self::capture_refs(topology, specs, states, &refs, decision, norm)
+    }
+
+    /// Builds the snapshot from a task *view* (`&[&Task]`), e.g. the
+    /// simulator's live ledger.
+    pub fn capture_refs(
+        topology: &Topology,
+        specs: &[HostSpec],
+        states: &[HostState],
+        tasks: &[&Task],
         decision: &SchedulingDecision,
         norm: &Normalizer,
     ) -> Self {
@@ -198,14 +219,23 @@ impl SystemState {
         let mut sched_count = vec![0.0f64; n];
         let mut sched_work = vec![0.0f64; n];
         let mut sched_deadline = vec![0.0f64; n];
-        for (task_id, host) in decision.iter() {
-            if host >= n {
-                continue;
+        if !decision.is_empty() {
+            // Resolve decision ids through a map built once (first match
+            // wins, like the linear scan this replaces) instead of an
+            // O(tasks) search per placed task.
+            let mut by_id: BTreeMap<TaskId, &Task> = BTreeMap::new();
+            for &task in tasks {
+                by_id.entry(task.id).or_insert(task);
             }
-            if let Some(task) = tasks.iter().find(|t| t.id == task_id) {
-                sched_count[host] += 1.0;
-                sched_work[host] += task.spec.cpu_work;
-                sched_deadline[host] += task.spec.deadline_s;
+            for (task_id, host) in decision.iter() {
+                if host >= n {
+                    continue;
+                }
+                if let Some(task) = by_id.get(&task_id) {
+                    sched_count[host] += 1.0;
+                    sched_work[host] += task.spec.cpu_work;
+                    sched_deadline[host] += task.spec.deadline_s;
+                }
             }
         }
 
@@ -215,7 +245,7 @@ impl SystemState {
         let mut resident_behind = vec![0.0f64; n];
         let mut resident_count = vec![0.0f64; n];
         let mut pressure_count = vec![0.0f64; n];
-        for task in tasks {
+        for &task in tasks {
             match task.status {
                 TaskStatus::Running => {
                     if let Some(h) = task.host {

@@ -153,11 +153,11 @@ pub fn generate_trace_from(
         }
         let arrivals = workload.sample_interval(t);
         let report = sim.step(arrivals, &mut scheduler);
-        states.push(SystemState::capture(
+        states.push(SystemState::capture_refs(
             sim.topology(),
             sim.specs(),
             sim.host_states(),
-            sim.tasks(),
+            &sim.live_tasks(),
             &report.decision,
             &norm,
         ));

@@ -22,6 +22,7 @@ fn main() {
         tabu: TabuConfig {
             list_size: 100,
             max_iters: 3,
+            ..Default::default()
         },
         pretrain_intervals: 60,
         offline: TrainConfig {

@@ -199,6 +199,7 @@ fn batched_tabu_repair_is_bit_identical_to_serial() {
         tabu: carol::tabu::TabuConfig {
             list_size: 20,
             max_iters: 1,
+            ..Default::default()
         },
         variant: CarolVariant::Gon,
         batch_eval,
@@ -271,6 +272,113 @@ fn batched_tabu_repair_is_bit_identical_to_serial() {
                 "{n_hosts} hosts / {label}: modeled decision time diverged"
             );
         }
+    }
+}
+
+/// The sampled-neighbourhood repair path's own determinism gate. Sampling
+/// **knowingly changes search results** versus the full neighbourhood, so
+/// it cannot ride on the full-path pins — but it must still be a pure
+/// function of the config seed: the same `Sampled { max_moves, seed }`
+/// repair must pick the same topology and issue the same query count
+/// whether candidates are scored one-at-a-time, batched on one worker, or
+/// batched on four. The sampling RNG draws before scoring begins, which
+/// is what makes this hold; this test is the tripwire.
+#[test]
+fn sampled_tabu_repair_is_bit_identical_across_engines_and_workers() {
+    use carol::carol::CarolVariant;
+    use carol::tabu::Neighborhood;
+    use carol::ResiliencePolicy;
+    use edgesim::scheduler::LeastLoadScheduler;
+    use edgesim::state::{Normalizer, SystemState};
+    use edgesim::{FaultLoad, SimConfig, Simulator};
+    use gon::GonConfig;
+
+    let n_hosts = 128usize;
+    let n_brokers = 16usize;
+    let policy_config = |batch_eval: bool, threads: usize| CarolConfig {
+        gon: GonConfig {
+            hidden: 12,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps: 1,
+            gen_tol: 1e-7,
+            seed: 1,
+        },
+        tabu: carol::tabu::TabuConfig {
+            list_size: 20,
+            max_iters: 2,
+            neighborhood: Neighborhood::Sampled {
+                max_moves: 48,
+                seed: 23,
+            },
+        },
+        variant: CarolVariant::Gon,
+        batch_eval,
+        eval_threads: Some(threads),
+        ..CarolConfig::fast_test()
+    };
+
+    let mut sim = Simulator::new(SimConfig::federation(n_hosts, n_brokers, 5));
+    let mut sched = LeastLoadScheduler::new();
+    let broker = sim.topology().brokers()[0];
+    sim.inject_fault(
+        broker,
+        FaultLoad {
+            cpu: 1.0,
+            ..Default::default()
+        },
+    );
+    let report = sim.step(Vec::new(), &mut sched);
+    let snapshot = SystemState::capture_refs(
+        sim.topology(),
+        sim.specs(),
+        sim.host_states(),
+        &sim.live_tasks(),
+        &report.decision,
+        &Normalizer::for_federation(n_hosts, n_brokers),
+    );
+
+    let mk = |batch_eval: bool, threads: usize| {
+        let config = policy_config(batch_eval, threads);
+        Carol::from_model(gon::GonModel::new(config.gon.clone()), config, 11)
+    };
+    let mut serial = mk(false, 1);
+    let reference = serial
+        .repair(&sim, &snapshot)
+        .expect("failure must produce a repair");
+    reference.validate().unwrap();
+    let reference_score = serial.last_repair_score.expect("score recorded");
+    // Two iterations × ≤48 sampled moves (+1 start): far below the full
+    // neighbourhood — the cap must actually bind at 128 hosts.
+    assert!(
+        serial.surrogate_queries <= 2 * 48 + 1,
+        "sampling cap did not bind: {} queries",
+        serial.surrogate_queries
+    );
+
+    for (label, batch_eval, threads) in [
+        ("batched/1 worker", true, 1),
+        ("batched/4 workers", true, 4),
+    ] {
+        let mut policy = mk(batch_eval, threads);
+        let repaired = policy
+            .repair(&sim, &snapshot)
+            .expect("failure must produce a repair");
+        assert_eq!(
+            repaired, reference,
+            "{label}: sampled repair chose a different topology"
+        );
+        assert_eq!(
+            policy.surrogate_queries, serial.surrogate_queries,
+            "{label}: query counts diverged"
+        );
+        assert_eq!(
+            policy.last_repair_score.expect("score recorded").to_bits(),
+            reference_score.to_bits(),
+            "{label}: winning objective diverged"
+        );
     }
 }
 

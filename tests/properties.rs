@@ -257,7 +257,7 @@ proptest! {
         let result = search(
             start,
             &[],
-            &TabuConfig { list_size: 16, max_iters: 4 },
+            &TabuConfig { list_size: 16, max_iters: 4 , ..Default::default()},
             carol::tabu::from_fn(objective),
         );
         prop_assert!(result.best_score <= start_score + 1e-12);

@@ -1,0 +1,161 @@
+//! Long-horizon soak and sharded-stepping gates.
+//!
+//! The simulator's ledger is append-only: `tasks()` grows without bound
+//! over a long run. Before the live-task ledger, every interval rescanned
+//! the whole archive, so per-interval cost grew linearly with the horizon
+//! — a 5000-interval run spent most of its time iterating completed
+//! tasks. These tests pin the fix (per-interval cost stays flat, the live
+//! set stays bounded) and gate the sharded host-stepping path: any worker
+//! count must reproduce the serial trajectory bit-for-bit.
+
+use edgesim::scheduler::LeastLoadScheduler;
+use edgesim::{FaultLoad, SimConfig, Simulator};
+use std::time::Instant;
+use workloads::{BagOfTasks, BenchmarkSuite};
+
+/// Drives `sim` for `intervals` steps with a seeded arrival stream and a
+/// rotating periodic fault, returning per-step wall-clock in nanoseconds.
+fn drive(sim: &mut Simulator, intervals: usize, arrival_rate: f64, workload_seed: u64) -> Vec<u64> {
+    let n = sim.host_states().len();
+    let mut sched = LeastLoadScheduler::new();
+    let mut workload = BagOfTasks::new(BenchmarkSuite::AIoTBench, arrival_rate, workload_seed);
+    let mut step_ns = Vec::with_capacity(intervals);
+    for t in 0..intervals {
+        if t % 7 == 3 {
+            sim.inject_fault(
+                t % n,
+                FaultLoad {
+                    cpu: 1.0,
+                    ..Default::default()
+                },
+            );
+        }
+        let arrivals = workload.sample_interval(t);
+        let start = Instant::now();
+        sim.step(arrivals, &mut sched);
+        step_ns.push(start.elapsed().as_nanos() as u64);
+    }
+    step_ns
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// 5000 intervals on a small federation: the archive grows into the
+/// thousands while the live set stays bounded, and the median per-interval
+/// step cost of the last decile stays within a small factor of the first
+/// decile's. Pre-ledger, the last decile was an order of magnitude slower
+/// — the whole-archive rescans priced the horizon, not the load.
+#[test]
+fn five_thousand_interval_soak_keeps_step_cost_flat() {
+    let intervals = 5000;
+    let mut sim = Simulator::new(SimConfig::small(8, 2, 5));
+    let mut max_live = 0usize;
+
+    // Interleave the drive with live-set sampling: reuse `drive`'s shape
+    // but sample `live_task_count` as the horizon grows.
+    let n = sim.host_states().len();
+    let mut sched = LeastLoadScheduler::new();
+    let mut workload = BagOfTasks::new(BenchmarkSuite::AIoTBench, 2.0, 99);
+    let mut step_ns = Vec::with_capacity(intervals);
+    for t in 0..intervals {
+        if t % 7 == 3 {
+            sim.inject_fault(
+                t % n,
+                FaultLoad {
+                    cpu: 1.0,
+                    ..Default::default()
+                },
+            );
+        }
+        let arrivals = workload.sample_interval(t);
+        let start = Instant::now();
+        sim.step(arrivals, &mut sched);
+        step_ns.push(start.elapsed().as_nanos() as u64);
+        max_live = max_live.max(sim.live_task_count());
+    }
+
+    assert!(
+        sim.tasks().len() > 5_000,
+        "the archive must grow with the horizon (got {})",
+        sim.tasks().len()
+    );
+    assert!(
+        sim.completed_count() > 4_000,
+        "the run must complete tasks (got {})",
+        sim.completed_count()
+    );
+    assert!(
+        max_live < sim.tasks().len() / 4,
+        "live set ({max_live}) must stay far below the archive ({})",
+        sim.tasks().len()
+    );
+
+    let decile = intervals / 10;
+    let first = median(step_ns[..decile].to_vec());
+    let last = median(step_ns[intervals - decile..].to_vec());
+    // Generous bound (4× + absolute slack for timer/scheduler noise):
+    // the pre-ledger code fails it by an order of magnitude, a flat
+    // O(live) step passes easily.
+    assert!(
+        last <= first.saturating_mul(4) + 100_000,
+        "per-interval cost grew with the horizon: first-decile median \
+         {first} ns, last-decile median {last} ns"
+    );
+}
+
+/// Full-accounting fingerprint of a finished run, bit-exact.
+fn run_fingerprint(workers: Option<usize>) -> (usize, u64, u64, Vec<u64>, Vec<u64>) {
+    let mut sim = Simulator::new(SimConfig::federation(64, 8, 11));
+    sim.set_step_workers(workers);
+    drive(&mut sim, 40, 0.45 * 64.0, 17);
+    let response_bits: Vec<u64> = sim.response_times().iter().map(|t| t.to_bits()).collect();
+    let state_bits: Vec<u64> = sim
+        .host_states()
+        .iter()
+        .flat_map(|s| {
+            [
+                s.cpu.to_bits(),
+                s.ram.to_bits(),
+                s.disk.to_bits(),
+                s.net.to_bits(),
+                s.swap.to_bits(),
+                s.io_wait.to_bits(),
+                s.energy_wh.to_bits(),
+                s.active_tasks as u64,
+                u64::from(s.failed),
+            ]
+        })
+        .collect();
+    (
+        sim.completed_count(),
+        sim.total_energy_wh().to_bits(),
+        sim.violation_rate().to_bits(),
+        response_bits,
+        state_bits,
+    )
+}
+
+/// The sharded host-stepping gate: one worker, four workers and the
+/// auto-select default must produce bit-identical trajectories on a
+/// 64-host fault-heavy run — completions, energy, SLO accounting,
+/// response-time stream and final per-host states.
+#[test]
+fn sharded_host_stepping_is_bit_identical_across_worker_counts() {
+    let serial = run_fingerprint(Some(1));
+    assert!(serial.0 > 100, "run must complete tasks (got {})", serial.0);
+    assert!(
+        !serial.3.is_empty(),
+        "run must record response times to gate on"
+    );
+    for (label, workers) in [
+        ("4 workers", Some(4)),
+        ("3 workers", Some(3)),
+        ("auto", None),
+    ] {
+        let other = run_fingerprint(workers);
+        assert_eq!(serial, other, "{label}: trajectory diverged from serial");
+    }
+}
