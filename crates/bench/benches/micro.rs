@@ -5,7 +5,9 @@
 //! These quantify the decision-time budget behind Fig. 5(d).
 //!
 //! Set `BENCH_JSON=<path>` to also write `{name, median_ns, iters}`
-//! records as a JSON array (CI archives this as `BENCH_PR.json`).
+//! records as a JSON array (CI archives this as `BENCH_PR.json`); every
+//! record carries a `"simd"` label naming the `nn::kernel` backend that
+//! dispatched (pin it with `CAROL_SIMD=scalar|avx2|neon`).
 
 use carol::carol::{Carol, CarolConfig};
 use carol::nodeshift::{mutations, neighborhood};
@@ -72,6 +74,39 @@ fn bench_matmul(c: &mut Criterion) {
     let w_16x64 = Matrix::lcg(16, 64, 5);
     c.bench_function("matmul_transpose_b_64x64_16x64t", |bch| {
         bch.iter(|| black_box(black_box(&a_64x64).matmul_transpose_b(black_box(&w_16x64))))
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // Record which kernel backend dispatched alongside every median —
+    // the BENCH_JSON archive is meaningless without it.
+    criterion::set_label("simd", nn::kernel::active().name());
+
+    // The stacked shapes the batched engines actually run: a 16-candidate
+    // × 16-host `[M | S]` block through the first encoder layer, and the
+    // pooled head input at default widths (hidden 128 + gat_dim 32).
+    let a_256x13 = Matrix::lcg(256, 13, 11);
+    let b_13x128 = Matrix::lcg(13, 128, 12);
+    c.bench_function("matmul_256x13_13x128_stacked", |bch| {
+        bch.iter(|| black_box(black_box(&a_256x13).matmul(black_box(&b_13x128))))
+    });
+    let a_16x160 = Matrix::lcg(16, 160, 13);
+    let b_160x128 = Matrix::lcg(160, 128, 14);
+    c.bench_function("matmul_16x160_160x128_head", |bch| {
+        bch.iter(|| black_box(black_box(&a_16x160).matmul(black_box(&b_160x128))))
+    });
+
+    // GAT attention rows (logits + softmax + aggregation) at the default
+    // widths over a 64-node ring — the per-step graph-branch cost the
+    // shared-embedding lever amortises.
+    let mut init = nn::init::Initializer::new(17);
+    let mut gat = nn::GraphAttention::new(6, 32, 16, &mut init);
+    let feats = Matrix::lcg(64, 6, 18);
+    let neighbors: Vec<Vec<usize>> = (0..64)
+        .map(|i| vec![(i + 63) % 64, i, (i + 1) % 64])
+        .collect();
+    c.bench_function("gat_attention_64_ring", |b| {
+        b.iter(|| black_box(gat.forward(black_box(&feats), black_box(&neighbors))))
     });
 }
 
@@ -310,6 +345,7 @@ criterion_group!(
     bench_gon,
     bench_gon_batch,
     bench_matmul,
+    bench_kernels,
     bench_topology,
     bench_repair,
     bench_train,

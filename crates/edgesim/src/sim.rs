@@ -578,8 +578,10 @@ impl Simulator {
     /// Overrides how many workers shard the per-host execution phase.
     ///
     /// `None` (the default) auto-selects: serial below
-    /// `SHARD_MIN_HOSTS` hosts, `par::thread_count()` workers at or
-    /// above it. Results are bit-identical at every worker count — the
+    /// `SHARD_MIN_HOSTS` (= 256) hosts, `par::thread_count()` workers
+    /// at or above that — the same auto-enable point the README's
+    /// "Scaling" section documents. Results are bit-identical at every
+    /// worker count — the
     /// sharded path stages per-host outcomes and applies them in
     /// ascending host order, reproducing the serial accumulation
     /// chains exactly — so this knob only trades wall-clock.

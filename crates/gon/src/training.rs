@@ -17,6 +17,10 @@
 //!   (chunks fanned out over [`par`] worker threads holding model
 //!   clones), then runs **one** stacked discriminator forward and **one**
 //!   in-order per-segment gradient reduction for the whole minibatch.
+//!   Because each fake is its real twin with only the metrics replaced,
+//!   the stacked pass computes the step-invariant GAT embedding once per
+//!   component and shares it across the real/fake halves — half the GAT
+//!   cost of every training step, bit-neutral by construction.
 //!
 //! [`TrainConfig::batch_train`] / [`TrainConfig::train_threads`] select
 //! the engine, mirroring the repair path's `CarolConfig::{batch_eval,

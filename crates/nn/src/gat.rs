@@ -17,6 +17,7 @@
 //! different shapes during tabu search.
 
 use crate::init::Initializer;
+use crate::kernel;
 use crate::layer::Param;
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
@@ -116,8 +117,7 @@ impl GraphAttention {
         let d_out = self.out_dim();
         let mut output = Matrix::zeros(n, d_out);
         let mut attention = Vec::with_capacity(n);
-        for i in 0..n {
-            let nbrs = &neighbors[i];
+        for (i, nbrs) in neighbors.iter().enumerate() {
             for &j in nbrs {
                 assert!(j < n, "neighbour index {j} out of range for {n} nodes");
             }
@@ -126,28 +126,36 @@ impl GraphAttention {
                 continue;
             }
             // Dot-product attention logits, softmax-normalised with the
-            // usual max-subtraction for stability.
-            let logits: Vec<f64> = nbrs
-                .iter()
-                .map(|&j| {
-                    q.row(i)
-                        .iter()
-                        .zip(k.row(j))
-                        .map(|(a, b)| a * b)
-                        .sum::<f64>()
-                        * scale
-                })
-                .collect();
+            // usual max-subtraction for stability. Each logit is its own
+            // ascending-c chain, so four neighbours' logits run as
+            // parallel SIMD lanes; the exp stays scalar (libm).
+            let qi = q.row(i);
+            let mut logits = vec![0.0f64; nbrs.len()];
+            let mut idx = 0;
+            while idx + 4 <= nbrs.len() {
+                let dots = kernel::dot4_rows(
+                    qi,
+                    k.row(nbrs[idx]),
+                    k.row(nbrs[idx + 1]),
+                    k.row(nbrs[idx + 2]),
+                    k.row(nbrs[idx + 3]),
+                );
+                for (t, &d) in dots.iter().enumerate() {
+                    logits[idx + t] = d * scale;
+                }
+                idx += 4;
+            }
+            while idx < nbrs.len() {
+                logits[idx] = kernel::dot(qi, k.row(nbrs[idx])) * scale;
+                idx += 1;
+            }
             let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
             let denom: f64 = exps.iter().sum();
             let alpha: Vec<f64> = exps.iter().map(|e| e / denom).collect();
 
             for (idx, &j) in nbrs.iter().enumerate() {
-                let a = alpha[idx];
-                for c in 0..d_out {
-                    output[(i, c)] += a * h[(j, c)];
-                }
+                kernel::axpy(output.row_mut(i), alpha[idx], h.row(j));
             }
             attention.push(alpha);
         }
@@ -225,32 +233,7 @@ impl GraphAttention {
         let mut d_q = Matrix::zeros(n, d_att);
         let mut d_k = Matrix::zeros(n, d_att);
 
-        for i in 0..n {
-            let nbrs = &cache.neighbors[i];
-            if nbrs.is_empty() {
-                continue;
-            }
-            let alpha = &cache.attention[i];
-            // dα_ij = dAgg_i · h_j ; and aggregation path into h_j.
-            let mut d_alpha = vec![0.0; nbrs.len()];
-            for (idx, &j) in nbrs.iter().enumerate() {
-                let mut dot = 0.0;
-                for c in 0..d_out {
-                    dot += d_agg[(i, c)] * cache.h[(j, c)];
-                    d_h[(j, c)] += alpha[idx] * d_agg[(i, c)];
-                }
-                d_alpha[idx] = dot;
-            }
-            // Softmax backward: ds_j = α_j (dα_j − Σ_k α_k dα_k).
-            let weighted: f64 = alpha.iter().zip(&d_alpha).map(|(a, d)| a * d).sum();
-            for (idx, &j) in nbrs.iter().enumerate() {
-                let ds = alpha[idx] * (d_alpha[idx] - weighted);
-                for c in 0..d_att {
-                    d_q[(i, c)] += ds * cache.k[(j, c)] * scale;
-                    d_k[(j, c)] += ds * cache.q[(i, c)] * scale;
-                }
-            }
-        }
+        attention_backward_rows(cache, scale, &d_agg, &mut d_h, &mut d_q, &mut d_k, 0, n, 0);
 
         // Through Q = H·Wq and K = H·Wk, one sample segment at a time so
         // each `Hᵀ·dQ` reduction chain matches the serial per-sample
@@ -282,6 +265,202 @@ impl GraphAttention {
             self.b.grad.add_in_place(&gseg.sum_rows());
         }
         d_hpre.matmul_transpose_b(&self.w.value)
+    }
+
+    /// Backward over **interleaved real/fake gradient pairs sharing one
+    /// cached forward** — the stacked-discriminator lever: in
+    /// `adversarial_step_batch` every fake sample is its real sample with
+    /// only the metric columns replaced, and the GAT consumes graph
+    /// features + adjacency only, so the fake component's forward rows
+    /// are bitwise duplicates of the real component's. This method lets
+    /// the model run the GAT forward over the `B` real components once
+    /// and still backpropagate `2B` gradient segments.
+    ///
+    /// `segments` are the **cache** segments of the forward pass (one
+    /// `(row offset, node count)` per component). `grad_output` has
+    /// twice the cached rows, laid out `[real₀, fake₀, real₁, fake₁, …]`:
+    /// component `b` with cache offset `o_b` owns grad rows
+    /// `[2o_b, 2o_b+n_b)` (real) and `[2o_b+n_b, 2o_b+2n_b)` (fake).
+    /// Parameter gradients accumulate in grad-segment order — exactly
+    /// the order `backward_batch` over a physically duplicated stacking
+    /// would use, so the result is bit-identical to it. The gradient
+    /// with respect to the input features is **not** computed (every
+    /// adversarial caller discards it), which also skips the final
+    /// `dX = dH_pre·Wᵀ` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GraphAttention::forward`], if the
+    /// segments don't tile the cached rows, or if `grad_output` doesn't
+    /// hold exactly two rows per cached row.
+    pub fn backward_interleaved(&mut self, grad_output: &Matrix, segments: &[(usize, usize)]) {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("GraphAttention::backward called before forward");
+        let n = cache.features.rows();
+        assert_eq!(
+            segments.iter().map(|&(_, k)| k).sum::<usize>(),
+            n,
+            "segments must tile the cached node rows"
+        );
+        let d_out = self.out_dim();
+        let d_att = self.wq.value.cols();
+        let scale = 1.0 / (d_att as f64).sqrt();
+        assert_eq!(
+            grad_output.shape(),
+            (2 * n, d_out),
+            "grad_output must hold interleaved real/fake rows"
+        );
+
+        // Through the output tanh; grad row r backs onto cache row
+        // map(r) within its component.
+        let mut d_agg = grad_output.clone();
+        for &(co, nb) in segments {
+            for half in 0..2 {
+                let gro = 2 * co + half * nb;
+                for r in 0..nb {
+                    for c in 0..d_out {
+                        let y = cache.output[(co + r, c)];
+                        d_agg[(gro + r, c)] *= 1.0 - y * y;
+                    }
+                }
+            }
+        }
+
+        let mut d_h = Matrix::zeros(2 * n, d_out);
+        let mut d_q = Matrix::zeros(2 * n, d_att);
+        let mut d_k = Matrix::zeros(2 * n, d_att);
+        for &(co, nb) in segments {
+            // delta maps a cache row to its grad row: real then fake.
+            attention_backward_rows(
+                cache,
+                scale,
+                &d_agg,
+                &mut d_h,
+                &mut d_q,
+                &mut d_k,
+                co,
+                co + nb,
+                co,
+            );
+            attention_backward_rows(
+                cache,
+                scale,
+                &d_agg,
+                &mut d_h,
+                &mut d_q,
+                &mut d_k,
+                co,
+                co + nb,
+                co + nb,
+            );
+        }
+
+        // Parameter reductions in grad-segment order, each against the
+        // single cached component both halves share.
+        for &(co, nb) in segments {
+            let hseg = cache.h.row_block(co, nb).transpose();
+            for half in 0..2 {
+                let gro = 2 * co + half * nb;
+                self.wq
+                    .grad
+                    .add_in_place(&hseg.matmul(&d_q.row_block(gro, nb)));
+                self.wk
+                    .grad
+                    .add_in_place(&hseg.matmul(&d_k.row_block(gro, nb)));
+            }
+        }
+        d_h.add_in_place(&d_q.matmul_transpose_b(&self.wq.value));
+        d_h.add_in_place(&d_k.matmul_transpose_b(&self.wk.value));
+
+        // Through H = tanh(U·W + b), again mapping grad rows onto the
+        // shared cache rows.
+        let mut d_hpre = d_h;
+        for &(co, nb) in segments {
+            for half in 0..2 {
+                let gro = 2 * co + half * nb;
+                for r in 0..nb {
+                    for c in 0..d_out {
+                        let y = cache.h[(co + r, c)];
+                        d_hpre[(gro + r, c)] *= 1.0 - y * y;
+                    }
+                }
+            }
+        }
+        for &(co, nb) in segments {
+            let useg = cache.features.row_block(co, nb);
+            let ut = useg.transpose();
+            for half in 0..2 {
+                let gro = 2 * co + half * nb;
+                let gseg = d_hpre.row_block(gro, nb);
+                self.w.grad.add_in_place(&ut.matmul(&gseg));
+                self.b.grad.add_in_place(&gseg.sum_rows());
+            }
+        }
+    }
+}
+
+/// The attention/softmax backward for cache nodes `[cache_lo, cache_hi)`
+/// whose gradient rows live at `cache row + delta` — shared by
+/// [`GraphAttention::backward_batch`] (`delta = 0`) and
+/// [`GraphAttention::backward_interleaved`] (one pass per real/fake
+/// half). Per neighbour: `dα = dAgg_i·h_j` (four chains as SIMD lanes),
+/// the aggregation path `d_h[j] += α·dAgg_i`, then the softmax backward
+/// `ds = α(dα − Σ α dα)` feeding `d_q`/`d_k` — every f64 chain in the
+/// same order as the original fused loop.
+#[allow(clippy::too_many_arguments)]
+fn attention_backward_rows(
+    cache: &Cache,
+    scale: f64,
+    d_agg: &Matrix,
+    d_h: &mut Matrix,
+    d_q: &mut Matrix,
+    d_k: &mut Matrix,
+    cache_lo: usize,
+    cache_hi: usize,
+    delta: usize,
+) {
+    for i in cache_lo..cache_hi {
+        let nbrs = &cache.neighbors[i];
+        if nbrs.is_empty() {
+            continue;
+        }
+        let alpha = &cache.attention[i];
+        let ig = i + delta;
+        // dα_ij = dAgg_i · h_j ; and aggregation path into h_j.
+        let mut d_alpha = vec![0.0; nbrs.len()];
+        let mut idx = 0;
+        while idx + 4 <= nbrs.len() {
+            let dots = kernel::dot4_rows(
+                d_agg.row(ig),
+                cache.h.row(nbrs[idx]),
+                cache.h.row(nbrs[idx + 1]),
+                cache.h.row(nbrs[idx + 2]),
+                cache.h.row(nbrs[idx + 3]),
+            );
+            d_alpha[idx..idx + 4].copy_from_slice(&dots);
+            for t in 0..4 {
+                kernel::axpy(
+                    d_h.row_mut(nbrs[idx + t] + delta),
+                    alpha[idx + t],
+                    d_agg.row(ig),
+                );
+            }
+            idx += 4;
+        }
+        while idx < nbrs.len() {
+            d_alpha[idx] = kernel::dot(d_agg.row(ig), cache.h.row(nbrs[idx]));
+            kernel::axpy(d_h.row_mut(nbrs[idx] + delta), alpha[idx], d_agg.row(ig));
+            idx += 1;
+        }
+        // Softmax backward: ds_j = α_j (dα_j − Σ_k α_k dα_k).
+        let weighted: f64 = alpha.iter().zip(&d_alpha).map(|(a, d)| a * d).sum();
+        for (idx, &j) in nbrs.iter().enumerate() {
+            let ds = alpha[idx] * (d_alpha[idx] - weighted);
+            kernel::axpy_scaled(d_q.row_mut(ig), ds, cache.k.row(j), scale);
+            kernel::axpy_scaled(d_k.row_mut(j + delta), ds, cache.q.row(i), scale);
+        }
     }
 }
 
@@ -500,6 +679,94 @@ mod tests {
         for (p, want) in gat.params_mut().iter().zip(&serial_grads) {
             for (a, b) in p.grad.data().iter().zip(want.data()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "GAT parameter gradient diverged");
+            }
+        }
+    }
+
+    /// `backward_interleaved` over one cached forward of B components
+    /// must accumulate bit-identical parameter gradients to
+    /// `backward_batch` over a physically duplicated stacking
+    /// [real₀, fake₀, real₁, …] — the shared-embedding lever's contract.
+    #[test]
+    fn backward_interleaved_matches_duplicated_stacking_bitwise() {
+        let mut init = Initializer::new(43);
+        let gat = GraphAttention::new(3, 5, 4, &mut init);
+        let sizes = [3usize, 5, 2];
+        let feats: Vec<Matrix> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Initializer::new(70 + i as u64).normal(n, 3, 0.8))
+            .collect();
+        // Distinct real/fake gradients per component.
+        let grads: Vec<(Matrix, Matrix)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (
+                    Initializer::new(80 + i as u64).normal(n, 5, 0.5),
+                    Initializer::new(90 + i as u64).normal(n, 5, 0.5),
+                )
+            })
+            .collect();
+
+        let stack = |reps: usize| {
+            let total: usize = sizes.iter().map(|&n| n * reps).sum();
+            let mut stacked = Matrix::zeros(total, 3);
+            let mut neighbors = Vec::with_capacity(total);
+            let mut segments = Vec::new();
+            let mut offset = 0;
+            for (f, &n) in feats.iter().zip(&sizes) {
+                for _ in 0..reps {
+                    for r in 0..n {
+                        stacked.row_mut(offset + r).copy_from_slice(f.row(r));
+                    }
+                    for mut nbrs in ring_neighbors(n) {
+                        for j in &mut nbrs {
+                            *j += offset;
+                        }
+                        neighbors.push(nbrs);
+                    }
+                    segments.push((offset, n));
+                    offset += n;
+                }
+            }
+            (stacked, neighbors, segments)
+        };
+
+        // Reference: every component physically duplicated.
+        let (dup_feats, dup_nbrs, dup_segs) = stack(2);
+        let mut grad_rows = Matrix::zeros(dup_feats.rows(), 5);
+        let mut offset = 0;
+        for ((real, fake), &n) in grads.iter().zip(&sizes) {
+            for r in 0..n {
+                grad_rows.row_mut(offset + r).copy_from_slice(real.row(r));
+                grad_rows
+                    .row_mut(offset + n + r)
+                    .copy_from_slice(fake.row(r));
+            }
+            offset += 2 * n;
+        }
+        let mut reference = gat.clone();
+        reference.forward(&dup_feats, &dup_nbrs);
+        reference.backward_batch(&grad_rows, &dup_segs);
+        let want: Vec<Matrix> = reference
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.clone())
+            .collect();
+
+        // Lever: forward each component once, backprop both halves.
+        let (feats1, nbrs1, segs1) = stack(1);
+        let mut lever = gat.clone();
+        lever.forward(&feats1, &nbrs1);
+        lever.backward_interleaved(&grad_rows, &segs1);
+        for (p, want) in lever.params_mut().iter().zip(&want) {
+            for (a, b) in p.grad.data().iter().zip(want.data()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "interleaved backward diverged from duplicated stacking"
+                );
             }
         }
     }

@@ -1,4 +1,12 @@
 //! Feed-forward layers with explicit forward/backward passes.
+//!
+//! The f64 hot paths underneath these layers — blocked matmuls, the
+//! `Xᵀ` products of the weight gradients, bias broadcasts and row-sum
+//! reductions — all route through [`crate::kernel`], so every layer
+//! picks up the runtime-dispatched AVX2/NEON backends (bit-identical to
+//! the scalar oracle by construction; pin with `CAROL_SIMD`).
+//! Activation transcendentals (`tanh`/`exp`) stay scalar: libm calls
+//! cannot be vectorised bit-identically.
 
 use crate::init::Initializer;
 use crate::matrix::Matrix;

@@ -16,6 +16,10 @@
 //! * binary-cross-entropy losses used by the adversarial GON training
 //!   (Algorithm 1).
 //!
+//! The f64 hot loops dispatch through [`kernel`] — runtime-detected
+//! AVX2/NEON paths with a scalar oracle, bit-identical by construction
+//! and pinnable via `CAROL_SIMD` (see [`kernel::SIMD_ENV`]).
+//!
 //! Everything is deterministic given a seed and carries numerical
 //! gradient-check tests.
 
@@ -24,6 +28,7 @@
 pub mod adam;
 pub mod gat;
 pub mod init;
+pub mod kernel;
 pub mod layer;
 pub mod loss;
 pub mod matrix;

@@ -213,42 +213,10 @@ impl Matrix {
             for i in 0..m {
                 let a_row = &self.data[i * k..(i + 1) * k];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                let mut j = 0;
-                // Four independent single-chain dots at a time for ILP;
-                // each chain is still ascending-k.
-                while j + 4 <= n {
-                    let b0 = &other_t.data[j * k..(j + 1) * k];
-                    let b1 = &other_t.data[(j + 1) * k..(j + 2) * k];
-                    let b2 = &other_t.data[(j + 2) * k..(j + 3) * k];
-                    let b3 = &other_t.data[(j + 3) * k..(j + 4) * k];
-                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                    for (idx, &a) in a_row.iter().enumerate() {
-                        if a == 0.0 {
-                            continue; // same ±0.0-only skip as the saxpy path
-                        }
-                        s0 += a * b0[idx];
-                        s1 += a * b1[idx];
-                        s2 += a * b2[idx];
-                        s3 += a * b3[idx];
-                    }
-                    out_row[j] = s0;
-                    out_row[j + 1] = s1;
-                    out_row[j + 2] = s2;
-                    out_row[j + 3] = s3;
-                    j += 4;
-                }
-                while j < n {
-                    let b_row = &other_t.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        acc += a * b;
-                    }
-                    out_row[j] = acc;
-                    j += 1;
-                }
+                // Independent single-chain dots, 4 lanes at a time on the
+                // SIMD backends; each chain is still ascending-k with the
+                // same ±0.0-only skip as the saxpy path.
+                crate::kernel::dot_cols_skip_zero(a_row, &other_t.data, out_row);
             }
             out
         } else {
@@ -276,6 +244,10 @@ impl Matrix {
     /// * `k` is processed in L1-sized blocks per column stripe so `b`
     ///   tiles are reused from cache at production shapes, while the
     ///   GAT-sized operands (k ≤ 160) take the single-block fast path.
+    ///
+    /// The loops themselves live in [`crate::kernel::matmul_into`],
+    /// which dispatches between the scalar reference and the AVX2/NEON
+    /// microkernels — all bit-identical under this contract.
     fn matmul_with_b_natural(&self, b: &Matrix) -> Matrix {
         debug_assert_eq!(self.cols, b.rows);
         let (m, k, n) = (self.rows, self.cols, b.cols);
@@ -298,47 +270,7 @@ impl Matrix {
             }
             return out;
         }
-        // 8 f64 accumulators = two AVX2 (or four NEON) registers.
-        const TILE: usize = 8;
-        // k-block sized so a TILE-wide b stripe (KB × TILE doubles) plus
-        // the a-row segment stay within L1.
-        const KB: usize = 512;
-        for k0 in (0..k).step_by(KB) {
-            let k1 = (k0 + KB).min(k);
-            for i in 0..m {
-                let a_seg = &self.data[i * k + k0..i * k + k1];
-                let mut j0 = 0;
-                while j0 + TILE <= n {
-                    let mut acc = [0.0f64; TILE];
-                    if k0 > 0 {
-                        acc.copy_from_slice(&out.data[i * n + j0..i * n + j0 + TILE]);
-                    }
-                    for (kk, &a) in a_seg.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_seg = &b.data[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + TILE];
-                        for (s, &bv) in acc.iter_mut().zip(b_seg) {
-                            *s += a * bv;
-                        }
-                    }
-                    out.data[i * n + j0..i * n + j0 + TILE].copy_from_slice(&acc);
-                    j0 += TILE;
-                }
-                if j0 < n {
-                    let acc = &mut out.data[i * n + j0..(i + 1) * n];
-                    for (kk, &a) in a_seg.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_seg = &b.data[(k0 + kk) * n + j0..(k0 + kk) * n + n];
-                        for (s, &bv) in acc.iter_mut().zip(b_seg) {
-                            *s += a * bv;
-                        }
-                    }
-                }
-            }
-        }
+        crate::kernel::matmul_into(&mut out.data, &self.data, &b.data, m, k, n);
         out
     }
 
@@ -423,9 +355,7 @@ impl Matrix {
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(r, c)] += row[(0, c)];
-            }
+            crate::kernel::add_assign(&mut out.data[r * self.cols..(r + 1) * self.cols], &row.data);
         }
         out
     }
@@ -435,9 +365,9 @@ impl Matrix {
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(0, c)] += self[(r, c)];
-            }
+            // Per-column chains accumulate rows in ascending order; the
+            // columns are independent lanes.
+            crate::kernel::add_assign(&mut out.data, self.row(r));
         }
         out
     }
@@ -451,9 +381,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_in_place(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::kernel::add_assign(&mut self.data, &other.data);
     }
 
     /// Scales every element by `s`.
@@ -699,6 +627,37 @@ mod tests {
         for (x, y) in fused.data().iter().zip(out.data()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    /// The public entry points must produce the same bits no matter
+    /// which kernel backend is dispatched — the in-process flip via
+    /// `set_backend` is safe precisely because of this equivalence.
+    #[test]
+    fn matmul_entry_points_bit_identical_across_backends() {
+        use crate::kernel::{self, Backend};
+        let shapes = [(1usize, 160usize, 128usize), (16, 64, 64), (70, 33, 67)];
+        let compute = |(m, k, n): (usize, usize, usize)| {
+            let a = Matrix::lcg(m, k, 7 + m as u64);
+            let b = Matrix::lcg(k, n, 9 + n as u64);
+            let mut bits: Vec<u64> = a.matmul(&b).data().iter().map(|v| v.to_bits()).collect();
+            bits.extend(
+                a.matmul_transpose_b(&b.transpose())
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits()),
+            );
+            bits
+        };
+        let prev = kernel::set_backend(Backend::Scalar);
+        let scalar: Vec<Vec<u64>> = shapes.iter().map(|&s| compute(s)).collect();
+        kernel::set_backend(prev);
+        let active: Vec<Vec<u64>> = shapes.iter().map(|&s| compute(s)).collect();
+        assert_eq!(
+            scalar,
+            active,
+            "matmul bits diverged between scalar and {}",
+            kernel::active().name()
+        );
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! forces the serial in-place path; values are clamped to ≥ 1). No
 //! threads are spawned for empty or single-item inputs.
 //!
+//! `CAROL_THREADS` has a SIMD sibling: `CAROL_SIMD` pins the f64 kernel
+//! backend (`auto|scalar|avx2|neon`) in `nn::kernel`, resolved once per
+//! process exactly like the thread override. Both knobs exist for the
+//! same reason — every engine is bit-identical across their settings, so
+//! either can be pinned freely for debugging or CI without changing a
+//! single output bit.
+//!
 //! This crate uses only scoped threads from `std` (borrowed inputs and
 //! closures need no `'static` bound) and depends only on the vendored
 //! serde stub, which [`EngineConfig`] — the engine-selection type every

@@ -475,6 +475,108 @@ fn batched_training_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn simd_and_scalar_kernels_are_bit_identical_end_to_end() {
+    use gon::{train_offline, GonConfig, GonModel, TrainConfig};
+    use nn::kernel::{self, Backend};
+    use workloads::trace::{generate_trace, TraceConfig};
+    use workloads::BenchmarkSuite;
+
+    // One leg per kernel backend: the auto-resolved one (AVX2/NEON where
+    // the host supports it, honouring CAROL_SIMD) and the pinned scalar
+    // oracle. Each leg runs the full pipeline — GON pretraining,
+    // simulation, fault repair — plus an explicit offline-train +
+    // generate trajectory at 64 hosts. `set_backend` swaps a
+    // process-global, which is safe precisely because of the invariant
+    // under test: concurrently running tests cannot observe the swap
+    // unless some kernel is *not* bit-identical. On hosts where auto
+    // resolves to scalar the comparison is trivially scalar-vs-scalar;
+    // the AVX2 CI leg is where it bites.
+    let trace = generate_trace(
+        &TraceConfig {
+            intervals: 12,
+            topology_period: 5,
+            arrival_rate: 0.45 * 64.0,
+            suite: BenchmarkSuite::DeFog,
+            seed: 3,
+        },
+        edgesim::SimConfig::federation(64, 8, 3),
+    );
+
+    let leg = |backend: Backend| {
+        let prev = kernel::set_backend(backend);
+        let experiment = run_carol(11);
+        let mut model = GonModel::new(GonConfig {
+            hidden: 12,
+            head_layers: 2,
+            gat_dim: 6,
+            gat_att: 4,
+            gen_lr: 5e-3,
+            gen_steps: 3,
+            gen_tol: 1e-7,
+            seed: 1,
+        });
+        let stats = train_offline(
+            &mut model,
+            &trace,
+            &TrainConfig {
+                epochs: 1,
+                minibatch: 32,
+                patience: 2,
+                lr: 1e-3,
+                batch_train: true,
+                train_threads: Some(2),
+                ..Default::default()
+            },
+        );
+        let generated = model.generate(&trace[0]);
+        let params: Vec<u64> = model
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+            .collect();
+        kernel::set_backend(prev);
+        (experiment, stats, generated, params)
+    };
+
+    let auto = kernel::active();
+    let (exp_simd, stats_simd, gen_simd, params_simd) = leg(auto);
+    let (exp_scalar, stats_scalar, gen_scalar, params_scalar) = leg(Backend::Scalar);
+
+    assert_identical(&exp_simd, &exp_scalar);
+    assert_eq!(stats_simd.len(), stats_scalar.len());
+    for (a, b) in stats_simd.iter().zip(&stats_scalar) {
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "training loss diverged between {} and scalar backends",
+            auto.name()
+        );
+        assert_eq!(a.mse.to_bits(), b.mse.to_bits(), "held-out mse diverged");
+        assert_eq!(
+            a.confidence.to_bits(),
+            b.confidence.to_bits(),
+            "confidence diverged"
+        );
+    }
+    assert_eq!(
+        gen_simd.confidence.to_bits(),
+        gen_scalar.confidence.to_bits(),
+        "generate confidence diverged between {} and scalar backends",
+        auto.name()
+    );
+    assert_eq!(gen_simd.iterations, gen_scalar.iterations);
+    for (x, y) in gen_simd.metrics_flat.iter().zip(&gen_scalar.metrics_flat) {
+        assert_eq!(x.to_bits(), y.to_bits(), "generated metrics diverged");
+    }
+    assert_eq!(
+        params_simd,
+        params_scalar,
+        "trained parameters diverged between {} and scalar backends",
+        auto.name()
+    );
+}
+
+#[test]
 fn same_seed_is_bit_identical_for_seeded_baseline() {
     // A cheaper, Carol-free policy: guards the simulator/workload/fault
     // substrate itself, so a nondeterminism regression in the substrate is

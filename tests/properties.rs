@@ -641,3 +641,81 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The auto-resolved SIMD kernel backend is bit-identical to the
+    /// scalar oracle for arbitrary matmul shapes and data — remainder
+    /// lanes, k-block boundaries and the semantic zero-skip included.
+    /// On hosts where auto resolves to scalar this is trivially true;
+    /// the AVX2 CI leg is where it bites.
+    #[test]
+    fn simd_matmul_is_bit_identical_to_scalar_oracle(
+        m in 1usize..14,
+        k in 1usize..70,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+        zero_every in 1usize..7,
+    ) {
+        use nn::kernel::{self, Backend};
+        use nn::Matrix;
+
+        let simd = kernel::active();
+        let mut a = Matrix::lcg(m, k, seed);
+        let b = Matrix::lcg(k, n, seed ^ 0x5eed);
+        // Sprinkle exact zeros into the left operand: the kernels skip
+        // zero multiplicands *semantically* (0·x never enters the
+        // accumulator chain), so the skip must fire identically on every
+        // backend.
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % zero_every == 0 {
+                *v = 0.0;
+            }
+        }
+
+        let mut want = vec![0.0; m * n];
+        kernel::matmul_into_on(Backend::Scalar, &mut want, a.data(), b.data(), m, k, n);
+        let mut got = vec![0.0; m * n];
+        kernel::matmul_into_on(simd, &mut got, a.data(), b.data(), m, k, n);
+        for (i, (x, y)) in want.iter().zip(&got).enumerate() {
+            prop_assert!(
+                x.to_bits() == y.to_bits(),
+                "matmul element {} diverged on {} ({} vs {})",
+                i, simd.name(), x, y
+            );
+        }
+
+        // The transpose-side sibling (dX = dY·Wᵀ rows) on the same data:
+        // row 0 of `a` against every row of `b` reinterpreted as Bᵀ.
+        let bt = Matrix::lcg(n, k, seed ^ 0x7ab5);
+        let mut want_t = vec![0.0; n];
+        kernel::dot_cols_skip_zero_on(Backend::Scalar, a.row(0), bt.data(), &mut want_t);
+        let mut got_t = vec![0.0; n];
+        kernel::dot_cols_skip_zero_on(simd, a.row(0), bt.data(), &mut got_t);
+        for (x, y) in want_t.iter().zip(&got_t) {
+            prop_assert!(x.to_bits() == y.to_bits(), "dot_cols diverged on {}", simd.name());
+        }
+    }
+
+    /// The elementwise eq.-1 ascent kernel (step, clamp to [0, 1])
+    /// matches the scalar `f64::clamp` chain bitwise for arbitrary
+    /// values, step sizes and lengths.
+    #[test]
+    fn simd_ascent_update_matches_scalar_clamp(
+        v in proptest::collection::vec(-2.0f64..3.0, 0..40),
+        lr in -1.0e-1f64..1.0e-1,
+        seed in 0u64..1_000_000,
+    ) {
+        use nn::kernel::{self, Backend};
+        let simd = kernel::active();
+        let d: Vec<f64> = nn::Matrix::lcg(1, v.len().max(1), seed).data()[..v.len()].to_vec();
+        let mut want = v.clone();
+        kernel::ascent_update_on(Backend::Scalar, &mut want, &d, lr);
+        let mut got = v;
+        kernel::ascent_update_on(simd, &mut got, &d, lr);
+        for (x, y) in want.iter().zip(&got) {
+            prop_assert!(x.to_bits() == y.to_bits(), "ascent diverged on {}", simd.name());
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! entry point additionally writes every measurement as a JSON array of
 //! `{"name", "median_ns", "iters"}` records — the schema CI's bench job
 //! archives as `BENCH_PR.json` to track the perf trajectory per PR.
+//! Bench binaries can stamp run-wide context (e.g. which SIMD backend
+//! dispatched) onto every record with [`set_label`].
 
 #![warn(missing_docs)]
 
@@ -26,10 +28,26 @@ pub const BENCH_JSON_ENV: &str = "BENCH_JSON";
 /// execution order.
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
+/// Run-wide string labels stamped onto every JSON record (key, value).
+static LABELS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
 struct BenchRecord {
     name: String,
     median_ns: u64,
     iters: u64,
+}
+
+/// Attaches a run-wide `"key": "value"` field to every record the JSON
+/// writer emits — run context like the dispatched SIMD backend, so a
+/// perf archive is self-describing. Setting an existing key overwrites
+/// its value; keys and values are JSON-escaped on write.
+pub fn set_label(key: &str, value: &str) {
+    let mut labels = LABELS.lock().expect("bench labels poisoned");
+    if let Some(slot) = labels.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value.to_string();
+    } else {
+        labels.push((key.to_string(), value.to_string()));
+    }
 }
 
 /// Serialises every recorded measurement to the `BENCH_JSON` path, if
@@ -51,15 +69,21 @@ pub fn write_bench_json() {
 /// mutating the process environment (concurrent setenv/getenv from
 /// libtest's parallel test threads is UB on glibc).
 fn write_bench_json_to(path: &str) {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let results = RESULTS.lock().expect("bench results poisoned");
+    let labels = LABELS.lock().expect("bench labels poisoned");
+    let extra: String = labels
+        .iter()
+        .map(|(k, v)| format!(", \"{}\": \"{}\"", escape(k), escape(v)))
+        .collect();
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
-        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{}\n",
-            name,
+            "  {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}{}}}{}\n",
+            escape(&r.name),
             r.median_ns,
             r.iters,
+            extra,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -215,6 +239,8 @@ mod tests {
             median_ns: 1234,
             iters: 8,
         });
+        set_label("simd", "overwritten");
+        set_label("simd", "avx2");
         write_bench_json_to(path.to_str().expect("utf-8 temp path"));
         let text = std::fs::read_to_string(&path).expect("results file written");
         assert!(text.trim_start().starts_with('['), "must be a JSON array");
@@ -225,6 +251,11 @@ mod tests {
             text.contains("json_smoke\\\"quoted"),
             "quotes must be escaped"
         );
+        assert!(
+            text.contains("\"simd\": \"avx2\""),
+            "labels must stamp every record, last set wins"
+        );
+        assert!(!text.contains("overwritten"));
         let _ = std::fs::remove_file(&path);
     }
 
