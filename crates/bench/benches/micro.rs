@@ -145,6 +145,18 @@ fn repair_fixture(
     n_brokers: usize,
     batch_eval: bool,
 ) -> (Simulator, SystemState, Carol) {
+    repair_fixture_threads(n_hosts, n_brokers, batch_eval, None)
+}
+
+/// [`repair_fixture`] with the evaluation worker count pinned — the same
+/// knob the `CAROL_THREADS` env var resolves to, fixed per bench row so
+/// one process can sweep 1/2/4 workers without racing on the environment.
+fn repair_fixture_threads(
+    n_hosts: usize,
+    n_brokers: usize,
+    batch_eval: bool,
+    eval_threads: Option<usize>,
+) -> (Simulator, SystemState, Carol) {
     let mut sim = Simulator::new(SimConfig::federation(n_hosts, n_brokers, 3));
     let mut sched = LeastLoadScheduler::new();
     let broker = sim.topology().brokers()[0];
@@ -182,6 +194,7 @@ fn repair_fixture(
             ..Default::default()
         },
         batch_eval,
+        eval_threads,
         ..CarolConfig::fast_test()
     };
     let policy = Carol::from_model(GonModel::new(config.gon.clone()), config, 3);
@@ -206,6 +219,23 @@ fn bench_repair(c: &mut Criterion) {
                 })
             });
         }
+    }
+
+    // The CAROL_THREADS sweep at 64 hosts: the batched engine with the
+    // worker count pinned to 1/2/4 through the same `EngineConfig` path
+    // the env var resolves, one row per count so a single run prices the
+    // fan-out. The serial-vs-batched crossover these rows map lives in
+    // README "Kernels".
+    for threads in [1usize, 2, 4] {
+        let (sim, snapshot, mut policy) = repair_fixture_threads(64, 8, true, Some(threads));
+        c.bench_function(&format!("repair_64_batched_t{threads}"), |b| {
+            b.iter(|| {
+                let repaired = policy
+                    .repair(black_box(&sim), black_box(&snapshot))
+                    .expect("failure must produce a repair");
+                black_box(repaired)
+            })
+        });
     }
 }
 
@@ -280,18 +310,19 @@ fn bench_train(c: &mut Criterion) {
         );
         (label.to_string(), trace)
     };
+    let gon_config = |seed: u64| GonConfig {
+        hidden: 16,
+        head_layers: 2,
+        gat_dim: 8,
+        gat_att: 4,
+        gen_lr: 5e-3,
+        gen_steps: 10, // the fig4 training shape — the ascent dominates
+        gen_tol: 1e-7,
+        seed,
+    };
     for (label, trace) in [fixture("tiny", 16, 4), fixture("64", 64, 8)] {
         for (engine, batch_train) in [("serial", false), ("batched", true)] {
-            let model = GonModel::new(GonConfig {
-                hidden: 16,
-                head_layers: 2,
-                gat_dim: 8,
-                gat_att: 4,
-                gen_lr: 5e-3,
-                gen_steps: 10, // the fig4 training shape — the ascent dominates
-                gen_tol: 1e-7,
-                seed: 9,
-            });
+            let model = GonModel::new(gon_config(9));
             let config = TrainConfig {
                 epochs: 1,
                 minibatch: 8,
@@ -308,6 +339,30 @@ fn bench_train(c: &mut Criterion) {
                 })
             });
         }
+    }
+
+    // The CAROL_THREADS sweep for the batched trainer at 64 hosts:
+    // `train_threads` pinned to 1/2/4 — the per-row analogue of the env
+    // override, so one run maps where thread fan-out pays for itself
+    // (README "Kernels" records the crossover).
+    let (_, trace_64) = fixture("64", 64, 8);
+    for threads in [1usize, 2, 4] {
+        let model = GonModel::new(gon_config(9));
+        let config = TrainConfig {
+            epochs: 1,
+            minibatch: 8,
+            patience: 2,
+            lr: 1e-3,
+            batch_train: true,
+            train_threads: Some(threads),
+            ..Default::default()
+        };
+        c.bench_function(&format!("train_offline_64_batched_t{threads}"), |b| {
+            b.iter(|| {
+                let mut m = model.clone();
+                black_box(train_offline(&mut m, black_box(&trace_64), &config))
+            })
+        });
     }
 }
 

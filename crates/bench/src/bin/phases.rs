@@ -1,0 +1,39 @@
+//! Phase-pipeline profile artefact.
+//!
+//! ```text
+//! cargo run --release -p bench --bin phases                        # full: 256 → 4096 hosts, 12 intervals
+//! cargo run --release -p bench --bin phases -- --fast              # CI: 256 → 1024 hosts, 8 intervals
+//! cargo run --release -p bench --bin phases -- --out PHASES.json   # also: PHASES_JSON env var
+//! cargo run --release -p bench --bin phases -- --seed 9
+//! ```
+//!
+//! Prints a per-interval stage table and writes `PHASES_PR.json` rows —
+//! one per scenario — that CI gates: `determine_failures_s` at
+//! `aiot-1024` must stay within 20% of `ci/phase_baseline.json`.
+
+use bench::phases::{profile, render_table, to_json, PhasesConfig, PHASES_JSON_ENV};
+
+fn main() {
+    let args = bench::cli::CommonArgs::parse();
+    let seed = args
+        .flag_value("--seed")
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(7);
+    let out_path = args.out_path(PHASES_JSON_ENV);
+
+    let config = if args.fast {
+        eprintln!("[phases] fast profile: 256 → 1024 hosts…");
+        PhasesConfig::fast(seed)
+    } else {
+        eprintln!("[phases] full profile: 256 → 4096 hosts…");
+        PhasesConfig::full(seed)
+    };
+    let points = profile(&config);
+
+    print!("{}", render_table(&points));
+    if let Some(path) = out_path {
+        std::fs::write(&path, to_json(&points))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote report to {path}");
+    }
+}

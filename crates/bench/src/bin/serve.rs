@@ -4,7 +4,8 @@
 //! cargo run --release -p bench --bin serve                       # full bench: ≥100k-task replay → SERVE numbers
 //! cargo run --release -p bench --bin serve -- --fast             # CI smoke: checked-in 40-interval trace
 //! cargo run --release -p bench --bin serve -- --out SERVE.json   # also: SERVE_JSON env var
-//! cargo run --release -p bench --bin serve -- --config spec.json # full ExperimentSpec from JSON
+//! cargo run --release -p bench --bin serve -- --config spec.json # ExperimentSpec — or a JSON list of
+//!                                                                # them for a multi-federation daemon
 //! cat trace.jsonl | cargo run --release -p bench --bin serve -- --stdin
 //! cargo run --release -p bench --bin serve -- --listen 127.0.0.1:7070
 //! cargo run --release -p bench --bin serve -- --metrics 127.0.0.1:9090 --pace 1.0
@@ -13,15 +14,24 @@
 //! Without `--stdin`/`--listen` the binary runs as a *bench*: it replays
 //! a recorded trace through the daemon at full speed and reports
 //! decisions/sec plus p50/p99 decision latency. With them it runs as a
-//! *daemon*: events arrive over stdin or one TCP connection, optionally
-//! paced to wall clock (`--pace <seconds-per-interval>`), with the
-//! plain-text health endpoint on `--metrics <addr>`.
+//! *daemon*: events arrive over stdin or TCP, optionally paced to wall
+//! clock (`--pace <seconds-per-interval>`), with the plain-text health
+//! endpoint on `--metrics <addr>`.
+//!
+//! A `--config` file holding a JSON **list** of specs serves all of them
+//! as one multi-federation daemon ([`carol::service::FederationSet`]):
+//! in bench mode every federation replays its own copy of the trace; in
+//! `--listen` mode the daemon accepts one trace connection per
+//! federation, in spec order. `--stdin` is single-federation only (one
+//! stream cannot be demultiplexed).
 
 use bench::serve::{
-    full_spec, full_trace, run_serve_bench, smoke_spec, ServeBenchReport, SERVE_JSON_ENV,
-    SMOKE_TRACE,
+    full_spec, full_trace, run_federation_bench, run_serve_bench, smoke_spec, ServeBenchReport,
+    SERVE_JSON_ENV, SMOKE_TRACE,
 };
-use carol::service::{serve_listener, serve_stdin, ExperimentSpec, ServeOptions};
+use carol::service::{
+    serve_federation_listener, serve_stdin, ExperimentSpec, FederationSet, ServeOptions,
+};
 
 fn main() {
     let args = bench::cli::CommonArgs::parse();
@@ -34,18 +44,26 @@ fn main() {
     let checkpoint_path =
         std::env::temp_dir().join(format!("carol-serve-{}.json", std::process::id()));
     let checkpoint_path = checkpoint_path.to_string_lossy().into_owned();
-    let mut spec = if let Some(config_path) = args.flag_value("--config") {
+    let mut set = if let Some(config_path) = args.flag_value("--config") {
         let json = std::fs::read_to_string(&config_path)
             .unwrap_or_else(|e| panic!("cannot read --config {config_path}: {e}"));
-        ExperimentSpec::from_json(&json)
-            .unwrap_or_else(|e| panic!("--config {config_path} is not an ExperimentSpec: {e}"))
+        FederationSet::from_json(&json).unwrap_or_else(|e| {
+            panic!("--config {config_path} is not an ExperimentSpec or a list of them: {e}")
+        })
     } else if args.fast {
-        smoke_spec(seed, &checkpoint_path)
+        FederationSet::new(vec![smoke_spec(seed, &checkpoint_path)])
     } else {
-        full_spec(seed, &checkpoint_path)
+        FederationSet::new(vec![full_spec(seed, &checkpoint_path)])
     };
     if let Some(scenario) = args.scenario(seed) {
-        spec.scenario = scenario;
+        let mut specs = set.specs().to_vec();
+        assert_eq!(
+            specs.len(),
+            1,
+            "--scenario overrides a single-federation config only"
+        );
+        specs[0].scenario = scenario;
+        set = FederationSet::new(specs);
     }
 
     let options = ServeOptions {
@@ -56,15 +74,16 @@ fn main() {
         background_tune: !args.has_flag("--no-background-tune"),
     };
 
-    // Daemon modes: ingest a live stream, report, exit.
+    // Daemon modes: ingest live stream(s), report, exit.
     if args.has_flag("--stdin") {
+        let spec = solo_spec(&set, "--stdin");
         eprintln!("[serve] daemon: ingesting carol-trace v1 from stdin…");
         let report = serve_stdin(&spec, &options).unwrap_or_else(|e| panic!("serve failed: {e}"));
         finish(
-            ServeBenchReport {
+            vec![ServeBenchReport {
                 report,
                 checkpoint_restore_verified: false,
-            },
+            }],
             out_path,
         );
         return;
@@ -72,14 +91,20 @@ fn main() {
     if let Some(addr) = args.flag_value("--listen") {
         let listener = std::net::TcpListener::bind(&addr)
             .unwrap_or_else(|e| panic!("cannot bind --listen {addr}: {e}"));
-        eprintln!("[serve] daemon: waiting for one trace connection on {addr}…");
-        let report = serve_listener(&spec, &listener, &options)
+        eprintln!(
+            "[serve] daemon: waiting for {} trace connection(s) on {addr}…",
+            set.specs().len()
+        );
+        let reports = serve_federation_listener(&set, &listener, &options)
             .unwrap_or_else(|e| panic!("serve failed: {e}"));
         finish(
-            ServeBenchReport {
-                report,
-                checkpoint_restore_verified: false,
-            },
+            reports
+                .into_iter()
+                .map(|report| ServeBenchReport {
+                    report,
+                    checkpoint_restore_verified: false,
+                })
+                .collect(),
             out_path,
         );
         return;
@@ -96,16 +121,46 @@ fn main() {
         );
         full_trace(seed)
     };
-    let bench = run_serve_bench(&spec, &trace, &options);
+    let benches = if set.specs().len() == 1 {
+        vec![run_serve_bench(&set.specs()[0], &trace, &options)]
+    } else {
+        eprintln!(
+            "[serve] multi-federation bench: {} federations, each replaying the trace…",
+            set.specs().len()
+        );
+        run_federation_bench(&set, &trace, &options)
+    };
     std::fs::remove_file(&checkpoint_path).ok();
-    finish(bench, out_path);
+    finish(benches, out_path);
 }
 
-fn finish(bench: ServeBenchReport, out_path: Option<String>) {
-    print!("{}", bench::serve::render_summary(&bench));
+/// Unwraps a single-federation set for modes that cannot multiplex.
+fn solo_spec(set: &FederationSet, mode: &str) -> ExperimentSpec {
+    assert_eq!(
+        set.specs().len(),
+        1,
+        "{mode} serves a single federation; use --listen for a multi-federation config"
+    );
+    set.specs()[0].clone()
+}
+
+fn finish(benches: Vec<ServeBenchReport>, out_path: Option<String>) {
+    for (idx, bench) in benches.iter().enumerate() {
+        if benches.len() > 1 {
+            print!(
+                "federation {idx} ({}): ",
+                bench.report.spec.scenario.name.as_str()
+            );
+        }
+        print!("{}", bench::serve::render_summary(bench));
+    }
     if let Some(path) = out_path {
-        std::fs::write(&path, bench.to_json())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let json = if benches.len() == 1 {
+            benches[0].to_json()
+        } else {
+            ServeBenchReport::list_to_json(&benches)
+        };
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote report to {path}");
     }
 }

@@ -23,6 +23,7 @@ pub mod cli;
 pub mod fig5;
 pub mod fig6;
 pub mod fuzz;
+pub mod phases;
 pub mod render;
 pub mod scale;
 pub mod serve;

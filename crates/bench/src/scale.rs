@@ -15,7 +15,7 @@
 
 use carol::carol::{Carol, CarolConfig};
 use carol::scenario::{run_scenario, ScenarioSpec, SchedulerKind, WorkloadSource};
-use edgesim::{FleetMix, SimConfig};
+use edgesim::{FleetMix, PhaseTimings, SimConfig};
 use faults::{FaultModel, TargetPolicy};
 use gon::{GonConfig, TrainConfig};
 use serde::{Deserialize, Serialize};
@@ -46,7 +46,7 @@ pub struct ScaleConfig {
 }
 
 impl ScaleConfig {
-    /// The full sweep: 16 → 1024 hosts, 30 intervals, replay included,
+    /// The full sweep: 16 → 4096 hosts, 30 intervals, replay included,
     /// plus the cascade and heterogeneous-flash-crowd frontier scenarios.
     pub fn full(seed: u64) -> Self {
         Self {
@@ -58,6 +58,7 @@ impl ScaleConfig {
                 (256, 16),
                 (512, 32),
                 (1024, 64),
+                (4096, 128),
             ],
             intervals: 30,
             seed,
@@ -134,6 +135,14 @@ pub struct ScalePoint {
     /// QoS side of the QoS-vs-wall-clock trade.
     #[serde(default)]
     pub repair_score_sampled: f64,
+    /// Cumulative per-stage simulator wall-clock over the scenario run
+    /// (the phase-pipeline vocabulary of `edgesim::phases`).
+    #[serde(default)]
+    pub phase_timings: PhaseTimings,
+    /// Share of simulator-step wall-clock spent determining failures —
+    /// the scale row proving the sharded scan no longer dominates.
+    #[serde(default)]
+    pub determine_failures_frac: f64,
 }
 
 /// Largest federation the sweep prices with the full Θ(n·brokers)
@@ -354,6 +363,8 @@ pub fn run_cell(spec: &ScenarioSpec, seed: u64) -> ScalePoint {
         sampled_repair_queries,
         repair_score_full,
         repair_score_sampled,
+        phase_timings: out.result.phase_timings,
+        determine_failures_frac: out.result.phase_timings.determine_failures_frac(),
     }
 }
 
@@ -444,6 +455,12 @@ mod tests {
                 "{}: repair must batch-score a real neighbourhood",
                 p.scenario
             );
+            assert!(
+                p.phase_timings.total_s() > 0.0,
+                "{}: phase columns must be populated",
+                p.scenario
+            );
+            assert!((0.0..=1.0).contains(&p.determine_failures_frac));
         }
         // Energy grows with federation size — more hosts draw more power.
         assert!(points[2].energy_wh > points[0].energy_wh);

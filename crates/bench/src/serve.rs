@@ -20,7 +20,9 @@
 //! [`Carol`] controller, and checked against the
 //! interval it froze at.
 
-use carol::service::{serve_trace, CheckpointSpec, ExperimentSpec, ServeOptions, ServeReport};
+use carol::service::{
+    serve_trace, CheckpointSpec, ExperimentSpec, FederationSet, ServeOptions, ServeReport,
+};
 use carol::{Carol, CarolCheckpoint};
 use serde::{Deserialize, Serialize};
 use std::io::Cursor;
@@ -103,6 +105,12 @@ impl ServeBenchReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("serve report serialises")
     }
+
+    /// Serialises a multi-federation run (one report per federation) for
+    /// the CI artifact.
+    pub fn list_to_json(benches: &[ServeBenchReport]) -> String {
+        serde_json::to_string_pretty(&benches.to_vec()).expect("serve reports serialise")
+    }
 }
 
 /// Replays `trace` through the daemon under `spec`, then verifies the
@@ -122,9 +130,39 @@ pub fn run_serve_bench(
 ) -> ServeBenchReport {
     let report = serve_trace(spec, Cursor::new(trace.as_bytes().to_vec()), options)
         .unwrap_or_else(|e| panic!("serve failed: {e}"));
+    verify_checkpoint(report)
+}
 
+/// Replays `trace` through a multi-federation daemon: every federation
+/// in `set` ingests its own copy of the trace concurrently, then each
+/// spec's checkpoint file is verified exactly like [`run_serve_bench`].
+/// Reports come back in spec order.
+///
+/// # Panics
+///
+/// Same contract as [`run_serve_bench`], applied per federation.
+pub fn run_federation_bench(
+    set: &FederationSet,
+    trace: &str,
+    options: &ServeOptions,
+) -> Vec<ServeBenchReport> {
+    let readers: Vec<_> = set
+        .specs()
+        .iter()
+        .map(|_| Cursor::new(trace.as_bytes().to_vec()))
+        .collect();
+    let reports = set
+        .serve(readers, options)
+        .unwrap_or_else(|e| panic!("serve failed: {e}"));
+    reports.into_iter().map(verify_checkpoint).collect()
+}
+
+/// Reads back the checkpoint file the run wrote (when its spec named
+/// one), restores it into a live controller, and checks the interval it
+/// froze at — the bench-level half of the checkpoint contract.
+fn verify_checkpoint(report: ServeReport) -> ServeBenchReport {
     let mut verified = false;
-    if let Some(path) = &spec.checkpoint.path {
+    if let Some(path) = &report.spec.checkpoint.path {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("checkpoint file {path} unreadable: {e}"));
         let ckpt = CarolCheckpoint::from_json(&json)
@@ -181,6 +219,38 @@ mod tests {
         let horizon = events.iter().map(|e| e.interval + 1).max().unwrap_or(0);
         assert_eq!(horizon, SMOKE_INTERVALS);
         assert!(events.iter().map(|e| e.arrivals).sum::<usize>() > 100);
+    }
+
+    #[test]
+    fn federation_smoke_bench_serves_two_federations() {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        let paths: Vec<String> = (0..2)
+            .map(|i| {
+                base.join(format!("serve-fed-test-{pid}-{i}.json"))
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        let set = FederationSet::new(vec![smoke_spec(7, &paths[0]), smoke_spec(9, &paths[1])]);
+        let benches = run_federation_bench(&set, SMOKE_TRACE, &ServeOptions::default());
+        for p in &paths {
+            std::fs::remove_file(p).ok();
+        }
+        assert_eq!(benches.len(), 2);
+        for bench in &benches {
+            assert_eq!(bench.report.intervals, SMOKE_INTERVALS);
+            assert_eq!(bench.report.checkpoints_taken, 4);
+            assert!(bench.checkpoint_restore_verified);
+        }
+        // Different seeds steer different federations: the daemon kept
+        // the two streams apart.
+        assert_ne!(
+            benches[0].report.result.total_energy_wh.to_bits(),
+            benches[1].report.result.total_energy_wh.to_bits()
+        );
+        let json = ServeBenchReport::list_to_json(&benches);
+        assert!(json.starts_with('['), "multi-federation artifact is a list");
     }
 
     #[test]

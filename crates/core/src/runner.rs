@@ -7,7 +7,7 @@
 use crate::policy::ResiliencePolicy;
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::state::{Normalizer, SystemState};
-use edgesim::{Scheduler, SimConfig, Simulator};
+use edgesim::{PhaseTimings, Scheduler, SimConfig, Simulator};
 use faults::{FaultInjector, FaultModel, TargetPolicy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -113,6 +113,11 @@ pub struct ExperimentResult {
     pub restarts: usize,
     /// Response times of every completed task (for percentile analysis).
     pub response_times_s: Vec<f64>,
+    /// Cumulative wall-clock per simulator pipeline stage over the run
+    /// (measurement only — absent from pre-phase-pipeline artifacts,
+    /// hence the serde default).
+    #[serde(default)]
+    pub phase_timings: PhaseTimings,
 }
 
 /// Runs `policy` under `config` and collects the §V metrics, sampling
@@ -179,6 +184,7 @@ pub struct ExperimentEngine {
     measured_decision_wall_s: f64,
     measured_overhead_wall_s: f64,
     decision_latencies_s: Vec<f64>,
+    phase_timings: PhaseTimings,
 }
 
 impl ExperimentEngine {
@@ -218,6 +224,7 @@ impl ExperimentEngine {
             measured_decision_wall_s: 0.0,
             measured_overhead_wall_s: 0.0,
             decision_latencies_s: Vec::new(),
+            phase_timings: PhaseTimings::default(),
         }
     }
 
@@ -240,6 +247,13 @@ impl ExperimentEngine {
     /// order — the sample set behind the service daemon's p50/p99.
     pub fn decision_latencies_s(&self) -> &[f64] {
         &self.decision_latencies_s
+    }
+
+    /// Cumulative wall-clock per simulator pipeline stage across every
+    /// step so far — the phase vocabulary of [`edgesim::phases`] surfaced
+    /// at the experiment level (metrics endpoint, `PHASES_PR.json`).
+    pub fn phase_timings(&self) -> &PhaseTimings {
+        &self.phase_timings
     }
 
     /// One full scheduling interval: repair (Algorithm 2 lines 4–8),
@@ -274,6 +288,7 @@ impl ExperimentEngine {
         self.injector.inject(t, &mut self.sim);
         let report = self.sim.step(arrivals, scheduler);
         self.broker_failures += report.failed_brokers.len();
+        self.phase_timings.accumulate(&report.phases);
 
         // Live view: completed tasks contribute nothing to any snapshot
         // column (and this interval's completions are still live — the
@@ -325,6 +340,7 @@ impl ExperimentEngine {
             response_times_s: self.sim.response_times().to_vec(),
             measured_decision_wall_s: self.measured_decision_wall_s,
             measured_overhead_wall_s: self.measured_overhead_wall_s,
+            phase_timings: self.phase_timings,
         }
     }
 }
@@ -386,6 +402,11 @@ mod tests {
         assert!((0.0..=1.0).contains(&r.slo_violation_rate));
         assert!(r.memory_pct > 0.0);
         assert_eq!(r.response_times_s.len(), r.completed);
+        assert!(
+            r.phase_timings.total_s() > 0.0,
+            "per-phase wall-clock must accumulate across steps"
+        );
+        assert!((0.0..=1.0).contains(&r.phase_timings.determine_failures_frac()));
     }
 
     #[test]

@@ -154,6 +154,7 @@ impl ScenarioSpec {
             "aiot-256" => Some(base("aiot-256", BenchmarkSuite::AIoTBench, 256, 16)),
             "aiot-512" => Some(base("aiot-512", BenchmarkSuite::AIoTBench, 512, 32)),
             "aiot-1024" => Some(base("aiot-1024", BenchmarkSuite::AIoTBench, 1024, 64)),
+            "aiot-4096" => Some(base("aiot-4096", BenchmarkSuite::AIoTBench, 4096, 128)),
             "defog-32" => Some(base("defog-32", BenchmarkSuite::DeFog, 32, 8)),
             "storm-64" => Some(ScenarioSpec {
                 fault_rate: 2.0,
@@ -234,6 +235,7 @@ impl ScenarioSpec {
             "aiot-256",
             "aiot-512",
             "aiot-1024",
+            "aiot-4096",
             "defog-32",
             "storm-64",
             "roundrobin-16",

@@ -6,10 +6,11 @@
 //! that gap with a std-only daemon (threads + channels, no async
 //! runtime):
 //!
-//! * **Ingestion** — a reader thread decodes `carol-trace` v1 events
-//!   incrementally ([`workloads::replay::StreamingTrace`]) from stdin, a
-//!   socket, or any buffered reader, and hands them to the controller
-//!   over a bounded channel.
+//! * **Ingestion** — one reader thread per federation decodes
+//!   `carol-trace` v1 events incrementally
+//!   ([`workloads::replay::StreamingTrace`]) from stdin, a socket, or
+//!   any buffered reader, and hands them to the controller over a
+//!   shared bounded channel.
 //! * **Control loop** — per scheduling interval the controller runs the
 //!   full Algorithm-2 cycle through
 //!   [`ExperimentEngine`]: repair →
@@ -18,6 +19,12 @@
 //!   [`ReplayWorkload`](workloads::replay::ReplayWorkload) would deliver
 //!   them, so a served run is **bit-identical** to the equivalent batch
 //!   replay (gated in `tests/determinism.rs`).
+//! * **Multi-federation** — a [`FederationSet`] multiplexes N
+//!   independent federations over one daemon: each spec gets its own
+//!   pretrained controller, engine, checkpoint cadence and metrics
+//!   rows, and because the shared channel preserves per-sender order,
+//!   every federation's served run stays bit-identical to serving it
+//!   alone (and hence to its batch replay).
 //! * **Background fine-tuning** — the GON fine-tunes on a weight
 //!   snapshot in a worker thread ([`Carol::set_background_tune`]),
 //!   installing at the next surrogate use; decisions stay bit-identical
@@ -38,7 +45,7 @@ use crate::carol::{Carol, CarolCheckpointError, CarolConfig};
 use crate::runner::{ExperimentEngine, ExperimentResult};
 use crate::scenario::ScenarioSpec;
 use crate::tabu::TabuConfig;
-use edgesim::TaskSpec;
+use edgesim::{PhaseTimings, TaskSpec};
 use gon::{GonConfig, TrainConfig};
 use metrics::LatencySummary;
 use par::EngineConfig;
@@ -46,7 +53,7 @@ use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -265,7 +272,7 @@ impl From<CarolCheckpointError> for ServiceError {
     }
 }
 
-/// Live counters behind the metrics endpoint.
+/// Live counters behind the metrics endpoint — one per federation.
 #[derive(Debug, Default)]
 struct MetricsState {
     intervals: usize,
@@ -274,10 +281,20 @@ struct MetricsState {
     fine_tunes: usize,
     latencies_s: Vec<f64>,
     last_checkpoint_interval: Option<usize>,
+    /// Cumulative per-stage simulator wall-clock, mirrored from
+    /// [`ExperimentEngine::phase_timings`] after every interval.
+    phases: PhaseTimings,
 }
 
-/// Renders the plain-text health block the endpoint serves.
-fn render_metrics(m: &MetricsState, uptime_s: f64) -> String {
+/// One federation's metrics handle as the endpoint thread sees it.
+#[derive(Clone)]
+struct FedMetrics {
+    name: String,
+    state: Arc<Mutex<MetricsState>>,
+}
+
+/// Renders one federation's counter block (no header).
+fn render_metrics_body(m: &MetricsState) -> String {
     let latency = LatencySummary::from_samples(&m.latencies_s);
     let (p50_ms, p99_ms) = latency
         .map(|l| (l.p50 * 1e3, l.p99 * 1e3))
@@ -286,11 +303,8 @@ fn render_metrics(m: &MetricsState, uptime_s: f64) -> String {
         .last_checkpoint_interval
         .map(|at| (m.intervals - at).to_string())
         .unwrap_or_else(|| "never".to_string());
-    format!(
-        "carol-service v1\n\
-         status: ok\n\
-         uptime_s: {uptime_s:.3}\n\
-         decisions_served: {}\n\
+    let mut text = format!(
+        "decisions_served: {}\n\
          tasks_ingested: {}\n\
          repairs_triggered: {}\n\
          fine_tune_events: {}\n\
@@ -298,7 +312,38 @@ fn render_metrics(m: &MetricsState, uptime_s: f64) -> String {
          decision_latency_p99_ms: {p99_ms:.3}\n\
          last_checkpoint_age_intervals: {checkpoint_age}\n",
         m.intervals, m.tasks, m.repairs, m.fine_tunes
-    )
+    );
+    for (phase, secs) in m.phases.rows() {
+        text.push_str(&format!("phase_{phase}_s: {secs:.6}\n"));
+    }
+    text.push_str(&format!(
+        "phase_determine_failures_pct: {:.1}\n",
+        100.0 * m.phases.determine_failures_frac()
+    ));
+    text
+}
+
+/// Renders the plain-text health block the endpoint serves: the shared
+/// header, then one counter block per federation. A single federation
+/// renders unlabelled — the historical `carol-service v1` format —
+/// while a multiplexed set labels each block `federation: <idx> <name>`.
+fn render_metrics(feds: &[FedMetrics], uptime_s: f64) -> String {
+    let mut text = format!(
+        "carol-service v1\n\
+         status: ok\n\
+         uptime_s: {uptime_s:.3}\n"
+    );
+    if feds.len() > 1 {
+        text.push_str(&format!("federations: {}\n", feds.len()));
+    }
+    for (idx, fed) in feds.iter().enumerate() {
+        if feds.len() > 1 {
+            text.push_str(&format!("federation: {idx} {}\n", fed.name));
+        }
+        let m = fed.state.lock().expect("metrics state poisoned");
+        text.push_str(&render_metrics_body(&m));
+    }
+    text
 }
 
 /// The metrics endpoint: answers every accepted connection with the
@@ -306,7 +351,7 @@ fn render_metrics(m: &MetricsState, uptime_s: f64) -> String {
 /// flag is honoured promptly.
 fn metrics_listener(
     listener: TcpListener,
-    state: Arc<Mutex<MetricsState>>,
+    feds: Vec<FedMetrics>,
     stop: Arc<AtomicBool>,
     started: Instant,
 ) {
@@ -316,10 +361,7 @@ fn metrics_listener(
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut conn, _)) => {
-                let text = {
-                    let m = state.lock().expect("metrics state poisoned");
-                    render_metrics(&m, started.elapsed().as_secs_f64())
-                };
+                let text = render_metrics(&feds, started.elapsed().as_secs_f64());
                 let _ = conn.write_all(text.as_bytes());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -346,100 +388,207 @@ pub fn serve_trace<R>(
 where
     R: BufRead + Send + 'static,
 {
-    let mut policy = Carol::pretrained(spec.carol_config(), spec.scenario.seed);
-    policy.set_background_tune(options.background_tune);
-    let engine = ExperimentEngine::new(&spec.scenario.experiment_config());
-    let scheduler = spec.scenario.scheduler.build();
+    let mut reports = FederationSet::new(vec![spec.clone()]).serve(vec![reader], options)?;
+    Ok(reports.pop().expect("one federation yields one report"))
+}
 
-    let state = Arc::new(Mutex::new(MetricsState::default()));
-    let stop = Arc::new(AtomicBool::new(false));
-    let started = Instant::now();
+/// N independent federations multiplexed over one daemon — the
+/// `serve --config '[spec, spec, …]'` object.
+///
+/// Each [`ExperimentSpec`] gets its own pretrained controller,
+/// [`ExperimentEngine`], checkpoint cadence and metrics rows. One
+/// ingest thread per federation decodes its trace; all of them feed a
+/// single bounded channel whose messages are `(federation, event)`
+/// pairs, and the control loop routes each to its federation's engine.
+/// The channel preserves per-sender order, so every federation's event
+/// stream replays in trace order regardless of how the federations
+/// interleave — which is why each served federation is bit-identical to
+/// serving it alone, and hence to its batch replay (gated in
+/// `tests/determinism.rs`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FederationSet {
+    specs: Vec<ExperimentSpec>,
+}
 
-    // Metrics endpoint (optional).
-    let mut endpoint_addr = None;
-    let mut endpoint_thread = None;
-    if let Some(addr) = &options.metrics_addr {
-        let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
-        endpoint_addr = Some(
-            listener
-                .local_addr()
-                .map_err(|e| ServiceError::Io(e.to_string()))?,
-        );
-        let (state, stop) = (Arc::clone(&state), Arc::clone(&stop));
-        endpoint_thread = Some(thread::spawn(move || {
-            metrics_listener(listener, state, stop, started);
-        }));
+impl FederationSet {
+    /// Bundles the specs to serve together.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty spec list — a daemon with nothing to serve is
+    /// a configuration bug, not a runtime condition.
+    pub fn new(specs: Vec<ExperimentSpec>) -> Self {
+        assert!(!specs.is_empty(), "federation set needs at least one spec");
+        Self { specs }
     }
 
-    // Ingest thread: decode incrementally, hand events over a bounded
-    // channel. A decode error is forwarded and ends the stream (the
-    // decoder fuses itself).
-    let (tx, rx) = mpsc::sync_channel::<Result<TraceEvent, TraceError>>(1024);
-    let ingest_thread = thread::spawn(move || match StreamingTrace::open(reader) {
-        Ok(stream) => {
-            for item in stream {
-                if tx.send(item).is_err() {
-                    return; // controller hung up
+    /// The specs this set serves, in federation order.
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// Parses the `serve --config` JSON: either a single
+    /// [`ExperimentSpec`] object (the historical format) or a list of
+    /// them.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let specs: Vec<ExperimentSpec> = if json.trim_start().starts_with('[') {
+            serde_json::from_str(json)?
+        } else {
+            vec![ExperimentSpec::from_json(json)?]
+        };
+        if specs.is_empty() {
+            return Err(serde::Error("federation set needs at least one spec".into()).into());
+        }
+        Ok(Self::new(specs))
+    }
+
+    /// Serialises to pretty JSON (always the list form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.specs).expect("experiment specs serialise")
+    }
+
+    /// Serves one trace reader per federation (matched by index) until
+    /// every stream ends, returning one [`ServeReport`] per federation
+    /// in spec order. `wall_s` on every report is the shared serve-loop
+    /// wall clock; `metrics_snapshot` is the shared endpoint block.
+    pub fn serve<R>(
+        &self,
+        readers: Vec<R>,
+        options: &ServeOptions,
+    ) -> Result<Vec<ServeReport>, ServiceError>
+    where
+        R: BufRead + Send + 'static,
+    {
+        if readers.len() != self.specs.len() {
+            return Err(ServiceError::Io(format!(
+                "federation set: {} specs but {} trace readers",
+                self.specs.len(),
+                readers.len()
+            )));
+        }
+        let mut feds: Vec<FedState> = self
+            .specs
+            .iter()
+            .map(|spec| FedState::new(spec, options.background_tune))
+            .collect();
+        let fed_metrics: Vec<FedMetrics> = feds
+            .iter()
+            .map(|f| FedMetrics {
+                name: f.spec.scenario.name.clone(),
+                state: Arc::clone(&f.state),
+            })
+            .collect();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+
+        // Metrics endpoint (optional).
+        let mut endpoint_addr = None;
+        let mut endpoint_thread = None;
+        if let Some(addr) = &options.metrics_addr {
+            let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
+            endpoint_addr = Some(
+                listener
+                    .local_addr()
+                    .map_err(|e| ServiceError::Io(e.to_string()))?,
+            );
+            let (feds_view, stop) = (fed_metrics.clone(), Arc::clone(&stop));
+            endpoint_thread = Some(thread::spawn(move || {
+                metrics_listener(listener, feds_view, stop, started);
+            }));
+        }
+
+        // Ingest threads: one per federation, all feeding one bounded
+        // channel. A decode error is forwarded and ends that stream
+        // (the decoder fuses itself); an explicit EOF marker lets a
+        // short stream's federation drain while the others keep
+        // serving.
+        let (tx, rx) = mpsc::sync_channel::<(usize, FedMessage)>(1024);
+        let mut ingest_threads = Vec::new();
+        for (idx, reader) in readers.into_iter().enumerate() {
+            let tx = tx.clone();
+            ingest_threads.push(thread::spawn(move || {
+                match StreamingTrace::open(reader) {
+                    Ok(stream) => {
+                        for item in stream {
+                            if tx.send((idx, FedMessage::Event(item))).is_err() {
+                                return; // controller hung up
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send((idx, FedMessage::Event(Err(e))));
+                    }
                 }
+                let _ = tx.send((idx, FedMessage::Eof));
+            }));
+        }
+        drop(tx);
+
+        // Control loop: route each message to its federation's engine.
+        let mut outcome = Ok(());
+        let mut open = feds.len();
+        for (idx, message) in rx.iter() {
+            let step = match message {
+                FedMessage::Event(Ok(event)) => feds[idx].on_event(event, options),
+                FedMessage::Event(Err(e)) => Err(e.into()),
+                FedMessage::Eof => {
+                    open -= 1;
+                    feds[idx].on_eof(options)
+                }
+            };
+            if let Err(e) = step {
+                outcome = Err(e);
+                break;
+            }
+            if open == 0 {
+                break;
             }
         }
-        Err(e) => {
-            let _ = tx.send(Err(e));
+        drop(rx); // unblock any ingest thread still holding events
+
+        // Snapshot the endpoint over real TCP before shutting it down,
+        // so a served run exercises the full metrics path end-to-end.
+        let metrics_snapshot = match (&outcome, endpoint_addr) {
+            (Ok(()), Some(addr)) => fetch_metrics(addr),
+            _ => None,
+        };
+
+        // Clean shutdown: stop the endpoint, join every thread.
+        stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = endpoint_thread {
+            handle.join().expect("metrics endpoint thread panicked");
         }
-    });
+        for handle in ingest_threads {
+            handle.join().expect("ingest thread panicked");
+        }
 
-    let controller = Controller {
-        spec,
-        options,
-        state: &state,
-        policy,
-        engine,
-        scheduler,
-        checkpoints: 0,
-        last_checkpoint_interval: None,
-        tasks: 0,
-    };
-    let outcome = controller.drive(rx);
-
-    // Snapshot the endpoint over real TCP before shutting it down, so a
-    // served run exercises the full metrics path end-to-end.
-    let metrics_snapshot = match (&outcome, endpoint_addr) {
-        (Ok(_), Some(addr)) => fetch_metrics(addr),
-        _ => None,
-    };
-
-    // Clean shutdown: stop the endpoint, join both threads.
-    stop.store(true, Ordering::SeqCst);
-    if let Some(handle) = endpoint_thread {
-        handle.join().expect("metrics endpoint thread panicked");
+        outcome?;
+        let wall_s = started.elapsed().as_secs_f64();
+        Ok(feds
+            .into_iter()
+            .map(|f| f.into_report(wall_s, metrics_snapshot.clone()))
+            .collect())
     }
-    ingest_thread.join().expect("ingest thread panicked");
+}
 
-    let driven = outcome?;
-    let wall_s = started.elapsed().as_secs_f64();
-    let latencies = {
-        let m = state.lock().expect("metrics state poisoned");
-        m.latencies_s.clone()
-    };
-    let result = driven.engine.finish(&driven.policy);
-    Ok(ServeReport {
-        spec: spec.clone(),
-        intervals: driven.intervals,
-        tasks_ingested: driven.tasks,
-        repairs_triggered: result.decision_events,
-        fine_tune_events: result.fine_tune_events,
-        checkpoints_taken: driven.checkpoints,
-        last_checkpoint_interval: driven.last_checkpoint_interval,
-        wall_s,
-        decisions_per_s: if wall_s > 0.0 {
-            driven.intervals as f64 / wall_s
-        } else {
-            0.0
-        },
-        decision_latency_s: LatencySummary::from_samples(&latencies),
-        metrics_snapshot,
-        result,
-    })
+/// Serves a [`FederationSet`] over sockets: accepts one connection per
+/// federation, **in spec order**, on the caller-bound listener, and
+/// drains each to EOF.
+pub fn serve_federation_listener(
+    set: &FederationSet,
+    listener: &TcpListener,
+    options: &ServeOptions,
+) -> Result<Vec<ServeReport>, ServiceError> {
+    let mut readers = Vec::with_capacity(set.specs().len());
+    for _ in set.specs() {
+        let (conn, _) = listener
+            .accept()
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        readers.push(BufReader::new(conn));
+    }
+    set.serve(readers, options)
 }
 
 /// Serves a trace streamed over stdin — `some-producer | serve --stdin`.
@@ -464,38 +613,63 @@ pub fn serve_listener(
     serve_trace(spec, BufReader::new(conn), options)
 }
 
-/// What [`drive`] hands back for the report.
-struct Driven {
-    engine: ExperimentEngine,
-    policy: Carol,
-    intervals: usize,
-    tasks: usize,
-    checkpoints: usize,
-    last_checkpoint_interval: Option<usize>,
+/// What an ingest thread forwards over the shared channel.
+enum FedMessage {
+    /// A decoded trace event (or the decode error that ended the
+    /// stream).
+    Event(Result<TraceEvent, TraceError>),
+    /// The stream reached end-of-file cleanly.
+    Eof,
 }
 
-/// The daemon's control loop bundled with its mutable state: the policy
-/// and engine being driven, the checkpoint ledger, and the metrics the
-/// endpoint publishes.
-struct Controller<'a> {
-    spec: &'a ExperimentSpec,
-    options: &'a ServeOptions,
-    state: &'a Mutex<MetricsState>,
+/// One federation's controller state inside a [`FederationSet`] run:
+/// the policy and engine being driven, the interval batcher, the
+/// checkpoint ledger, and the metrics the endpoint publishes.
+struct FedState {
+    spec: ExperimentSpec,
     policy: Carol,
     engine: ExperimentEngine,
     scheduler: Box<dyn edgesim::Scheduler>,
+    state: Arc<Mutex<MetricsState>>,
+    batch: Vec<TaskSpec>,
+    saw_event: bool,
+    tasks: usize,
     checkpoints: usize,
     last_checkpoint_interval: Option<usize>,
-    tasks: usize,
 }
 
-impl Controller<'_> {
-    /// One scheduling interval of the daemon: pace, step the engine,
-    /// take the cadenced checkpoint, publish metrics.
-    fn run_interval(&mut self, arrivals: Vec<TaskSpec>) -> Result<(), ServiceError> {
+impl FedState {
+    /// Pretrains the federation's controller and sets up its engine —
+    /// exactly what a solo [`serve_trace`] did before serving.
+    fn new(spec: &ExperimentSpec, background_tune: bool) -> Self {
+        let mut policy = Carol::pretrained(spec.carol_config(), spec.scenario.seed);
+        policy.set_background_tune(background_tune);
+        let engine = ExperimentEngine::new(&spec.scenario.experiment_config());
+        let scheduler = spec.scenario.scheduler.build();
+        Self {
+            spec: spec.clone(),
+            policy,
+            engine,
+            scheduler,
+            state: Arc::new(Mutex::new(MetricsState::default())),
+            batch: Vec::new(),
+            saw_event: false,
+            tasks: 0,
+            checkpoints: 0,
+            last_checkpoint_interval: None,
+        }
+    }
+
+    /// One scheduling interval of this federation: pace, step the
+    /// engine, take the cadenced checkpoint, publish metrics.
+    fn run_interval(
+        &mut self,
+        arrivals: Vec<TaskSpec>,
+        options: &ServeOptions,
+    ) -> Result<(), ServiceError> {
         let t = self.engine.interval();
         if t > 0 {
-            if let Some(pace_s) = self.options.pace_interval_s {
+            if let Some(pace_s) = options.pace_interval_s {
                 thread::sleep(Duration::from_secs_f64(pace_s.max(0.0)));
             }
         }
@@ -521,45 +695,63 @@ impl Controller<'_> {
         m.fine_tunes = self.engine.fine_tune_events();
         m.latencies_s.push(elapsed);
         m.last_checkpoint_interval = self.last_checkpoint_interval;
+        m.phases = *self.engine.phase_timings();
         Ok(())
     }
 
-    /// Groups streamed events by interval and runs one engine step per
-    /// interval — intervals with no events included, exactly like
+    /// Feeds one streamed event, grouping by interval and running one
+    /// engine step per closed interval — intervals with no events
+    /// included, exactly like
     /// [`ReplayWorkload`](workloads::replay::ReplayWorkload) delivers
     /// them — so the stream horizon is `last event interval + 1`.
-    fn drive(
-        mut self,
-        rx: Receiver<Result<TraceEvent, TraceError>>,
-    ) -> Result<Driven, ServiceError> {
-        let mut batch: Vec<TaskSpec> = Vec::new();
-        let mut saw_event = false;
-
-        for message in rx {
-            let event = message?;
-            saw_event = true;
-            while self.engine.interval() < event.interval {
-                let arrivals = std::mem::take(&mut batch);
-                self.run_interval(arrivals)?;
-            }
-            self.tasks += event.arrivals;
-            let spec_task = event.to_spec();
-            batch.extend(std::iter::repeat_n(spec_task, event.arrivals));
+    fn on_event(&mut self, event: TraceEvent, options: &ServeOptions) -> Result<(), ServiceError> {
+        self.saw_event = true;
+        while self.engine.interval() < event.interval {
+            let arrivals = std::mem::take(&mut self.batch);
+            self.run_interval(arrivals, options)?;
         }
-        if saw_event {
-            // Drain: the interval of the final event(s).
-            self.run_interval(std::mem::take(&mut batch))?;
-        }
+        self.tasks += event.arrivals;
+        let spec_task = event.to_spec();
+        self.batch
+            .extend(std::iter::repeat_n(spec_task, event.arrivals));
+        Ok(())
+    }
 
+    /// End-of-stream drain: the interval of the final event(s).
+    fn on_eof(&mut self, options: &ServeOptions) -> Result<(), ServiceError> {
+        if self.saw_event {
+            let arrivals = std::mem::take(&mut self.batch);
+            self.run_interval(arrivals, options)?;
+        }
+        Ok(())
+    }
+
+    /// Collapses this federation's state into its [`ServeReport`].
+    fn into_report(self, wall_s: f64, metrics_snapshot: Option<String>) -> ServeReport {
         let intervals = self.engine.interval();
-        Ok(Driven {
-            engine: self.engine,
-            policy: self.policy,
+        let latencies = {
+            let m = self.state.lock().expect("metrics state poisoned");
+            m.latencies_s.clone()
+        };
+        let result = self.engine.finish(&self.policy);
+        ServeReport {
+            spec: self.spec,
             intervals,
-            tasks: self.tasks,
-            checkpoints: self.checkpoints,
+            tasks_ingested: self.tasks,
+            repairs_triggered: result.decision_events,
+            fine_tune_events: result.fine_tune_events,
+            checkpoints_taken: self.checkpoints,
             last_checkpoint_interval: self.last_checkpoint_interval,
-        })
+            wall_s,
+            decisions_per_s: if wall_s > 0.0 {
+                intervals as f64 / wall_s
+            } else {
+                0.0
+            },
+            decision_latency_s: LatencySummary::from_samples(&latencies),
+            metrics_snapshot,
+            result,
+        }
     }
 }
 
@@ -615,6 +807,14 @@ mod tests {
         assert!(ExperimentSpec::named("no-such-scenario", 7).is_none());
     }
 
+    /// Wraps counters the way the endpoint thread sees them.
+    fn fed(name: &str, m: MetricsState) -> FedMetrics {
+        FedMetrics {
+            name: name.to_string(),
+            state: Arc::new(Mutex::new(m)),
+        }
+    }
+
     #[test]
     fn render_metrics_reports_required_fields() {
         let m = MetricsState {
@@ -624,17 +824,73 @@ mod tests {
             fine_tunes: 2,
             latencies_s: vec![0.010, 0.020, 0.030, 0.040],
             last_checkpoint_interval: Some(10),
+            phases: PhaseTimings {
+                determine_failures_s: 0.25,
+                execute_s: 0.75,
+                ..PhaseTimings::default()
+            },
         };
-        let text = render_metrics(&m, 1.5);
+        let text = render_metrics(&[fed("paper-16", m)], 1.5);
         assert!(text.contains("decisions_served: 12"));
         assert!(text.contains("repairs_triggered: 3"));
         assert!(text.contains("decision_latency_p50_ms: 25.000"));
         assert!(text.contains("decision_latency_p99_ms:"));
         assert!(text.contains("last_checkpoint_age_intervals: 2"));
+        assert!(text.contains("phase_determine_failures_s: 0.250000"));
+        assert!(text.contains("phase_execute_s: 0.750000"));
+        assert!(text.contains("phase_determine_failures_pct: 25.0"));
+        assert!(
+            !text.contains("federation:"),
+            "single federation renders unlabelled"
+        );
 
-        let empty = render_metrics(&MetricsState::default(), 0.0);
+        let empty = render_metrics(&[fed("paper-16", MetricsState::default())], 0.0);
         assert!(empty.contains("last_checkpoint_age_intervals: never"));
         assert!(empty.contains("decision_latency_p50_ms: 0.000"));
+    }
+
+    #[test]
+    fn render_metrics_labels_multiple_federations() {
+        let feds = [
+            fed("paper-16", MetricsState::default()),
+            fed("aiot-256", MetricsState::default()),
+        ];
+        let text = render_metrics(&feds, 0.5);
+        assert!(text.contains("federations: 2"));
+        assert!(text.contains("federation: 0 paper-16"));
+        assert!(text.contains("federation: 1 aiot-256"));
+    }
+
+    #[test]
+    fn federation_set_parses_single_spec_or_list() {
+        let solo = ExperimentSpec::named("paper-16", 7).unwrap();
+        let set = FederationSet::from_json(&solo.to_json()).unwrap();
+        assert_eq!(set.specs().len(), 1);
+        assert_eq!(set.specs()[0].scenario.name, "paper-16");
+
+        let pair = FederationSet::new(vec![
+            solo.clone(),
+            ExperimentSpec::named("paper-16", 9).unwrap(),
+        ]);
+        let back = FederationSet::from_json(&pair.to_json()).unwrap();
+        assert_eq!(back.specs().len(), 2);
+        assert_eq!(back.specs()[1].scenario.seed, 9);
+    }
+
+    #[test]
+    fn federation_set_rejects_reader_count_mismatch() {
+        let (spec, trace) = small_spec(31);
+        let set = FederationSet::new(vec![spec]);
+        let err = set
+            .serve(
+                vec![
+                    Cursor::new(trace.clone().into_bytes()),
+                    Cursor::new(trace.into_bytes()),
+                ],
+                &ServeOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Io(_)), "got {err:?}");
     }
 
     #[test]
@@ -659,7 +915,64 @@ mod tests {
         let snapshot = report.metrics_snapshot.expect("endpoint was configured");
         assert!(snapshot.contains(&format!("decisions_served: {}", report.intervals)));
         assert!(snapshot.contains(&format!("tasks_ingested: {expected_tasks}")));
+        assert!(snapshot.contains("phase_determine_failures_s:"));
+        assert!(snapshot.contains("phase_execute_s:"));
         assert_eq!(report.result.decision_events, report.repairs_triggered);
+        assert!(
+            report.result.phase_timings.total_s() > 0.0,
+            "served runs must surface per-phase wall-clock"
+        );
+    }
+
+    #[test]
+    fn federation_set_serves_each_federation_bit_identical_to_solo() {
+        let (spec_a, trace_a) = small_spec(23);
+        let (spec_b, trace_b) = small_spec(29);
+        let solo_a = serve_trace(
+            &spec_a,
+            Cursor::new(trace_a.clone().into_bytes()),
+            &ServeOptions::default(),
+        )
+        .unwrap();
+        let solo_b = serve_trace(
+            &spec_b,
+            Cursor::new(trace_b.clone().into_bytes()),
+            &ServeOptions::default(),
+        )
+        .unwrap();
+
+        let set = FederationSet::new(vec![spec_a, spec_b]);
+        let options = ServeOptions {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeOptions::default()
+        };
+        let reports = set
+            .serve(
+                vec![
+                    Cursor::new(trace_a.into_bytes()),
+                    Cursor::new(trace_b.into_bytes()),
+                ],
+                &options,
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        for (multi, solo) in reports.iter().zip([&solo_a, &solo_b]) {
+            assert_eq!(multi.intervals, solo.intervals);
+            assert_eq!(multi.tasks_ingested, solo.tasks_ingested);
+            assert_eq!(multi.result.completed, solo.result.completed);
+            assert_eq!(
+                multi.result.total_energy_wh.to_bits(),
+                solo.result.total_energy_wh.to_bits(),
+                "multiplexing must not perturb a federation's stream"
+            );
+        }
+        let snapshot = reports[0]
+            .metrics_snapshot
+            .as_ref()
+            .expect("endpoint was configured");
+        assert!(snapshot.contains("federations: 2"));
+        assert!(snapshot.contains("federation: 0 svc-test"));
+        assert!(snapshot.contains("federation: 1 svc-test"));
     }
 
     #[test]

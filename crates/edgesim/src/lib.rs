@@ -29,6 +29,7 @@
 
 pub mod host;
 pub mod network;
+pub mod phases;
 pub mod scheduler;
 pub mod sim;
 pub mod state;
@@ -36,7 +37,8 @@ pub mod task;
 pub mod topology;
 
 pub use host::{HostId, HostSpec, HostState};
-pub use network::NetworkModel;
+pub use network::{NetworkModel, GATEWAY_BROKER_HOP_S};
+pub use phases::{PhaseTimings, SHARD_MIN_HOSTS};
 pub use scheduler::{Scheduler, SchedulingDecision};
 pub use sim::{FaultLoad, FleetMix, IntervalReport, SimConfig, Simulator};
 pub use state::SystemState;

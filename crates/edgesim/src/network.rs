@@ -10,6 +10,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Fixed gateway→broker handoff latency in seconds, charged to every task
+/// at admission on top of the entry gateway's intra-LEI link latency: the
+/// HTTP redirect plus queue insertion at the broker's management plane
+/// (~10 ms on the §IV-C testbed). Historically an inline `+ 0.010` in the
+/// admission loop; named so the constant is documented and single-sourced.
+pub const GATEWAY_BROKER_HOP_S: f64 = 0.010;
+
 /// Latency and load-placement model of the federation's network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkModel {

@@ -10,13 +10,14 @@
 
 use crate::host::{HostId, HostSpec, HostState};
 use crate::network::NetworkModel;
+use crate::phases::{self, PhaseTimings};
 use crate::scheduler::{Scheduler, SchedulingDecision};
 use crate::task::{Task, TaskId, TaskSpec, TaskStatus};
 use crate::topology::{NodeRole, Topology};
-use crate::INTERVAL_SECONDS;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Fraction of idle power drawn by a task-less worker in standby mode.
 pub const STANDBY_POWER_FRACTION: f64 = 0.45;
@@ -216,271 +217,50 @@ pub struct IntervalReport {
     pub broker_stall_s: f64,
     /// The scheduling decision taken this interval.
     pub decision: SchedulingDecision,
-}
-
-/// Below this federation size sharded host stepping defaults to serial:
-/// spawning workers costs more than the per-interval host work saves.
-const SHARD_MIN_HOSTS: usize = 256;
-
-/// Read-only inputs shared by every host's execution window in one
-/// interval (phase 6 of [`Simulator::step`]). Each host's window is a
-/// pure function of these, so hosts can be stepped on any worker.
-struct HostStepCtx<'a> {
-    tasks: &'a [Task],
-    topology: &'a Topology,
-    config: &'a SimConfig,
-    per_host_tasks: &'a [Vec<usize>],
-    queued_now: &'a [usize],
-    fault_loads: &'a [FaultLoad],
-    failed_now: &'a [bool],
-    stalled_host: &'a [bool],
-    shift_penalty_s: &'a [f64],
-}
-
-/// One host's staged execution-window results: everything the serial
-/// loop would have mutated in place, applied in ascending host order by
-/// the reduction so accumulation order matches the serial reference.
-struct HostStepOutcome {
-    state: HostState,
-    /// `(task index, remaining_work, elapsed_s, completed)` for every
-    /// resident task.
-    task_updates: Vec<(usize, f64, f64, bool)>,
-    /// `(id, response_s, violated)` in processor-sharing completion order.
-    completed: Vec<(TaskId, f64, bool)>,
-    /// Host was stalled by a broker failure without failing itself —
-    /// contributes one interval of broker stall to the report.
-    stalled_not_failed: bool,
-}
-
-/// One host's execution window: identical arithmetic, in identical
-/// order, to the old serial loop body — task state is shadowed in local
-/// vectors parallel to the sorted active list instead of mutated through
-/// `&mut self`, which is what makes the function pure and shardable.
-fn step_host(ctx: &HostStepCtx<'_>, h: usize) -> HostStepOutcome {
-    let spec_h = &ctx.config.specs[h];
-    let fl = ctx.fault_loads[h];
-    let failed = ctx.failed_now[h];
-    let is_broker = matches!(ctx.topology.role(h), NodeRole::Broker);
-    let mgmt_cpu = if is_broker {
-        // Admission/queue management grows with the backlog parked at
-        // this broker — deep queues are the "processing bottleneck" of
-        // §I that makes loaded brokers fragile.
-        let queued = ctx.queued_now[h] as f64;
-        ctx.config.broker_base_overhead
-            + ctx.config.broker_per_worker_overhead * ctx.topology.workers_of(h).len() as f64
-            + (0.012 * queued).min(0.25)
-    } else {
-        0.0
-    };
-    let mgmt_ram = if is_broker {
-        ctx.config.broker_mgmt_ram_mb / spec_h.ram_mb
-    } else {
-        0.0
-    };
-
-    let task_idxs = &ctx.per_host_tasks[h];
-
-    // RAM pressure from resident tasks.
-    let resident_ram: f64 = task_idxs
-        .iter()
-        .map(|&i| ctx.tasks[i].spec.ram_mb)
-        .sum::<f64>()
-        / spec_h.ram_mb;
-    let ram_util = resident_ram + mgmt_ram + fl.ram;
-    let ram = ram_util.min(1.0);
-    let swap = (ram_util - 1.0).clamp(0.0, 1.0);
-
-    // Disk / network pressure.
-    let disk_demand: f64 = task_idxs
-        .iter()
-        .map(|&i| ctx.tasks[i].spec.disk_mb)
-        .sum::<f64>()
-        / (spec_h.disk_bw * INTERVAL_SECONDS);
-    let net_demand: f64 = task_idxs
-        .iter()
-        .map(|&i| ctx.tasks[i].spec.net_mb)
-        .sum::<f64>()
-        / (spec_h.net_bw * INTERVAL_SECONDS);
-    let disk = (disk_demand + fl.disk).min(1.0);
-    let net = (net_demand + fl.net).min(1.0);
-    let io_wait = (0.5 * swap + 0.3 * disk + 0.2 * net).min(1.0);
-
-    // Effective task time this interval after stalls/penalties.
-    let shift_pen = ctx.shift_penalty_s[h];
-    let mut usable_s: f64 = INTERVAL_SECONDS - shift_pen;
-    if failed || ctx.stalled_host[h] {
-        usable_s = 0.0;
-    }
-    usable_s = usable_s.max(0.0);
-    let stall_s = INTERVAL_SECONDS - usable_s;
-    let stalled_not_failed = ctx.stalled_host[h] && !failed;
-
-    // Thrashing: swap pressure halves effective capacity (§I:
-    // storage-mapped virtual memory over congested backhaul).
-    let thrash = 1.0 / (1.0 + 2.0 * swap);
-    // Broker-bottleneck contention (§I): a worker whose broker manages
-    // more than `broker_span` peers runs degraded, waiting on
-    // dispatch/synchronisation from the saturated broker.
-    let span_eff = if is_broker {
-        1.0
-    } else {
-        let siblings = ctx
-            .topology
-            .workers_of(ctx.topology.broker_of(h))
-            .len()
-            .max(1);
-        (ctx.config.broker_span as f64 / siblings as f64).min(1.0)
-    };
-    let cap_frac = (1.0 - mgmt_cpu - fl.cpu).max(0.0);
-    let capacity_per_s = spec_h.cpu_capacity * cap_frac * thrash * span_eff;
-
-    // Exact processor sharing within the usable window: with k active
-    // tasks each runs at capacity/k; process completions in order of
-    // remaining work. Work/elapsed live in shadow vectors parallel to
-    // `active`.
-    let mut active: Vec<usize> = task_idxs.clone();
-    active.sort_by(|&a, &b| {
-        ctx.tasks[a]
-            .remaining_work
-            .partial_cmp(&ctx.tasks[b].remaining_work)
-            .expect("work values are finite")
-    });
-    let mut rem: Vec<f64> = active
-        .iter()
-        .map(|&j| ctx.tasks[j].remaining_work)
-        .collect();
-    let mut elapsed: Vec<f64> = active.iter().map(|&j| ctx.tasks[j].elapsed_s).collect();
-    let mut done = vec![false; active.len()];
-    let mut completed = Vec::new();
-    let mut time_left = usable_s;
-    let mut work_done_total = 0.0;
-    let mut i = 0;
-    while i < active.len() && time_left > 0.0 && capacity_per_s > 0.0 {
-        let k = (active.len() - i) as f64;
-        let rate = capacity_per_s / k;
-        let t_finish = rem[i] / rate;
-        if t_finish <= time_left {
-            // Head task completes inside the window.
-            let elapsed_until_done = usable_s - time_left + t_finish;
-            for r in &mut rem[i..] {
-                *r -= rate * t_finish;
-                work_done_total += rate * t_finish;
-            }
-            rem[i] = 0.0;
-            done[i] = true;
-            elapsed[i] += stall_s + elapsed_until_done;
-            let task = &ctx.tasks[active[i]];
-            let violated = elapsed[i] > task.spec.deadline_s;
-            completed.push((task.id, elapsed[i], violated));
-            time_left -= t_finish;
-            i += 1;
-        } else {
-            for r in &mut rem[i..] {
-                *r -= rate * time_left;
-                work_done_total += rate * time_left;
-            }
-            time_left = 0.0;
-        }
-    }
-    let time_left_after = time_left;
-    // Survivors carry the whole interval in elapsed time. (Everything in
-    // `active` was Running, so the serial loop's status guard always
-    // held here.)
-    for e in &mut elapsed[i..] {
-        *e += INTERVAL_SECONDS;
-    }
-
-    // CPU utilisation: busy-time accounting. While any task is resident
-    // the cores spin at their allocated fraction whether the cycles are
-    // productive or lost to thrashing / broker-span contention —
-    // inefficient topologies therefore *burn energy*, not just time.
-    // `work_done_total` is kept for diagnostics.
-    let busy_s = usable_s - time_left_after;
-    let _ = work_done_total;
-    let work_util = if INTERVAL_SECONDS > 0.0 {
-        (busy_s / INTERVAL_SECONDS) * cap_frac
-    } else {
-        0.0
-    };
-    let mut cpu = (work_util + mgmt_cpu + fl.cpu).min(1.0);
-    if failed {
-        // An unresponsive node pins whichever resource the fault hit.
-        cpu = cpu.max((fl.cpu > 0.0) as u8 as f64);
-    }
-
-    // Energy: linear power curve over the interval (reboot = idle-ish).
-    // Workers with no resident tasks drop into standby (§V-C: the
-    // "remaining hosts in standby mode to conserve energy").
-    let standby = !is_broker && task_idxs.is_empty() && !failed && fl.cpu == 0.0;
-    let util_for_power = if failed { 0.2 } else { cpu };
-    let power_w = if standby {
-        STANDBY_POWER_FRACTION * spec_h.power_idle_w
-    } else {
-        spec_h.power_at(util_for_power)
-    };
-    let energy_wh = power_w * INTERVAL_SECONDS / 3600.0;
-
-    let task_updates = active
-        .iter()
-        .enumerate()
-        .map(|(pos, &j)| (j, rem[pos], elapsed[pos], done[pos]))
-        .collect();
-
-    HostStepOutcome {
-        state: HostState {
-            cpu,
-            ram,
-            disk,
-            net,
-            swap,
-            io_wait,
-            energy_wh,
-            active_tasks: task_idxs.len(),
-            failed,
-        },
-        task_updates,
-        completed,
-        stalled_not_failed,
-    }
+    /// Wall-clock spent in each pipeline stage of this step (measurement
+    /// only — never feeds back into the simulation, and absent from
+    /// pre-phase-pipeline artifacts, hence the serde default).
+    #[serde(default)]
+    pub phases: PhaseTimings,
 }
 
 /// The simulation engine. See the crate docs for the driver-loop shape.
 #[derive(Debug)]
 pub struct Simulator {
-    config: SimConfig,
-    topology: Topology,
-    states: Vec<HostState>,
-    tasks: Vec<Task>,
-    network: NetworkModel,
-    rng: StdRng,
-    interval: usize,
-    next_task_id: TaskId,
+    pub(crate) config: SimConfig,
+    pub(crate) topology: Topology,
+    pub(crate) states: Vec<HostState>,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) network: NetworkModel,
+    pub(crate) rng: StdRng,
+    pub(crate) interval: usize,
+    pub(crate) next_task_id: TaskId,
     /// Indices (ascending) of tasks not yet retired to the archive: every
     /// Pending/Running task, plus last interval's completions (retirement
     /// is deferred one step so interval-end snapshots still see them).
     /// All per-interval work walks this list, never the full ledger.
-    live: Vec<usize>,
+    pub(crate) live: Vec<usize>,
     /// Task id → index into `tasks`, filled at admission. Ids are dense
     /// and sequential, so this doubles as the O(1) replacement for the
     /// old per-decision `position()` scan.
-    id_index: Vec<usize>,
+    pub(crate) id_index: Vec<usize>,
     /// Worker-count override for sharded host stepping (see
     /// [`Simulator::set_step_workers`]).
-    step_workers: Option<usize>,
-    pending_faults: Vec<FaultLoad>,
+    pub(crate) step_workers: Option<usize>,
+    pub(crate) pending_faults: Vec<FaultLoad>,
     /// Hosts down for the current interval (failure latched last interval).
-    recovering: Vec<usize>,
+    pub(crate) recovering: Vec<usize>,
     /// Per-host seconds of unavailability carried into the next interval
     /// from node-shift role changes.
-    shift_penalty_s: Vec<f64>,
+    pub(crate) shift_penalty_s: Vec<f64>,
     /// Last interval's failed brokers (what the resilience policy reacts to).
-    last_failed_brokers: Vec<HostId>,
+    pub(crate) last_failed_brokers: Vec<HostId>,
     // Cumulative accounting.
-    total_energy_wh: f64,
-    completed_count: usize,
-    violation_count: usize,
-    response_times: Vec<f64>,
-    total_restarts: usize,
+    pub(crate) total_energy_wh: f64,
+    pub(crate) completed_count: usize,
+    pub(crate) violation_count: usize,
+    pub(crate) response_times: Vec<f64>,
+    pub(crate) total_restarts: usize,
 }
 
 impl Simulator {
@@ -575,16 +355,20 @@ impl Simulator {
         self.live.len()
     }
 
-    /// Overrides how many workers shard the per-host execution phase.
+    /// Overrides how many workers shard the parallel pipeline stages
+    /// ([`crate::phases::determine_failures`], the per-arrival bookkeeping
+    /// in [`crate::phases::admit`], and the per-host windows in
+    /// [`crate::phases::execute`]).
     ///
     /// `None` (the default) auto-selects: serial below
-    /// `SHARD_MIN_HOSTS` (= 256) hosts, `par::thread_count()` workers
-    /// at or above that — the same auto-enable point the README's
-    /// "Scaling" section documents. Results are bit-identical at every
-    /// worker count — the
-    /// sharded path stages per-host outcomes and applies them in
-    /// ascending host order, reproducing the serial accumulation
-    /// chains exactly — so this knob only trades wall-clock.
+    /// [`crate::phases::SHARD_MIN_HOSTS`] (= 256) hosts,
+    /// `par::thread_count()` workers at or above that — the same
+    /// auto-enable point the README's "Scaling" section documents.
+    /// Results are bit-identical at every worker count — each sharded
+    /// stage computes pure per-item outcomes over contiguous segments and
+    /// applies them in a serial in-order reduction, reproducing the
+    /// serial accumulation chains exactly — so this knob only trades
+    /// wall-clock.
     pub fn set_step_workers(&mut self, workers: Option<usize>) {
         self.step_workers = workers;
     }
@@ -673,274 +457,49 @@ impl Simulator {
         self.topology = new;
     }
 
-    /// Maps a gateway entry LEI index to the broker currently serving it.
-    fn entry_broker(&self, lei: usize) -> Option<HostId> {
-        let brokers = self.topology.brokers();
-        let live: Vec<HostId> = brokers
-            .iter()
-            .copied()
-            .filter(|&b| self.recovering[b] == 0)
-            .collect();
-        if live.is_empty() {
-            brokers.first().copied()
-        } else {
-            Some(live[lei % live.len()])
-        }
-    }
-
-    /// Runs one scheduling interval: admits `arrivals`, places pending
-    /// tasks with `scheduler`, simulates execution, applies queued fault
-    /// loads, detects failures, and returns the interval's report.
+    /// Runs one scheduling interval — the phase pipeline facade.
+    ///
+    /// Composes the stages of [`crate::phases`] in their fixed order
+    /// (retire → admit → determine_failures → restart → schedule_dispatch
+    /// → execute → report), timing each stage into
+    /// [`IntervalReport::phases`]. See the `phases` module docs for what
+    /// each stage does and which ones shard across workers.
     pub fn step(
         &mut self,
         arrivals: Vec<TaskSpec>,
         scheduler: &mut dyn Scheduler,
     ) -> IntervalReport {
-        let t = self.interval;
-        let n = self.config.specs.len();
-
-        // --- 0. Retire last interval's completions from the live index.
-        // Retirement is deferred by one interval so that interval-end
-        // observers (e.g. `SystemState::capture` over the live view) still
-        // see tasks that completed within the interval just simulated.
-        {
-            let tasks = &self.tasks;
-            self.live
-                .retain(|&i| tasks[i].status != TaskStatus::Completed);
-        }
-
-        // Hosts recovering from last interval's failure come back.
-        for h in 0..n {
-            if self.recovering[h] > 0 {
-                self.recovering[h] -= 1;
-            }
-        }
-
-        // --- 1. Gateway mobility + task admission.
-        self.network.step_mobility(t);
-        let n_arrivals = arrivals.len();
-        for spec in arrivals {
-            let lei = self.network.sample_entry_lei(&mut self.rng);
-            let Some(broker) = self.entry_broker(lei) else {
-                continue;
-            };
-            let id = self.next_task_id;
-            self.next_task_id += 1;
-            let mut task = Task::new(id, spec, t, broker);
-            // Gateway→broker hop latency charged immediately.
-            task.elapsed_s += self.network.latency_s(lei, lei) + 0.010;
-            debug_assert_eq!(id, self.id_index.len(), "task ids are dense");
-            self.id_index.push(self.tasks.len());
-            self.live.push(self.tasks.len());
-            self.tasks.push(task);
-        }
-
-        // --- 2. Failure determination for THIS interval.
-        // Compute provisional utilisation from current placement + queued
-        // fault loads; saturated hosts are unresponsive this interval.
-        // One O(live) pass groups running tasks by host and counts each
-        // broker's pending backlog, so the per-host utilisation below is
-        // O(resident) instead of a full-ledger rescan per host.
-        let (running_by_host, queued_pending) = self.live_placement(n);
-        let fault_loads =
-            std::mem::replace(&mut self.pending_faults, vec![FaultLoad::default(); n]);
-        let mut failed_now = vec![false; n];
-        for h in 0..n {
-            if self.recovering[h] > 0 {
-                failed_now[h] = true;
-                continue;
-            }
-            let organic = self.organic_utilisation(h, &running_by_host[h], queued_pending[h]);
-            let fl = &fault_loads[h];
-            if organic.0 + fl.cpu >= 0.999
-                || organic.1 + fl.ram >= 0.999
-                || organic.2 + fl.disk >= 0.999
-                || organic.3 + fl.net >= 0.999
-            {
-                failed_now[h] = true;
-                // Recovery takes 1–5 minutes (§IV-I): down for the rest of
-                // this interval; live again next interval.
-                self.recovering[h] = 1;
-            }
-        }
-
-        // --- 3. Restart tasks stranded on failed workers (the paper's
-        // worker-failure rule: rerun in the LEI; placement happens via the
-        // scheduler below).
-        let mut restarted = 0usize;
-        for &idx in &self.live {
-            let task = &mut self.tasks[idx];
-            if task.status == TaskStatus::Running {
-                if let Some(h) = task.host {
-                    if failed_now[h] {
-                        task.remaining_work = task.spec.cpu_work;
-                        task.host = None;
-                        task.status = TaskStatus::Pending;
-                        task.restarts += 1;
-                        restarted += 1;
-                    }
-                }
-            }
-        }
-        self.total_restarts += restarted;
-
-        // --- 4. Scheduling of pending tasks.
-        let mut fail_view = self.states.clone();
-        for h in 0..n {
-            fail_view[h].failed = failed_now[h];
-        }
-        let live_view: Vec<&Task> = self.live.iter().map(|&i| &self.tasks[i]).collect();
-        let decision =
-            scheduler.schedule(&live_view, &self.topology, &self.config.specs, &fail_view);
-        drop(live_view);
-        for (task_id, host) in decision.iter() {
-            if failed_now[host] {
-                continue; // stale decision against a dying host: skip
-            }
-            let Some(&idx) = self.id_index.get(task_id) else {
-                continue;
-            };
-            if self.tasks[idx].status != TaskStatus::Pending {
-                continue;
-            }
-            // Broker→worker dispatch transfer.
-            let from = self
-                .topology
-                .broker_of(self.tasks[idx].admitted_by.min(n - 1));
-            let lei_a = self.lei_index_of(from);
-            let lei_b = self.lei_index_of(host);
-            let transfer = self.network.transfer_s(
-                lei_a,
-                lei_b,
-                self.tasks[idx].spec.net_mb,
-                self.config.specs[host].net_bw,
-            );
-            let task = &mut self.tasks[idx];
-            task.status = TaskStatus::Running;
-            task.host = Some(host);
-            task.elapsed_s += transfer;
-        }
-
-        // --- 5. Broker-failure stalls: every member of a failed broker's
-        // LEI makes no progress while the broker is down ("all active tasks
-        // within the LEI and all incoming tasks ... are impacted", §I).
-        let mut stalled_host = vec![false; n];
-        let mut broker_stall_s = 0.0;
-        for b in self.topology.brokers() {
-            if failed_now[b] {
-                for member in self.topology.lei(b) {
-                    stalled_host[member] = true;
-                }
-            }
-        }
-
-        // --- 6. Execution with processor sharing per host. Scheduling
-        // just moved tasks Pending→Running, so regroup the live set (the
-        // pending backlog per broker changed too).
-        let (per_host_tasks, queued_now) = self.live_placement(n);
-
-        // Each host's execution window is a pure function of the pre-§6
-        // ledger plus this interval's per-host inputs (a task is resident
-        // on exactly one host), so hosts shard across `par` workers in
-        // contiguous segments. All mutations are staged into per-host
-        // outcomes and applied serially in ascending host order below,
-        // reproducing the serial loop's f64 accumulation chains exactly —
-        // bit-identical at any worker count.
-        let shift_pen_all = std::mem::replace(&mut self.shift_penalty_s, vec![0.0; n]);
-        let workers = match self.step_workers {
-            Some(k) => k.max(1),
-            None if n >= SHARD_MIN_HOSTS => par::thread_count(),
-            None => 1,
+        let t0 = Instant::now();
+        phases::retire(self);
+        let t1 = Instant::now();
+        let n_arrivals = phases::admit(self, arrivals);
+        let t2 = Instant::now();
+        let failures = phases::determine_failures(self);
+        let t3 = Instant::now();
+        let restarted = phases::restart_stranded(self, &failures);
+        let t4 = Instant::now();
+        let decision = phases::schedule_dispatch(self, scheduler, &failures);
+        let t5 = Instant::now();
+        let exec = phases::execute(self, &failures);
+        let t6 = Instant::now();
+        let mut report = phases::report(self, n_arrivals, restarted, decision, failures, exec);
+        let t7 = Instant::now();
+        report.phases = PhaseTimings {
+            retire_s: (t1 - t0).as_secs_f64(),
+            admit_s: (t2 - t1).as_secs_f64(),
+            determine_failures_s: (t3 - t2).as_secs_f64(),
+            restart_s: (t4 - t3).as_secs_f64(),
+            schedule_dispatch_s: (t5 - t4).as_secs_f64(),
+            execute_s: (t6 - t5).as_secs_f64(),
+            report_s: (t7 - t6).as_secs_f64(),
         };
-        let ctx = HostStepCtx {
-            tasks: &self.tasks,
-            topology: &self.topology,
-            config: &self.config,
-            per_host_tasks: &per_host_tasks,
-            queued_now: &queued_now,
-            fault_loads: &fault_loads,
-            failed_now: &failed_now,
-            stalled_host: &stalled_host,
-            shift_penalty_s: &shift_pen_all,
-        };
-        let seg = n.div_ceil(workers).max(1);
-        let segments: Vec<std::ops::Range<usize>> =
-            (0..n).step_by(seg).map(|s| s..(s + seg).min(n)).collect();
-        let outcomes: Vec<HostStepOutcome> = par::par_map_threads(workers, &segments, |range| {
-            range
-                .clone()
-                .map(|h| step_host(&ctx, h))
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-
-        // In-order reduction: ascending host order, like the serial loop.
-        let mut completed: Vec<(TaskId, f64, bool)> = Vec::new();
-        let mut new_states = Vec::with_capacity(n);
-        for outcome in outcomes {
-            if outcome.stalled_not_failed {
-                broker_stall_s += INTERVAL_SECONDS;
-            }
-            for (idx, rem, elapsed, done) in outcome.task_updates {
-                let task = &mut self.tasks[idx];
-                task.remaining_work = rem;
-                task.elapsed_s = elapsed;
-                if done {
-                    task.status = TaskStatus::Completed;
-                }
-            }
-            completed.extend(outcome.completed);
-            new_states.push(outcome.state);
-        }
-
-        // Pending tasks (unplaced, e.g. dead broker or outage) also wait.
-        for &idx in &self.live {
-            let task = &mut self.tasks[idx];
-            if task.status == TaskStatus::Pending {
-                task.elapsed_s += INTERVAL_SECONDS;
-            }
-        }
-
-        // --- 7. Bookkeeping.
-        let energy: f64 = new_states.iter().map(|s| s.energy_wh).sum();
-        self.total_energy_wh += energy;
-        for &(_, resp, violated) in &completed {
-            self.completed_count += 1;
-            self.response_times.push(resp);
-            if violated {
-                self.violation_count += 1;
-            }
-        }
-        self.states = new_states;
-        let failed_hosts: Vec<HostId> = (0..n).filter(|&h| failed_now[h]).collect();
-        let failed_brokers: Vec<HostId> = self
-            .topology
-            .brokers()
-            .into_iter()
-            .filter(|&b| failed_now[b])
-            .collect();
-        self.last_failed_brokers = failed_brokers.clone();
-        self.interval += 1;
-
-        IntervalReport {
-            interval: t,
-            energy_wh: energy,
-            completed,
-            arrivals: n_arrivals,
-            failed_hosts,
-            failed_brokers,
-            restarted_tasks: restarted,
-            broker_stall_s,
-            decision,
-        }
+        report
     }
 
     /// One O(live) pass over the ledger: running-task indices grouped per
     /// host (ascending index order, matching the historical full-ledger
     /// scan) plus the pending backlog count per admitting broker.
-    fn live_placement(&self, n: usize) -> (Vec<Vec<usize>>, Vec<usize>) {
+    pub(crate) fn live_placement(&self, n: usize) -> (Vec<Vec<usize>>, Vec<usize>) {
         let mut running_by_host: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut queued_pending = vec![0usize; n];
         for &idx in &self.live {
@@ -958,59 +517,9 @@ impl Simulator {
         (running_by_host, queued_pending)
     }
 
-    /// Organic (task + management) utilisation of `h` before fault load,
-    /// as `(cpu, ram, disk, net)`. Used for failure determination.
-    /// `running` is `h`'s bucket from [`Simulator::live_placement`] and
-    /// `queued` its pending backlog; summation order over `running` is the
-    /// ledger order the historical per-host full scan used, so the f64
-    /// chains are bit-identical.
-    fn organic_utilisation(
-        &self,
-        h: HostId,
-        running: &[usize],
-        queued: usize,
-    ) -> (f64, f64, f64, f64) {
-        let spec = &self.config.specs[h];
-        let is_broker = matches!(self.topology.role(h), NodeRole::Broker);
-        let mgmt_cpu = if is_broker {
-            let queued = queued as f64;
-            self.config.broker_base_overhead
-                + self.config.broker_per_worker_overhead * self.topology.workers_of(h).len() as f64
-                + (0.012 * queued).min(0.25)
-        } else {
-            0.0
-        };
-        let mgmt_ram = if is_broker {
-            self.config.broker_mgmt_ram_mb / spec.ram_mb
-        } else {
-            0.0
-        };
-        let mut cpu = mgmt_cpu;
-        let mut ram = mgmt_ram;
-        let mut disk = 0.0;
-        let mut net = 0.0;
-        let mut task_cpu = 0.0;
-        for &i in running {
-            let task = &self.tasks[i];
-            // CPU demand share: the work a task would do this interval
-            // at full speed, as a fraction of interval capacity.
-            task_cpu += (task.remaining_work / (spec.cpu_capacity * INTERVAL_SECONDS)).min(1.0);
-            ram += task.spec.ram_mb / spec.ram_mb;
-            disk += task.spec.disk_mb / (spec.disk_bw * INTERVAL_SECONDS);
-            net += task.spec.net_mb / (spec.net_bw * INTERVAL_SECONDS);
-        }
-        // Processor sharing degrades gracefully under pure CPU pressure —
-        // task demand alone cannot render a host unresponsive (the kernel
-        // still schedules the management plane). It contributes at most
-        // 0.65, so byzantine failure needs fault injection or RAM/disk/
-        // network exhaustion on top of organic load.
-        cpu += task_cpu.min(0.65);
-        (cpu, ram, disk, net)
-    }
-
     /// LEI index of `host` for the network-latency model: position of its
     /// broker in the sorted broker list, folded into the modelled LEI count.
-    fn lei_index_of(&self, host: HostId) -> usize {
+    pub(crate) fn lei_index_of(&self, host: HostId) -> usize {
         let broker = self.topology.broker_of(host);
         let brokers = self.topology.brokers();
         let pos = brokers.iter().position(|&b| b == broker).unwrap_or(0);
@@ -1022,6 +531,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::scheduler::LeastLoadScheduler;
+    use crate::INTERVAL_SECONDS;
 
     fn quick_spec(work: f64) -> TaskSpec {
         TaskSpec {

@@ -259,7 +259,7 @@ impl SystemState {
                     }
                 }
                 TaskStatus::Pending => {
-                    let b = topology.broker_of(task.admitted_by.min(n - 1));
+                    let b = topology.admitting_broker(task.admitted_by);
                     pressure_count[b] += 1.0;
                     if task.elapsed_s > task.spec.deadline_s {
                         resident_behind[b] += 1.0;

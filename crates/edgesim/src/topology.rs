@@ -180,6 +180,19 @@ impl Topology {
         }
     }
 
+    /// Broker currently serving the host that admitted a task — the
+    /// management node its traffic flows through while it is pending.
+    ///
+    /// `admitted_by` was recorded against the topology current at
+    /// admission time; by the time a pending task is dispatched a repair
+    /// may have installed a different topology, so the id is clamped into
+    /// range defensively before the role lookup (the historical
+    /// `admitted_by.min(n - 1)` clamp from the dispatch and
+    /// state-capture paths, now in one place).
+    pub fn admitting_broker(&self, admitted_by: HostId) -> HostId {
+        self.broker_of(admitted_by.min(self.len().saturating_sub(1)))
+    }
+
     /// Checks all invariants.
     pub fn validate(&self) -> Result<(), TopologyError> {
         if !self.roles.iter().any(|r| matches!(r, NodeRole::Broker)) {

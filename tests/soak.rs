@@ -5,8 +5,13 @@
 //! the whole archive, so per-interval cost grew linearly with the horizon
 //! — a 5000-interval run spent most of its time iterating completed
 //! tasks. These tests pin the fix (per-interval cost stays flat, the live
-//! set stays bounded) and gate the sharded host-stepping path: any worker
-//! count must reproduce the serial trajectory bit-for-bit.
+//! set stays bounded) and gate the sharded stepping paths — host
+//! execution at 64 hosts, the full phase pipeline (admit /
+//! determine_failures / execute) at `SHARD_MIN_HOSTS` — plus the
+//! multi-stream `FederationSet` daemon: any worker count must reproduce
+//! the serial trajectory bit-for-bit, and serving two federations from
+//! one process must stay flat-cost with per-federation checkpoints that
+//! restore.
 
 use edgesim::scheduler::LeastLoadScheduler;
 use edgesim::{FaultLoad, SimConfig, Simulator};
@@ -106,11 +111,32 @@ fn five_thousand_interval_soak_keeps_step_cost_flat() {
     );
 }
 
+/// Like [`drive`] but fault-heavy: every other interval, three rotating
+/// hosts saturate at once, so the failure-determination phase has real
+/// work (saturation scans, restarts, repair bookkeeping) every step.
+fn drive_fault_heavy(sim: &mut Simulator, intervals: usize, arrival_rate: f64, workload_seed: u64) {
+    let n = sim.host_states().len();
+    let mut sched = LeastLoadScheduler::new();
+    let mut workload = BagOfTasks::new(BenchmarkSuite::AIoTBench, arrival_rate, workload_seed);
+    for t in 0..intervals {
+        if t % 2 == 0 {
+            for offset in [0, n / 3, 2 * n / 3] {
+                sim.inject_fault(
+                    (t + offset) % n,
+                    FaultLoad {
+                        cpu: 1.0,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        let arrivals = workload.sample_interval(t);
+        sim.step(arrivals, &mut sched);
+    }
+}
+
 /// Full-accounting fingerprint of a finished run, bit-exact.
-fn run_fingerprint(workers: Option<usize>) -> (usize, u64, u64, Vec<u64>, Vec<u64>) {
-    let mut sim = Simulator::new(SimConfig::federation(64, 8, 11));
-    sim.set_step_workers(workers);
-    drive(&mut sim, 40, 0.45 * 64.0, 17);
+fn fingerprint(sim: &Simulator) -> (usize, u64, u64, Vec<u64>, Vec<u64>) {
     let response_bits: Vec<u64> = sim.response_times().iter().map(|t| t.to_bits()).collect();
     let state_bits: Vec<u64> = sim
         .host_states()
@@ -138,6 +164,13 @@ fn run_fingerprint(workers: Option<usize>) -> (usize, u64, u64, Vec<u64>, Vec<u6
     )
 }
 
+fn run_fingerprint(workers: Option<usize>) -> (usize, u64, u64, Vec<u64>, Vec<u64>) {
+    let mut sim = Simulator::new(SimConfig::federation(64, 8, 11));
+    sim.set_step_workers(workers);
+    drive(&mut sim, 40, 0.45 * 64.0, 17);
+    fingerprint(&sim)
+}
+
 /// The sharded host-stepping gate: one worker, four workers and the
 /// auto-select default must produce bit-identical trajectories on a
 /// 64-host fault-heavy run — completions, energy, SLO accounting,
@@ -157,5 +190,142 @@ fn sharded_host_stepping_is_bit_identical_across_worker_counts() {
     ] {
         let other = run_fingerprint(workers);
         assert_eq!(serial, other, "{label}: trajectory diverged from serial");
+    }
+}
+
+/// The sharded phase-pipeline gate: 256 hosts is exactly
+/// `SHARD_MIN_HOSTS`, so the auto-select path genuinely shards the
+/// `admit`, `determine_failures` and `execute` phases — and a
+/// fault-heavy drive (three saturated hosts every other interval) keeps
+/// failure determination, restarts and repair bookkeeping busy. One
+/// worker, three, four and auto must all reproduce the same trajectory
+/// bit-for-bit.
+#[test]
+fn sharded_phases_are_bit_identical_at_256_hosts() {
+    let run = |workers: Option<usize>| {
+        let mut sim = Simulator::new(SimConfig::federation(256, 16, 23));
+        sim.set_step_workers(workers);
+        drive_fault_heavy(&mut sim, 24, 0.45 * 256.0, 31);
+        fingerprint(&sim)
+    };
+    let serial = run(Some(1));
+    assert!(serial.0 > 400, "run must complete tasks (got {})", serial.0);
+    assert!(
+        !serial.3.is_empty(),
+        "run must record response times to gate on"
+    );
+    for (label, workers) in [
+        ("4 workers", Some(4)),
+        ("3 workers", Some(3)),
+        ("auto", None),
+    ] {
+        let other = run(workers);
+        assert_eq!(serial, other, "{label}: trajectory diverged from serial");
+    }
+}
+
+/// Multi-stream soak for the `FederationSet` daemon: two federations,
+/// each streaming its own replayed trace through its own engine in one
+/// process. Gates two properties: (a) per-interval serve cost stays
+/// flat as the horizon grows 5× (the live-task ledger keeps the decide
+/// cycle O(live), not O(archive)); (b) each federation's on-disk
+/// checkpoint round-trips through JSON into a restored controller at
+/// the interval the report claims.
+#[test]
+fn two_federation_soak_keeps_step_cost_flat_and_checkpoints_round_trip() {
+    use carol::{
+        Carol, CarolCheckpoint, CheckpointSpec, ExperimentSpec, FederationSet, ScenarioSpec,
+        ServeOptions,
+    };
+    use gon::TrainConfig;
+    use std::io::Cursor;
+    use workloads::replay::{export_jsonl, record_suite};
+
+    let serve_set = |intervals: usize, ckpt_paths: [Option<String>; 2]| {
+        let mut specs = Vec::new();
+        let mut readers = Vec::new();
+        for (seed, path) in [41u64, 43].into_iter().zip(ckpt_paths) {
+            let events = record_suite(BenchmarkSuite::AIoTBench, 2.5, seed, intervals);
+            readers.push(Cursor::new(export_jsonl(&events).into_bytes()));
+            let scenario = ScenarioSpec::replay(format!("soak-fed-{seed}"), events, 8, 2, seed);
+            specs.push(
+                ExperimentSpec::new(scenario)
+                    .with_train(TrainConfig {
+                        epochs: 1,
+                        minibatch: 4,
+                        patience: 1,
+                        ..TrainConfig::default()
+                    })
+                    .with_checkpoint(CheckpointSpec {
+                        every: Some(5),
+                        path,
+                    }),
+            );
+        }
+        FederationSet::new(specs)
+            .serve(readers, &ServeOptions::default())
+            .expect("federation soak serves")
+    };
+
+    // Short reference horizon, then 5× longer with on-disk checkpoints.
+    let short = serve_set(8, [None, None]);
+    let dir = std::env::temp_dir();
+    let paths: [String; 2] = [41u64, 43].map(|seed| {
+        dir.join(format!("carol-soak-fed{seed}-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let long = serve_set(40, [Some(paths[0].clone()), Some(paths[1].clone())]);
+
+    let per_interval = |reports: &[carol::ServeReport]| {
+        let total: usize = reports.iter().map(|r| r.intervals).sum();
+        reports[0].wall_s / total as f64
+    };
+    assert_eq!(short.len(), 2);
+    assert_eq!(long.len(), 2);
+    for r in &long {
+        assert_eq!(
+            r.intervals, 40,
+            "{}: horizon diverged",
+            r.spec.scenario.name
+        );
+        assert!(
+            r.tasks_ingested > 40,
+            "{}: trace too thin",
+            r.spec.scenario.name
+        );
+    }
+    // Flatness: generous 4× bound + 2ms absolute slack for timer and
+    // scheduler noise; an O(archive) decide cycle scales per-interval
+    // cost with the horizon and fails this by construction.
+    let (short_s, long_s) = (per_interval(&short), per_interval(&long));
+    assert!(
+        long_s <= short_s * 4.0 + 2e-3,
+        "per-interval serve cost grew with the horizon: {short_s:.6}s at 8 intervals, \
+         {long_s:.6}s at 40"
+    );
+
+    // Per-federation checkpoint/restore round-trip from the files the
+    // daemon wrote.
+    for (r, path) in long.iter().zip(&paths) {
+        assert!(
+            r.checkpoints_taken >= 8,
+            "{}: cadence under-fired",
+            r.spec.scenario.name
+        );
+        let claimed = r
+            .last_checkpoint_interval
+            .expect("long run must checkpoint");
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("checkpoint file {path} unreadable: {e}"));
+        let ckpt = CarolCheckpoint::from_json(&json).expect("checkpoint JSON parses");
+        let restored = Carol::restore(&ckpt).expect("checkpoint restores");
+        assert_eq!(
+            restored.interval(),
+            claimed,
+            "{}: restored controller disagrees with the report",
+            r.spec.scenario.name
+        );
+        let _ = std::fs::remove_file(path);
     }
 }
